@@ -1,0 +1,97 @@
+// Benchmarks regenerating the paper's evaluation (§5): one benchmark
+// per table/figure plus the ablations. Metrics are reported in
+// simulated (virtual-time) units: vMB/s and v-µs — see DESIGN.md §4.
+// Run with: go test -bench=. -benchmem
+package padico
+
+import (
+	"strings"
+	"testing"
+
+	"padico/internal/bench"
+	"padico/internal/orb"
+)
+
+// metric builds a whitespace-free metric unit name.
+func metric(prefix, name string) string {
+	name = strings.NewReplacer(" ", "_", "/", "_").Replace(name)
+	return prefix + ":" + name
+}
+
+// BenchmarkFig3 regenerates every curve of Figure 3 (bandwidth vs
+// message size over Myrinet-2000, plus the Ethernet reference).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig3()
+		for _, s := range series {
+			last := s.Points[len(s.Points)-1]
+			b.ReportMetric(last.MBps, metric("vMB_s@1MB", s.Name[:6]))
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (one-way latency and peak
+// bandwidth per API/middleware over Myrinet-2000).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		for _, r := range rows {
+			b.ReportMetric(r.OnewayUS, metric("v-us", r.Name))
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates §5 ¶3: MadIO over Madeleine < 0.1 µs,
+// and MPICH-in-Padico vs standalone.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := bench.Overhead()
+		b.ReportMetric(o.MadIOCombinedUS, "v-us-madio-combined")
+		b.ReportMetric(o.MadIOSeparateUS, "v-us-madio-separate")
+		b.ReportMetric(o.MPIPadicoUS, "v-us-mpi-padico")
+		b.ReportMetric(o.MPIDirectUS, "v-us-mpi-direct")
+	}
+}
+
+// BenchmarkWAN regenerates §5 ¶4: single stream ~9 MB/s vs parallel
+// streams ~12 MB/s on the VTHD-like WAN.
+func BenchmarkWAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := bench.WAN()
+		b.ReportMetric(w.SingleMBps, "vMB_s-single")
+		b.ReportMetric(w.StripedMBps, "vMB_s-striped")
+	}
+}
+
+// BenchmarkVRP regenerates §5 ¶5: TCP ~150 KB/s vs VRP ~500 KB/s on the
+// lossy trans-continental link.
+func BenchmarkVRP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := bench.VRPBench()
+		b.ReportMetric(v.TCPKBps, "vKB_s-tcp")
+		b.ReportMetric(v.VRPKBps, "vKB_s-vrp")
+		b.ReportMetric(v.VRPKBps/v.TCPKBps, "x-speedup")
+	}
+}
+
+// BenchmarkAblationORBProfiles isolates the marshalling-copy effect
+// (zero-copy omniORB vs copying Mico) at 1 MB.
+func BenchmarkAblationORBProfiles(b *testing.B) {
+	profiles := []orb.Profile{orb.OmniORB4, orb.Mico}
+	for i := 0; i < b.N; i++ {
+		for _, pr := range profiles {
+			r := bench.ORBOnMyrinet(pr)
+			_, mbps := bench.Measure(r, 1<<20, 8)
+			b.ReportMetric(mbps, metric("vMB_s", pr.Name))
+		}
+	}
+}
+
+// BenchmarkAblationHeaderCombining isolates §4.1's header-combining
+// design choice at the MadIO layer.
+func BenchmarkAblationHeaderCombining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := bench.Overhead()
+		b.ReportMetric(o.MadIOSeparateUS-o.MadIOCombinedUS, "v-us-saved")
+	}
+}

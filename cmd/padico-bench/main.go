@@ -1,0 +1,93 @@
+// Command padico-bench regenerates the paper's evaluation (§5) and
+// prints each table/figure in the same shape the paper reports.
+//
+// Usage:
+//
+//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp]
+//
+// With no flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"padico/internal/bench"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "Figure 3: bandwidth vs message size over Myrinet-2000")
+	table1 := flag.Bool("table1", false, "Table 1: one-way latency and peak bandwidth")
+	overhead := flag.Bool("overhead", false, "§5: MadIO and PadicoTM overheads")
+	wan := flag.Bool("wan", false, "§5: VTHD WAN parallel streams")
+	vrpf := flag.Bool("vrp", false, "§5: VRP on the lossy trans-continental link")
+	flag.Parse()
+	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf
+
+	if all || *fig3 {
+		fmt.Println("=== Figure 3: bandwidth (MB/s) of middleware systems in PadicoTM over Myrinet-2000 ===")
+		series := bench.Fig3()
+		fmt.Printf("%-34s", "message size")
+		for _, sz := range bench.Fig3Sizes {
+			fmt.Printf("%10s", sizeLabel(sz))
+		}
+		fmt.Println()
+		for _, s := range series {
+			fmt.Printf("%-34s", s.Name)
+			for _, pt := range s.Points {
+				fmt.Printf("%10.1f", pt.MBps)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if all || *table1 {
+		fmt.Println("=== Table 1: performance of middleware systems with PadicoTM over Myrinet-2000 ===")
+		fmt.Printf("%-24s %18s %22s\n", "API or middleware", "oneway latency (us)", "max bandwidth (MB/s)")
+		for _, r := range bench.Table1() {
+			fmt.Printf("%-24s %18.2f %22.1f\n", r.Name, r.OnewayUS, r.PeakMBps)
+		}
+		fmt.Println()
+	}
+
+	if all || *overhead {
+		fmt.Println("=== Overheads (§4.1, §5) ===")
+		o := bench.Overhead()
+		fmt.Printf("MadIO over plain Madeleine (header combining): %+.3f us  (paper: < 0.1 us)\n", o.MadIOCombinedUS)
+		fmt.Printf("MadIO without header combining (ablation):     %+.3f us\n", o.MadIOSeparateUS)
+		fmt.Printf("MPICH one-way inside PadicoTM:                 %.2f us\n", o.MPIPadicoUS)
+		fmt.Printf("MPICH one-way standalone (direct Circuit):     %.2f us  (paper: roughly the same)\n", o.MPIDirectUS)
+		fmt.Println()
+	}
+
+	if all || *wan {
+		fmt.Println("=== VTHD WAN (§5) ===")
+		w := bench.WAN()
+		fmt.Printf("single TCP stream:        %5.1f MB/s  (paper: ~9 MB/s)\n", w.SingleMBps)
+		fmt.Printf("parallel streams (x%d):    %5.1f MB/s  (paper: 12 MB/s, access-link cap)\n", w.Streams, w.StripedMBps)
+		fmt.Println()
+	}
+
+	if all || *vrpf {
+		fmt.Println("=== Lossy trans-continental link (§5) ===")
+		v := bench.VRPBench()
+		fmt.Printf("TCP/IP plain sockets:    %6.0f KB/s  (paper: 150 KB/s)\n", v.TCPKBps)
+		fmt.Printf("VRP, %2.0f%% loss allowed:  %6.0f KB/s  (paper: ~500 KB/s, i.e. 3x)\n", v.Tolerance*100, v.VRPKBps)
+		fmt.Printf("speedup: %.1fx, skipped fraction: %.1f%%\n", v.VRPKBps/v.TCPKBps, v.SkippedFrac*100)
+		fmt.Println()
+	}
+	os.Exit(0)
+}
+
+func sizeLabel(sz int) string {
+	switch {
+	case sz >= 1<<20:
+		return fmt.Sprintf("%dMB", sz>>20)
+	case sz >= 1<<10:
+		return fmt.Sprintf("%dKB", sz>>10)
+	default:
+		return fmt.Sprintf("%dB", sz)
+	}
+}

@@ -1,0 +1,93 @@
+// Command padico-demo runs the quickstart scenario with layer-by-layer
+// tracing: it shows which networks exist, what the selector decided,
+// and the per-layer message counters after a mixed MPI + CORBA run —
+// a guided tour of the three-layer model.
+package main
+
+import (
+	"fmt"
+
+	"padico/internal/grid"
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/personality"
+	"padico/internal/selector"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+func main() {
+	g := grid.Cluster(2)
+	fmt.Println("== topology ==")
+	fmt.Print(g.Topo.String())
+	d, _ := selector.Choose(g.Topo, g.Prefs, 0, 1)
+	fmt.Printf("selector: node 0 <-> node 1 via %s\n\n", d)
+
+	err := g.K.Run(func(p *vtime.Proc) {
+		circs, err := g.NewCircuits(p, "demo", []topology.NodeID{0, 1})
+		if err != nil {
+			panic(err)
+		}
+		m0 := mpi.New(g.K, personality.NewVMad(g.K, circs[0]))
+		m1 := mpi.New(g.K, personality.NewVMad(g.K, circs[1]))
+		if err := g.RT[0].RegisterModule(m0); err != nil {
+			panic(err)
+		}
+
+		server := orb.New(g.K, g.RT[1].VLink, orb.OmniORB4, "madio", 5000)
+		server.RegisterServant("echo", orb.Servant{
+			"ping": func(q *vtime.Proc, args *orb.Decoder, reply *orb.Encoder) error {
+				reply.PutString("pong")
+				return nil
+			},
+		})
+		if err := server.Activate(); err != nil {
+			panic(err)
+		}
+		if err := g.RT[1].RegisterModule(server); err != nil {
+			panic(err)
+		}
+		fmt.Printf("node 0 modules: %v\n", g.RT[0].Modules())
+		fmt.Printf("node 1 modules: %v\n\n", g.RT[1].Modules())
+
+		g.K.GoDaemon("mpi-echo", func(q *vtime.Proc) {
+			buf := make([]byte, 64<<10)
+			for {
+				st := m1.Recv(q, mpi.AnySource, mpi.AnyTag, buf)
+				m1.Send(q, st.Source, st.Tag, buf[:st.Count])
+			}
+		})
+		client := orb.New(g.K, g.RT[0].VLink, orb.OmniORB4, "madio", 5001)
+		ref, err := client.Resolve(server.IOR("echo"))
+		if err != nil {
+			panic(err)
+		}
+
+		payload := make([]byte, 64<<10)
+		start := p.Now()
+		for i := 0; i < 10; i++ {
+			m0.Send(p, 1, 5, payload)
+			m0.Recv(p, 1, 5, payload)
+			dec, err := ref.Invoke(p, "ping", nil)
+			if err != nil {
+				panic(err)
+			}
+			if dec.String() != "pong" {
+				panic("bad pong")
+			}
+		}
+		fmt.Printf("mixed run took %v of simulated time\n\n", p.Now().Sub(start))
+
+		fmt.Println("== per-layer counters (node 0) ==")
+		fmt.Printf("MPI:       %d msgs out, %d msgs in\n", m0.MsgsSent, m0.MsgsRecv)
+		fmt.Printf("ORB:       %d requests issued, %d served by node 1\n", client.Requests, server.Served)
+		fmt.Printf("Circuit:   %d msgs out, %d msgs in\n", circs[0].MsgsSent, circs[0].MsgsRecv)
+		myri := g.Topo.Networks()[0]
+		mio := g.RT[0].MadIO[myri]
+		fmt.Printf("MadIO:     %d msgs out, %d msgs in (both middleware multiplexed)\n", mio.MsgsSent, mio.MsgsRecv)
+		fmt.Printf("NetAccess: %d events dispatched by the I/O manager\n", g.RT[0].NA.Dispatches)
+	})
+	if err != nil {
+		panic(err)
+	}
+}

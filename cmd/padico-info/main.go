@@ -1,0 +1,41 @@
+// Command padico-info prints a grid topology and the selector's
+// per-pair decisions — the knowledge-base view of §4.2.
+package main
+
+import (
+	"fmt"
+
+	"padico/internal/grid"
+	"padico/internal/selector"
+)
+
+func main() {
+	g := grid.TwoClusterWAN(2, 2)
+	fmt.Println("=== Topology (two dual-network clusters + VTHD WAN) ===")
+	fmt.Print(g.Topo.String())
+	fmt.Println()
+
+	fmt.Println("=== Selector decisions (default preferences) ===")
+	nodes := g.Topo.Nodes()
+	for i := range nodes {
+		for j := range nodes {
+			if i >= j {
+				continue
+			}
+			d, err := selector.Choose(g.Topo, g.Prefs, nodes[i].ID, nodes[j].ID)
+			if err != nil {
+				fmt.Printf("%s <-> %s: %v\n", nodes[i].Name, nodes[j].Name, err)
+				continue
+			}
+			fmt.Printf("%-4s <-> %-4s : %s\n", nodes[i].Name, nodes[j].Name, d)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("=== Lossy-pair decisions with loss tolerance ===")
+	lg := grid.LossyPair()
+	prefs := lg.Prefs
+	prefs.LossTolerance = 0.10
+	d, _ := selector.Choose(lg.Topo, prefs, 0, 1)
+	fmt.Printf("%s <-> %s : %s\n", lg.Topo.Node(0).Name, lg.Topo.Node(1).Name, d)
+}

@@ -1,0 +1,111 @@
+// Coupling: the GridCCM-style scenario of §2.1 — an MPI-based parallel
+// component coupled to a PVM-based parallel component through a CORBA
+// link. Intra-component traffic rides the parallel abstraction
+// (Circuit/MadIO/Myrinet); the inter-component channel is distributed
+// (ORB over VLink), so each paradigm keeps its natural interface.
+package main
+
+import (
+	"fmt"
+
+	"padico/internal/grid"
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/personality"
+	"padico/internal/pvm"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+func main() {
+	// Nodes 0-1: MPI solver component. Nodes 2-3: PVM post-processing
+	// component. All in one cluster for this demo.
+	g := grid.Cluster(4)
+	err := g.K.Run(func(p *vtime.Proc) {
+		mpiCircs, err := g.NewCircuits(p, "solver", []topology.NodeID{0, 1})
+		if err != nil {
+			panic(err)
+		}
+		pvmCircs, err := g.NewCircuits(p, "post", []topology.NodeID{2, 3})
+		if err != nil {
+			panic(err)
+		}
+		solver0 := mpi.New(g.K, personality.NewVMad(g.K, mpiCircs[0]))
+		solver1 := mpi.New(g.K, personality.NewVMad(g.K, mpiCircs[1]))
+		post0 := pvm.New(g.K, pvmCircs[0]) // node 2
+		post1 := pvm.New(g.K, pvmCircs[1]) // node 3
+
+		// The PVM component exposes a CORBA facade on node 2.
+		facade := orb.New(g.K, g.RT[2].VLink, orb.OmniORB4, "madio", 6000)
+		results := vtime.NewQueue[[]float64]("results")
+		facade.RegisterServant("post", orb.Servant{
+			"process": func(q *vtime.Proc, args *orb.Decoder, reply *orb.Encoder) error {
+				vec := args.F64Seq()
+				// Fan the work to the PVM side.
+				buf := pvm.NewBuffer()
+				buf.PkInt(int64(len(vec)))
+				for _, v := range vec {
+					buf.PkDouble(v)
+				}
+				post0.Send(post1.MyTID(), 5, buf)
+				res, _, _ := post0.Recv(q, post1.MyTID(), 6)
+				n := int(res.UpkInt())
+				out := make([]float64, n)
+				for i := range out {
+					out[i] = res.UpkDouble()
+				}
+				results.Push(out)
+				reply.PutF64Seq(out)
+				return nil
+			},
+		})
+		if err := facade.Activate(); err != nil {
+			panic(err)
+		}
+
+		// PVM worker (node 3): normalizes the vector.
+		g.K.GoDaemon("pvm-worker", func(q *vtime.Proc) {
+			for {
+				in, src, _ := post1.Recv(q, pvm.AnyTID, 5)
+				n := int(in.UpkInt())
+				sum := 0.0
+				vals := make([]float64, n)
+				for i := range vals {
+					vals[i] = in.UpkDouble()
+					sum += vals[i]
+				}
+				out := pvm.NewBuffer().PkInt(int64(n))
+				for _, v := range vals {
+					out.PkDouble(v / sum)
+				}
+				post1.Send(src, 6, out)
+			}
+		})
+
+		// MPI solver: rank 1 computes partial sums, rank 0 reduces and
+		// ships the result through the CORBA facade.
+		g.K.GoDaemon("solver-rank1", func(q *vtime.Proc) {
+			solver1.Allreduce(q, []float64{2, 4, 6, 8}, mpi.Sum)
+		})
+		total := solver0.Allreduce(p, []float64{1, 3, 5, 7}, mpi.Sum)
+		fmt.Printf("MPI component reduced to %v\n", total)
+
+		client := orb.New(g.K, g.RT[0].VLink, orb.OmniORB4, "madio", 6001)
+		ref, err := client.Resolve(facade.IOR("post"))
+		if err != nil {
+			panic(err)
+		}
+		args := orb.NewEncoder()
+		args.PutF64Seq(total)
+		dec, err := ref.Invoke(p, "process", args)
+		if err != nil {
+			panic(err)
+		}
+		normalized := dec.F64Seq()
+		fmt.Printf("PVM component normalized to %v (sums to 1)\n", normalized)
+		fmt.Println("MPI <-> CORBA <-> PVM coupling complete: two parallel paradigms, one grid")
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: the paper's headline capability in one file — a parallel
+// middleware (MPI) and a distributed middleware (CORBA) running at the
+// same time on the same Myrinet cluster, both at full speed, thanks to
+// the arbitration + dual-abstraction + personality stack.
+package main
+
+import (
+	"fmt"
+
+	"padico/internal/grid"
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/personality"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+func main() {
+	g := grid.Cluster(2)
+	err := g.K.Run(func(p *vtime.Proc) {
+		// Parallel side: MPI over the virtual-Madeleine personality.
+		circs, err := g.NewCircuits(p, "app", []topology.NodeID{0, 1})
+		if err != nil {
+			panic(err)
+		}
+		mpi0 := mpi.New(g.K, personality.NewVMad(g.K, circs[0]))
+		mpi1 := mpi.New(g.K, personality.NewVMad(g.K, circs[1]))
+
+		// Distributed side: a CORBA servant on node 1.
+		server := orb.New(g.K, g.RT[1].VLink, orb.OmniORB4, "madio", 5000)
+		ior := server.RegisterServant("counter", orb.Servant{
+			"get": func(q *vtime.Proc, args *orb.Decoder, reply *orb.Encoder) error {
+				reply.PutU32(42)
+				return nil
+			},
+		})
+		if err := server.Activate(); err != nil {
+			panic(err)
+		}
+		fmt.Println("servant activated:", ior)
+
+		// Node 1: MPI worker echoing messages.
+		g.K.GoDaemon("worker", func(q *vtime.Proc) {
+			buf := make([]byte, 1<<20)
+			for {
+				st := mpi1.Recv(q, mpi.AnySource, mpi.AnyTag, buf)
+				mpi1.Send(q, st.Source, st.Tag+1, buf[:st.Count])
+			}
+		})
+
+		// Node 0: interleave MPI traffic with CORBA invocations.
+		client := orb.New(g.K, g.RT[0].VLink, orb.OmniORB4, "madio", 5001)
+		ref, err := client.Resolve(ior)
+		if err != nil {
+			panic(err)
+		}
+		payload := make([]byte, 256<<10)
+		start := p.Now()
+		for i := 0; i < 8; i++ {
+			mpi0.Send(p, 1, 10, payload)
+			mpi0.Recv(p, 1, 11, payload)
+			dec, err := ref.Invoke(p, "get", nil)
+			if err != nil {
+				panic(err)
+			}
+			if v := dec.U32(); v != 42 {
+				panic(fmt.Sprintf("counter = %d", v))
+			}
+		}
+		elapsed := p.Now().Sub(start)
+		fmt.Printf("8 MPI round-trips of 256 KiB + 8 CORBA calls in %v of simulated time\n", elapsed)
+		fmt.Printf("MPI moved %d bytes; ORB served %d requests — on the same Myrinet, simultaneously\n",
+			mpi0.BytesOut, server.Served)
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,124 @@
+// WAN methods: §3.2's alternate communication methods in action on the
+// paper's two wide-area settings — parallel streams on a VTHD-like WAN
+// (with transparent ciphering between sites), and VRP vs TCP on the
+// lossy trans-continental link, with AdOC compression for compressible
+// streams.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"padico/internal/grid"
+	"padico/internal/selector"
+	"padico/internal/vrp"
+	"padico/internal/vtime"
+)
+
+func transfer(g *grid.Grid, dec selector.Decision, size int, payload func(int) []byte) float64 {
+	var rate float64
+	err := g.K.Run(func(p *vtime.Proc) {
+		la, lb, err := g.DialVLinkWith(p, 0, 1, dec)
+		if err != nil {
+			panic(err)
+		}
+		done := vtime.NewWaitGroup("done")
+		done.Add(1)
+		var end vtime.Time
+		g.K.Go("sink", func(q *vtime.Proc) {
+			defer done.Done()
+			buf := make([]byte, 64<<10)
+			total := 0
+			for total < size {
+				n, err := lb.Read(q, buf)
+				total += n
+				if err != nil && err != io.EOF {
+					panic(err)
+				}
+				if err != nil {
+					break
+				}
+			}
+			end = q.Now()
+		})
+		start := p.Now()
+		chunk := payload(256 << 10)
+		sent := 0
+		for sent < size {
+			n := size - sent
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			la.Write(p, chunk[:n])
+			sent += n
+		}
+		done.Wait(p)
+		rate = float64(size) / end.Sub(start).Seconds()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rate
+}
+
+func random(n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(1)).Read(b)
+	return b
+}
+
+func compressible(n int) []byte {
+	return bytes.Repeat([]byte("grid computing stream data "), n/27+1)[:n]
+}
+
+func main() {
+	fmt.Println("=== VTHD-like WAN: one stream vs parallel streams (ciphered inter-site) ===")
+	single := transfer(grid.TwoClusterWAN(1, 1),
+		selector.Decision{Method: "sysio", Streams: 1, Secure: true}, 8<<20, random)
+	striped := transfer(grid.TwoClusterWAN(1, 1),
+		selector.Decision{Method: "pstreams", Streams: 4, Secure: true}, 16<<20, random)
+	fmt.Printf("single TCP stream:      %5.1f MB/s\n", single/1e6)
+	fmt.Printf("4 parallel streams:     %5.1f MB/s (access link caps at ~12)\n", striped/1e6)
+
+	fmt.Println()
+	fmt.Println("=== Lossy trans-continental link ===")
+	tcp := transfer(grid.LossyPair(),
+		selector.Decision{Method: "sysio", Streams: 1}, 512<<10, random)
+	fmt.Printf("TCP (full reliability): %6.0f KB/s\n", tcp/1e3)
+
+	adocRate := transfer(grid.LossyPair(),
+		selector.Decision{Method: "sysio", Streams: 1, Compress: true}, 512<<10, compressible)
+	fmt.Printf("TCP + AdOC (text data): %6.0f KB/s effective\n", adocRate/1e3)
+
+	// VRP with 10% tolerated loss.
+	g := grid.LossyPair()
+	err := g.K.Run(func(p *vtime.Proc) {
+		ua, _ := g.Stack.Host(0).ListenUDP(7000)
+		ub, _ := g.Stack.Host(1).ListenUDP(7001)
+		sender := vrp.New(g.K, ua, 1, 7001, 0.10, 600e3)
+		recv := vrp.New(g.K, ub, 0, 7000, 0.10, 600e3)
+		payload := make([]byte, 1200)
+		n := (512 << 10) / len(payload)
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			sender.Send(payload)
+		}
+		received := 0
+		for {
+			if _, ok := recv.RecvTimeout(p, 2*time.Second); !ok {
+				break
+			}
+			received++
+		}
+		elapsed := p.Now().Sub(start).Seconds() - 2
+		fmt.Printf("VRP (10%% loss allowed): %6.0f KB/s (skipped %.1f%%, retransmitted %d)\n",
+			float64(received*len(payload))/elapsed/1e3,
+			float64(sender.Stats.Skipped)/float64(n)*100, sender.Stats.Retransmitted)
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package adoc implements AdOC-style adaptive online compression (paper
+// §3.2, citing Jeannot/Knutsson/Björkman): a VLink wrapper driver that
+// deflates each chunk before it reaches the inner link, choosing the
+// compression level adaptively — when the network is the bottleneck
+// (send backlog grows) it compresses harder; when the CPU would become
+// the bottleneck it backs off to light levels.
+//
+// Wire format per chunk: [1B level][4B origLen][4B compLen][compressed]
+// where level 0 means "stored" (incompressible data passes through).
+package adoc
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"padico/internal/model"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// ChunkSize bounds the unit of compression.
+const ChunkSize = 32 << 10
+
+// Driver decorates an inner VLink driver with adaptive compression.
+type Driver struct {
+	k     *vtime.Kernel
+	inner vlink.Driver
+
+	// Stats
+	BytesIn   int64 // pre-compression
+	BytesWire int64 // post-compression
+}
+
+// New builds an AdOC driver over inner.
+func New(k *vtime.Kernel, inner vlink.Driver) *Driver {
+	return &Driver{k: k, inner: inner}
+}
+
+// Name implements vlink.Driver.
+func (d *Driver) Name() string { return "adoc" }
+
+// Ratio returns the achieved compression ratio so far (1 = none).
+func (d *Driver) Ratio() float64 {
+	if d.BytesWire == 0 {
+		return 1
+	}
+	return float64(d.BytesIn) / float64(d.BytesWire)
+}
+
+// Listen implements vlink.Driver.
+func (d *Driver) Listen(port int) (vlink.Listener, error) {
+	il, err := d.inner.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	l := &listener{d: d, il: il}
+	il.SetAcceptHandler(func(c vlink.Conn) {
+		if l.accept != nil {
+			l.accept(newConn(d, c))
+		}
+	})
+	return l, nil
+}
+
+type listener struct {
+	d      *Driver
+	il     vlink.Listener
+	accept func(vlink.Conn)
+}
+
+func (l *listener) SetAcceptHandler(fn func(vlink.Conn)) { l.accept = fn }
+func (l *listener) Close()                               { l.il.Close() }
+
+// Dial implements vlink.Driver.
+func (d *Driver) Dial(addr vlink.Addr, cb func(vlink.Conn, error)) {
+	d.inner.Dial(addr, func(c vlink.Conn, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(newConn(d, c), nil)
+	})
+}
+
+// conn compresses writes and decompresses reads.
+type conn struct {
+	d        *Driver
+	inner    vlink.Conn
+	backlog  int        // bytes accepted but not yet flushed to inner
+	wHorizon vtime.Time // serializes frame emission (compressor is one CPU)
+
+	fp   []byte
+	rx   []byte
+	eof  bool
+	rbuf []byte
+	rcb  func(int, error)
+}
+
+const chunkHdrLen = 9
+
+func newConn(d *Driver, inner vlink.Conn) *conn {
+	c := &conn{d: d, inner: inner}
+	buf := make([]byte, 64<<10)
+	var pump func(n int, err error)
+	pump = func(n int, err error) {
+		c.feed(buf[:n])
+		if err != nil {
+			c.eof = true
+			c.tryComplete()
+			return
+		}
+		inner.PostRead(buf, pump)
+	}
+	inner.PostRead(buf, pump)
+	return c
+}
+
+// Kernel lets VLink charge costs on the right kernel.
+func (c *conn) Kernel() *vtime.Kernel { return c.d.k }
+
+// Peer implements vlink.Conn.
+func (c *conn) Peer() topology.NodeID { return c.inner.Peer() }
+
+// level picks the compression level from the current backlog: an
+// uncongested link gets cheap level 1; a congested one is worth more
+// CPU (AdOC's adaptation rule).
+func (c *conn) level() int {
+	switch {
+	case c.backlog > 8*ChunkSize:
+		return 9
+	case c.backlog > 4*ChunkSize:
+		return 6
+	case c.backlog > ChunkSize:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// PostWrite implements vlink.Conn.
+func (c *conn) PostWrite(data []byte, cb func(int, error)) {
+	total := len(data)
+	nchunks := (total + ChunkSize - 1) / ChunkSize
+	if nchunks == 0 {
+		cb(0, nil)
+		return
+	}
+	completed := 0
+	for off := 0; off < total; off += ChunkSize {
+		end := off + ChunkSize
+		if end > total {
+			end = total
+		}
+		chunk := data[off:end]
+		lvl := c.level()
+		comp, ok := deflateChunk(chunk, lvl)
+		if !ok {
+			lvl = 0
+			comp = chunk
+		}
+		hdr := make([]byte, chunkHdrLen, chunkHdrLen+len(comp))
+		hdr[0] = byte(lvl)
+		binary.BigEndian.PutUint32(hdr[1:], uint32(len(chunk)))
+		binary.BigEndian.PutUint32(hdr[5:], uint32(len(comp)))
+		frame := append(hdr, comp...)
+		c.d.BytesIn += int64(len(chunk))
+		c.d.BytesWire += int64(len(frame))
+		c.backlog += len(frame)
+		// CPU cost of deflate scales with level. Frames must leave in
+		// order, so each is scheduled after the previous one's cost on a
+		// per-connection horizon (one compressor CPU).
+		cost := model.CompressPerByte.Cost(len(chunk)) * vtime.Duration(1+lvl) / 5
+		now := c.d.k.Now()
+		if c.wHorizon < now {
+			c.wHorizon = now
+		}
+		c.wHorizon = c.wHorizon.Add(cost)
+		c.d.k.At(c.wHorizon, func() {
+			c.inner.PostWrite(frame, func(n int, err error) {
+				c.backlog -= len(frame)
+				completed++
+				if completed == nchunks {
+					cb(total, err)
+				}
+			})
+		})
+	}
+}
+
+// feed parses inbound frames and inflates them.
+func (c *conn) feed(data []byte) {
+	c.fp = append(c.fp, data...)
+	for len(c.fp) >= chunkHdrLen {
+		lvl := int(c.fp[0])
+		orig := int(binary.BigEndian.Uint32(c.fp[1:]))
+		clen := int(binary.BigEndian.Uint32(c.fp[5:]))
+		if len(c.fp) < chunkHdrLen+clen {
+			break
+		}
+		comp := c.fp[chunkHdrLen : chunkHdrLen+clen]
+		var out []byte
+		if lvl == 0 {
+			out = append([]byte(nil), comp...)
+		} else {
+			r := flate.NewReader(bytes.NewReader(comp))
+			out = make([]byte, orig)
+			if _, err := io.ReadFull(r, out); err != nil {
+				panic(fmt.Sprintf("adoc: corrupt frame: %v", err))
+			}
+			r.Close()
+		}
+		c.fp = c.fp[chunkHdrLen+clen:]
+		c.rx = append(c.rx, out...)
+	}
+	c.tryComplete()
+}
+
+func (c *conn) tryComplete() {
+	if c.rcb == nil || (len(c.rx) == 0 && !c.eof) {
+		return
+	}
+	n := copy(c.rbuf, c.rx)
+	c.rx = c.rx[n:]
+	cb := c.rcb
+	c.rcb, c.rbuf = nil, nil
+	var err error
+	if n == 0 && c.eof {
+		err = io.EOF
+	}
+	cb(n, err)
+}
+
+// PostRead implements vlink.Conn.
+func (c *conn) PostRead(buf []byte, cb func(int, error)) {
+	if c.rcb != nil {
+		panic("adoc: overlapping PostRead")
+	}
+	c.rbuf, c.rcb = buf, cb
+	c.tryComplete()
+}
+
+// Close implements vlink.Conn.
+func (c *conn) Close() { c.inner.Close() }
+
+// deflateChunk compresses data; ok is false when compression does not
+// pay (incompressible input).
+func deflateChunk(data []byte, level int) ([]byte, bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, false
+	}
+	w.Write(data)
+	w.Close()
+	if buf.Len() >= len(data) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}

@@ -1,0 +1,246 @@
+package circuit
+
+import (
+	"encoding/binary"
+	"time"
+
+	"padico/internal/madapi"
+	"padico/internal/netaccess"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// ---------------------------------------------------------------------
+// MadIO adapter: the straight parallel path. One MadIOPort per
+// (circuit, fabric, node) owns a logical channel; per-link adapters are
+// thin views on it.
+
+// MadIOPort binds a circuit to a logical channel of a MadIO instance.
+type MadIOPort struct {
+	mio      *netaccess.MadIO
+	logical  uint16
+	circ     *Circuit
+	madRank  func(circuitRank int) int // circuit rank -> madeleine rank
+	circRank func(madRank int) int
+}
+
+// NewMadIOPort registers the circuit on the MadIO logical channel and
+// returns a port from which per-link adapters are derived. The two rank
+// translators map between circuit ranks and Madeleine ranks on this
+// fabric.
+func NewMadIOPort(mio *netaccess.MadIO, logical uint16, circ *Circuit,
+	madRank func(int) int, circRank func(int) int) *MadIOPort {
+	p := &MadIOPort{mio: mio, logical: logical, circ: circ, madRank: madRank, circRank: circRank}
+	mio.Register(logical, func(_ *vtime.Proc, src int, in madapi.InMessage) {
+		// Express header first (plane + count), then all lengths in one
+		// express segment, then the payload segments — express never
+		// follows cheaper, per the Madeleine protocol.
+		hdr := in.Unpack(5, madapi.ReceiveExpress)
+		plane := Plane(hdr[0])
+		nsegs := int(binary.BigEndian.Uint32(hdr[1:]))
+		lens := in.Unpack(4*nsegs, madapi.ReceiveExpress)
+		segs := make([][]byte, 0, nsegs)
+		for i := 0; i < nsegs; i++ {
+			n := int(binary.BigEndian.Uint32(lens[4*i:]))
+			segs = append(segs, in.Unpack(n, madapi.ReceiveCheaper))
+		}
+		in.EndUnpacking()
+		circ.Deliver(circRank(src), plane, segs)
+	})
+	return p
+}
+
+// Link returns the adapter for reaching circuit rank dst through this
+// port.
+func (p *MadIOPort) Link(dst int) LinkAdapter { return &madioLink{p: p, dst: dst} }
+
+type madioLink struct {
+	p   *MadIOPort
+	dst int
+}
+
+// Name implements LinkAdapter.
+func (l *madioLink) Name() string { return "madio" }
+
+// Send implements LinkAdapter: header combining packs the plane, the
+// segment count and all segment lengths as express segments of the same
+// hardware message.
+func (l *madioLink) Send(plane Plane, segs [][]byte) {
+	hdr := make([]byte, 5)
+	hdr[0] = byte(plane)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(segs)))
+	lens := make([]byte, 4*len(segs))
+	out := make([][]byte, 0, 2+len(segs))
+	out = append(out, hdr, lens)
+	for i, s := range segs {
+		binary.BigEndian.PutUint32(lens[4*i:], uint32(len(s)))
+		out = append(out, s)
+	}
+	l.p.mio.Send(l.p.madRank(l.dst), l.p.logical, out...)
+}
+
+// ---------------------------------------------------------------------
+// Stream adapters: frame messages over a byte stream. Two flavours
+// share the framing: StreamLink runs on a driver-level conn (the
+// "sysio" straight-distributed path), VLinkLink runs on a full VLink
+// (so the alternate adapters — parallel streams, AdOC, VRP, security —
+// are usable under Circuit, per §4.2 "Circuit adapters have been
+// implemented on top of ... VLink (to use the alternates VLink
+// adapters)").
+
+// frame layout: [1B plane][4B nsegs] then per segment [4B len][bytes].
+
+type streamSender interface {
+	PostWrite(data []byte, cb func(int, error))
+}
+
+func frameMessage(plane Plane, segs [][]byte) []byte {
+	total := 5
+	for _, s := range segs {
+		total += 4 + len(s)
+	}
+	out := make([]byte, 5, total)
+	out[0] = byte(plane)
+	binary.BigEndian.PutUint32(out[1:], uint32(len(segs)))
+	var lenb [4]byte
+	for _, s := range segs {
+		binary.BigEndian.PutUint32(lenb[:], uint32(len(s)))
+		out = append(out, lenb[:]...)
+		out = append(out, s...)
+	}
+	return out
+}
+
+// frameParser incrementally decodes frames from stream chunks.
+type frameParser struct {
+	buf []byte
+}
+
+// feed appends stream data and returns every complete frame.
+func (fp *frameParser) feed(data []byte, emit func(plane Plane, segs [][]byte)) {
+	fp.buf = append(fp.buf, data...)
+	for {
+		if len(fp.buf) < 5 {
+			return
+		}
+		plane := Plane(fp.buf[0])
+		nsegs := int(binary.BigEndian.Uint32(fp.buf[1:]))
+		off := 5
+		segs := make([][]byte, 0, nsegs)
+		ok := true
+		for i := 0; i < nsegs; i++ {
+			if len(fp.buf) < off+4 {
+				ok = false
+				break
+			}
+			n := int(binary.BigEndian.Uint32(fp.buf[off:]))
+			off += 4
+			if len(fp.buf) < off+n {
+				ok = false
+				break
+			}
+			segs = append(segs, append([]byte(nil), fp.buf[off:off+n]...))
+			off += n
+		}
+		if !ok {
+			return
+		}
+		fp.buf = fp.buf[off:]
+		emit(plane, segs)
+	}
+}
+
+// StreamLink is a per-link adapter over a driver-level connection.
+type StreamLink struct {
+	name string
+	conn vlink.Conn
+}
+
+// NewStreamLink wires a driver conn to the circuit as the link to rank
+// src (the remote end's rank). It starts the read pump immediately.
+func NewStreamLink(name string, conn vlink.Conn, circ *Circuit, src int) *StreamLink {
+	l := &StreamLink{name: name, conn: conn}
+	fp := &frameParser{}
+	buf := make([]byte, 64<<10)
+	var pump func(n int, err error)
+	pump = func(n int, err error) {
+		if n > 0 {
+			fp.feed(buf[:n], func(plane Plane, segs [][]byte) {
+				circ.Deliver(src, plane, segs)
+			})
+		}
+		if err != nil {
+			return
+		}
+		conn.PostRead(buf, pump)
+	}
+	conn.PostRead(buf, pump)
+	return l
+}
+
+// Name implements LinkAdapter.
+func (l *StreamLink) Name() string { return l.name }
+
+// Send implements LinkAdapter.
+func (l *StreamLink) Send(plane Plane, segs [][]byte) {
+	l.conn.PostWrite(frameMessage(plane, segs), func(int, error) {})
+}
+
+// VLinkLink is a per-link adapter over a full VLink (alternate methods
+// included).
+type VLinkLink struct {
+	v *vlink.VLink
+}
+
+// NewVLinkLink wires an established VLink to the circuit as the link to
+// rank src.
+func NewVLinkLink(v *vlink.VLink, circ *Circuit, src int) *VLinkLink {
+	l := &VLinkLink{v: v}
+	fp := &frameParser{}
+	buf := make([]byte, 64<<10)
+	var pump func(n int, err error)
+	pump = func(n int, err error) {
+		if n > 0 {
+			fp.feed(buf[:n], func(plane Plane, segs [][]byte) {
+				circ.Deliver(src, plane, segs)
+			})
+		}
+		if err != nil {
+			return
+		}
+		v.PostRead(buf).SetHandler(pump)
+	}
+	v.PostRead(buf).SetHandler(pump)
+	return l
+}
+
+// Name implements LinkAdapter.
+func (l *VLinkLink) Name() string { return "vlink" }
+
+// Send implements LinkAdapter.
+func (l *VLinkLink) Send(plane Plane, segs [][]byte) {
+	l.v.PostWrite(frameMessage(plane, segs))
+}
+
+// ---------------------------------------------------------------------
+// Loopback adapter: rank talks to itself.
+
+// LoopbackLink delivers back into the same circuit.
+type LoopbackLink struct {
+	k    *vtime.Kernel
+	circ *Circuit
+	self int
+}
+
+// NewLoopbackLink builds the self-link for a circuit.
+func NewLoopbackLink(k *vtime.Kernel, circ *Circuit, self int) *LoopbackLink {
+	return &LoopbackLink{k: k, circ: circ, self: self}
+}
+
+// Name implements LinkAdapter.
+func (l *LoopbackLink) Name() string { return "loopback" }
+
+// Send implements LinkAdapter.
+func (l *LoopbackLink) Send(plane Plane, segs [][]byte) {
+	l.k.After(500*time.Nanosecond, func() { l.circ.Deliver(l.self, plane, segs) })
+}

@@ -1,0 +1,355 @@
+// Package circuit implements the parallel-paradigm abstract interface
+// of the paper's abstraction layer (§4.2): communication on a definite
+// set of nodes (a group — a cluster, a subset, or spanning several
+// sites), an interface optimized for parallel runtimes with incremental
+// packing and explicit semantics, and per-link adapters: a given
+// Circuit instance can use different adapters for different links —
+// MadIO (straight), SysIO / VLink (cross-paradigm, including the
+// alternate WAN methods), and loopback.
+//
+// Collective operations — which the paper lists as future work
+// ("Collective operations in Circuit still needs to be investigated") —
+// are implemented here as an extension: dissemination barrier, binomial
+// broadcast and recursive-doubling allreduce on a control plane
+// separate from point-to-point traffic.
+package circuit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"padico/internal/madapi"
+	"padico/internal/model"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// Plane separates point-to-point traffic from collective traffic.
+type Plane byte
+
+const (
+	PlaneData Plane = iota
+	PlaneColl
+)
+
+// LinkAdapter carries segment vectors to one fixed remote rank.
+type LinkAdapter interface {
+	// Name identifies the adapter kind ("madio", "sysio", "vlink",
+	// "loopback").
+	Name() string
+	// Send transmits one message on the given plane.
+	Send(plane Plane, segs [][]byte)
+}
+
+// incoming is one received message.
+type incoming struct {
+	src  int
+	segs [][]byte
+}
+
+// Circuit is one instance of the parallel abstract interface.
+type Circuit struct {
+	k     *vtime.Kernel
+	name  string
+	self  int
+	group []topology.NodeID
+	links map[int]LinkAdapter
+	rx    *vtime.Queue[*incoming]
+	coll  *vtime.Queue[*incoming]
+
+	MsgsSent int64
+	MsgsRecv int64
+}
+
+// New creates a circuit for rank self within group. Links are attached
+// afterwards with SetLink (the selector/builder decides adapters).
+func New(k *vtime.Kernel, name string, self int, group []topology.NodeID) *Circuit {
+	return &Circuit{
+		k: k, name: name, self: self, group: group,
+		links: make(map[int]LinkAdapter),
+		rx:    vtime.NewQueue[*incoming](fmt.Sprintf("circuit:%s:%d:rx", name, self)),
+		coll:  vtime.NewQueue[*incoming](fmt.Sprintf("circuit:%s:%d:coll", name, self)),
+	}
+}
+
+// Name returns the circuit name.
+func (c *Circuit) Name() string { return c.name }
+
+// Self implements madapi.Channel.
+func (c *Circuit) Self() int { return c.self }
+
+// Size implements madapi.Channel.
+func (c *Circuit) Size() int { return len(c.group) }
+
+// Group returns the member nodes, indexed by rank.
+func (c *Circuit) Group() []topology.NodeID { return c.group }
+
+// SetLink installs the adapter used to reach rank dst.
+func (c *Circuit) SetLink(dst int, a LinkAdapter) { c.links[dst] = a }
+
+// Link returns the adapter for rank dst (nil if unset).
+func (c *Circuit) Link(dst int) LinkAdapter { return c.links[dst] }
+
+// SetRxNotify installs a data-plane arrival callback (kernel context).
+func (c *Circuit) SetRxNotify(fn func()) { c.rx.OnPush = fn }
+
+// Deliver is called by adapters when a message arrives (kernel
+// context). The receive-side abstraction cost is charged here.
+func (c *Circuit) Deliver(src int, plane Plane, segs [][]byte) {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	cost := model.CircuitCost + model.CircuitPerByte.Cost(n)
+	c.k.After(cost, func() {
+		c.MsgsRecv++
+		if plane == PlaneColl {
+			c.coll.Push(&incoming{src: src, segs: segs})
+			return
+		}
+		c.rx.Push(&incoming{src: src, segs: segs})
+	})
+}
+
+// send transmits on a plane, charging the send-side abstraction cost.
+func (c *Circuit) send(dst int, plane Plane, segs [][]byte) {
+	link, ok := c.links[dst]
+	if !ok {
+		panic(fmt.Sprintf("circuit %s: no link from rank %d to rank %d", c.name, c.self, dst))
+	}
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	c.MsgsSent++
+	cost := model.CircuitCost + model.CircuitPerByte.Cost(n)
+	c.k.After(cost, func() { link.Send(plane, segs) })
+}
+
+// ---------------------------------------------------------------------
+// madapi.Channel: incremental packing interface.
+
+var _ madapi.Channel = (*Circuit)(nil)
+
+// BeginPacking implements madapi.Channel.
+func (c *Circuit) BeginPacking(dst int) madapi.OutMessage {
+	return &outMessage{c: c, dst: dst}
+}
+
+// BeginUnpacking implements madapi.Channel.
+func (c *Circuit) BeginUnpacking(p *vtime.Proc) madapi.InMessage {
+	in := c.rx.Pop(p)
+	return &inMessage{msg: in}
+}
+
+// TryBeginUnpacking implements madapi.Channel.
+func (c *Circuit) TryBeginUnpacking() (madapi.InMessage, bool) {
+	in, ok := c.rx.TryPop()
+	if !ok {
+		return nil, false
+	}
+	return &inMessage{msg: in}, true
+}
+
+type outMessage struct {
+	c     *Circuit
+	dst   int
+	segs  [][]byte
+	ended bool
+}
+
+// Pack implements madapi.OutMessage.
+func (m *outMessage) Pack(data []byte, mode madapi.PackMode) {
+	if m.ended {
+		panic("circuit: Pack after EndPacking")
+	}
+	if mode == madapi.SendSafer {
+		data = append([]byte(nil), data...)
+	}
+	m.segs = append(m.segs, data)
+}
+
+// EndPacking implements madapi.OutMessage.
+func (m *outMessage) EndPacking() {
+	if m.ended {
+		panic("circuit: EndPacking twice")
+	}
+	m.ended = true
+	m.c.send(m.dst, PlaneData, m.segs)
+}
+
+type inMessage struct {
+	msg     *incoming
+	next    int
+	cheaper bool
+}
+
+// Src implements madapi.InMessage.
+func (m *inMessage) Src() int { return m.msg.src }
+
+// NextSegLen returns the size of the next segment to unpack; consumers
+// with self-describing formats (the FastMessage personality) use it.
+func (m *inMessage) NextSegLen() int { return len(m.msg.segs[m.next]) }
+
+// Unpack implements madapi.InMessage.
+func (m *inMessage) Unpack(n int, mode madapi.UnpackMode) []byte {
+	if mode == madapi.ReceiveExpress && m.cheaper {
+		panic("circuit: ReceiveExpress after ReceiveCheaper")
+	}
+	if mode == madapi.ReceiveCheaper {
+		m.cheaper = true
+	}
+	if m.next >= len(m.msg.segs) {
+		panic("circuit: Unpack beyond packed segments")
+	}
+	seg := m.msg.segs[m.next]
+	if len(seg) != n {
+		panic(fmt.Sprintf("circuit: Unpack size %d != packed %d", n, len(seg)))
+	}
+	m.next++
+	return seg
+}
+
+// EndUnpacking implements madapi.InMessage.
+func (m *inMessage) EndUnpacking() {
+	if m.next != len(m.msg.segs) {
+		panic("circuit: EndUnpacking with segments left")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Collectives (extension; see package comment).
+
+// collRecv blocks for the next control-plane message from src with the
+// given 1-byte tag (messages from other sources queue).
+func (c *Circuit) collRecv(p *vtime.Proc, src int, tag byte) []byte {
+	var stash []*incoming
+	defer func() {
+		for _, s := range stash {
+			c.coll.Push(s)
+		}
+	}()
+	for {
+		in := c.coll.Pop(p)
+		if in.src == src && in.segs[0][0] == tag {
+			return in.segs[1]
+		}
+		stash = append(stash, in)
+	}
+}
+
+func (c *Circuit) collSend(dst int, tag byte, payload []byte) {
+	c.send(dst, PlaneColl, [][]byte{{tag}, payload})
+}
+
+// Barrier blocks p until every rank reached the barrier (dissemination
+// algorithm, ⌈log2 n⌉ rounds).
+func (c *Circuit) Barrier(p *vtime.Proc) {
+	n := len(c.group)
+	for dist, round := 1, byte(0); dist < n; dist, round = dist*2, round+1 {
+		to := (c.self + dist) % n
+		from := (c.self - dist + n) % n
+		c.collSend(to, 0x10+round, nil)
+		c.collRecv(p, from, 0x10+round)
+	}
+}
+
+// Bcast distributes root's data to every rank (binomial tree) and
+// returns the data on all ranks.
+func (c *Circuit) Bcast(p *vtime.Proc, root int, data []byte) []byte {
+	n := len(c.group)
+	vrank := (c.self - root + n) % n
+	if vrank != 0 {
+		// Receive from parent.
+		mask := 1
+		for ; mask < n; mask <<= 1 {
+			if vrank&mask != 0 {
+				break
+			}
+		}
+		parent := ((vrank &^ mask) + root) % n
+		data = c.collRecv(p, parent, 0x20)
+	}
+	// Forward to children.
+	mask := 1
+	for ; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			break
+		}
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		child := vrank | m
+		if child < n && child != vrank {
+			c.collSend((child+root)%n, 0x20, data)
+		}
+	}
+	return data
+}
+
+// ReduceOp combines two float64 values.
+type ReduceOp func(a, b float64) float64
+
+// Common reduce operations.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 { return math.Max(a, b) }
+	OpMin ReduceOp = func(a, b float64) float64 { return math.Min(a, b) }
+)
+
+// AllReduce combines vec element-wise across all ranks with op and
+// returns the result on every rank (recursive doubling when the group
+// is a power of two, ring fallback otherwise).
+func (c *Circuit) AllReduce(p *vtime.Proc, vec []float64, op ReduceOp) []float64 {
+	n := len(c.group)
+	acc := append([]float64(nil), vec...)
+	if n&(n-1) == 0 {
+		for dist, round := 1, byte(0); dist < n; dist, round = dist*2, round+1 {
+			peer := c.self ^ dist
+			c.collSend(peer, 0x30+round, encodeF64(acc))
+			remote := decodeF64(c.collRecv(p, peer, 0x30+round))
+			for i := range acc {
+				acc[i] = op(acc[i], remote[i])
+			}
+		}
+		return acc
+	}
+	// Ring: n-1 steps of pass-and-accumulate, then broadcast from rank 0.
+	next := (c.self + 1) % n
+	prev := (c.self - 1 + n) % n
+	if c.self == 0 {
+		c.collSend(next, 0x40, encodeF64(acc))
+		final := decodeF64(c.collRecv(p, prev, 0x40))
+		return c.bcastF64(p, final)
+	}
+	partial := decodeF64(c.collRecv(p, prev, 0x40))
+	for i := range partial {
+		partial[i] = op(partial[i], acc[i])
+	}
+	c.collSend(next, 0x40, encodeF64(partial))
+	return c.bcastF64(p, nil)
+}
+
+func (c *Circuit) bcastF64(p *vtime.Proc, data []float64) []float64 {
+	var raw []byte
+	if c.self == 0 {
+		raw = encodeF64(data)
+	}
+	return decodeF64(c.Bcast(p, 0, raw))
+}
+
+func encodeF64(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func decodeF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: stream framing reassembles any segment vectors across any
+// chunk boundaries.
+func TestQuickFrameParser(t *testing.T) {
+	f := func(msgs [][][]byte, cuts []uint8) bool {
+		if len(msgs) == 0 || len(msgs) > 6 {
+			return true
+		}
+		var wire []byte
+		var wantPlanes []Plane
+		for i, segs := range msgs {
+			if len(segs) > 8 {
+				return true
+			}
+			plane := Plane(i % 2)
+			wantPlanes = append(wantPlanes, plane)
+			wire = append(wire, frameMessage(plane, segs)...)
+		}
+		fp := &frameParser{}
+		var gotSegs [][][]byte
+		var gotPlanes []Plane
+		emit := func(plane Plane, segs [][]byte) {
+			gotPlanes = append(gotPlanes, plane)
+			gotSegs = append(gotSegs, segs)
+		}
+		off, ci := 0, 0
+		for off < len(wire) {
+			n := 1
+			if len(cuts) > 0 {
+				n = int(cuts[ci%len(cuts)])%61 + 1
+				ci++
+			}
+			if off+n > len(wire) {
+				n = len(wire) - off
+			}
+			fp.feed(wire[off:off+n], emit)
+			off += n
+		}
+		if len(gotSegs) != len(msgs) {
+			return false
+		}
+		for i, segs := range msgs {
+			if gotPlanes[i] != wantPlanes[i] || len(gotSegs[i]) != len(segs) {
+				return false
+			}
+			for j := range segs {
+				if !bytes.Equal(gotSegs[i][j], segs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	if OpSum(2, 3) != 5 || OpMax(2, 3) != 3 || OpMin(2, 3) != 2 {
+		t.Fatal("reduce ops wrong")
+	}
+}
+
+// Property: float64 codec round-trips.
+func TestQuickF64Codec(t *testing.T) {
+	f := func(v []float64) bool {
+		got := decodeF64(encodeF64(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] && !(v[i] != v[i] && got[i] != got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package core assembles the PadicoTM runtime of one grid node: the
+// arbitration layer (NetAccess with MadIO instances per SAN fabric and
+// one SysIO), the abstraction layer endpoints (VLink; Circuits are
+// created on demand), and a module registry through which middleware
+// systems are loaded into the process — the paper's "middleware systems
+// are dynamically loadable into PadicoTM, arbitration guarantees that
+// any combination of them may be used at the same time" (§4.3).
+//
+// The paper's other runtime concerns (dynamic code loading, threading,
+// Unix signals) are host-language issues that Go's runtime subsumes;
+// the registry keeps the same lifecycle shape (init/start/stop).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"padico/internal/ipstack"
+	"padico/internal/netaccess"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// Exported errors.
+var (
+	ErrDupModule = errors.New("core: module already registered")
+	ErrNoModule  = errors.New("core: no such module")
+)
+
+// Module is a middleware system (or service) loaded into a node's
+// runtime.
+type Module interface {
+	// ModuleName identifies the module ("mpi", "omniorb4", "gsoap"...).
+	ModuleName() string
+}
+
+// Runtime is one node's PadicoTM process.
+type Runtime struct {
+	k    *vtime.Kernel
+	node *topology.Node
+
+	NA    *netaccess.NetAccess
+	Sys   *netaccess.SysIO
+	MadIO map[*topology.Network]*netaccess.MadIO
+	VLink *vlink.Endpoint
+	Host  *ipstack.Host
+
+	// ranks maps each SAN network to this node's Madeleine group
+	// (ordered fabric addresses of all members).
+	groups map[*topology.Network][]topology.NodeID
+
+	modules     map[string]Module
+	nextLogical uint16
+}
+
+// NewRuntime builds the runtime skeleton for a node; fabrics and
+// drivers are attached by the grid builder.
+func NewRuntime(k *vtime.Kernel, node *topology.Node, host *ipstack.Host) *Runtime {
+	na := netaccess.New(k, node.Name)
+	rt := &Runtime{
+		k: k, node: node,
+		NA:          na,
+		Sys:         netaccess.NewSysIO(na),
+		MadIO:       make(map[*topology.Network]*netaccess.MadIO),
+		VLink:       vlink.NewEndpoint(node.ID),
+		Host:        host,
+		groups:      make(map[*topology.Network][]topology.NodeID),
+		modules:     make(map[string]Module),
+		nextLogical: 1000,
+	}
+	return rt
+}
+
+// Kernel returns the simulation kernel.
+func (rt *Runtime) Kernel() *vtime.Kernel { return rt.k }
+
+// Node returns the topology node.
+func (rt *Runtime) Node() *topology.Node { return rt.node }
+
+// AttachMadIO records a MadIO instance for a SAN network along with the
+// member list (rank order).
+func (rt *Runtime) AttachMadIO(nw *topology.Network, mio *netaccess.MadIO, members []topology.NodeID) {
+	rt.MadIO[nw] = mio
+	rt.groups[nw] = members
+}
+
+// MadRank returns this node's or another node's Madeleine rank on a SAN
+// network.
+func (rt *Runtime) MadRank(nw *topology.Network, n topology.NodeID) (int, bool) {
+	for r, m := range rt.groups[nw] {
+		if m == n {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Members returns the rank-ordered members of a SAN network.
+func (rt *Runtime) Members(nw *topology.Network) []topology.NodeID { return rt.groups[nw] }
+
+// AllocLogical allocates a fresh MadIO logical channel id. Allocation
+// is deterministic and must be performed in the same order on every
+// node that shares the channel (the builder guarantees this).
+func (rt *Runtime) AllocLogical() uint16 {
+	rt.nextLogical++
+	return rt.nextLogical
+}
+
+// RegisterModule loads a middleware module into the runtime.
+func (rt *Runtime) RegisterModule(m Module) error {
+	name := m.ModuleName()
+	if _, dup := rt.modules[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDupModule, name)
+	}
+	rt.modules[name] = m
+	return nil
+}
+
+// ModuleByName retrieves a loaded module.
+func (rt *Runtime) ModuleByName(name string) (Module, error) {
+	m, ok := rt.modules[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoModule, name)
+	}
+	return m, nil
+}
+
+// Modules lists loaded module names.
+func (rt *Runtime) Modules() []string {
+	out := make([]string, 0, len(rt.modules))
+	for n := range rt.modules {
+		out = append(out, n)
+	}
+	return out
+}
+
+var _ = vtime.Time(0)

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"padico/internal/core"
+	"padico/internal/ipstack"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+type fakeModule string
+
+func (m fakeModule) ModuleName() string { return string(m) }
+
+func newRT(k *vtime.Kernel) *core.Runtime {
+	g := topology.New()
+	node := g.AddNode("n0", "site")
+	st := ipstack.New(k)
+	return core.NewRuntime(k, node, st.Host(node.ID))
+}
+
+func TestModuleRegistry(t *testing.T) {
+	k := vtime.NewKernel()
+	rt := newRT(k)
+	if err := rt.RegisterModule(fakeModule("mpi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterModule(fakeModule("omniorb4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterModule(fakeModule("mpi")); !errors.Is(err, core.ErrDupModule) {
+		t.Fatalf("dup register err = %v", err)
+	}
+	if m, err := rt.ModuleByName("mpi"); err != nil || m.ModuleName() != "mpi" {
+		t.Fatalf("lookup = %v, %v", m, err)
+	}
+	if _, err := rt.ModuleByName("ghost"); !errors.Is(err, core.ErrNoModule) {
+		t.Fatalf("missing lookup err = %v", err)
+	}
+	if n := len(rt.Modules()); n != 2 {
+		t.Fatalf("modules = %d", n)
+	}
+	// Drain the runtime's I/O manager daemon cleanly.
+	if err := k.Run(func(p *vtime.Proc) { p.Sleep(time.Millisecond) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicalChannelAllocationIsSequential(t *testing.T) {
+	k := vtime.NewKernel()
+	rt := newRT(k)
+	a := rt.AllocLogical()
+	b := rt.AllocLogical()
+	if b != a+1 {
+		t.Fatalf("allocation not sequential: %d then %d", a, b)
+	}
+	if err := k.Run(func(p *vtime.Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMadRankLookup(t *testing.T) {
+	k := vtime.NewKernel()
+	g := topology.New()
+	nw := g.AddNetwork("myri", topology.Myrinet, true, 250e6, time.Microsecond, 0, 0)
+	n0 := g.AddNode("n0", "s")
+	n1 := g.AddNode("n1", "s")
+	g.Attach(n0, nw)
+	g.Attach(n1, nw)
+	st := ipstack.New(k)
+	rt := core.NewRuntime(k, n0, st.Host(n0.ID))
+	rt.AttachMadIO(nw, nil, []topology.NodeID{n0.ID, n1.ID})
+	if r, ok := rt.MadRank(nw, n1.ID); !ok || r != 1 {
+		t.Fatalf("MadRank = %d, %v", r, ok)
+	}
+	if _, ok := rt.MadRank(nw, topology.NodeID(99)); ok {
+		t.Fatal("unknown node resolved")
+	}
+	if ms := rt.Members(nw); len(ms) != 2 {
+		t.Fatalf("members = %v", ms)
+	}
+	if err := k.Run(func(p *vtime.Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package bip emulates the BIP protocol for Myrinet (Prylli &
+// Tourancheau, PC-NOW'98): an eager path for short messages and a
+// rendezvous (RTS/CTS) path for long ones, where the payload leaves the
+// sender only once the receiver has posted a matching receive buffer.
+// BIP is the alternative Myrinet system-level driver next to GM in the
+// paper's inventory (§7).
+package bip
+
+import (
+	"padico/internal/model"
+	"padico/internal/netsim"
+	"padico/internal/vtime"
+)
+
+// RecvEvent is one received message.
+type RecvEvent struct {
+	SrcAddr int
+	Data    []byte
+}
+
+// Handler consumes receive events in kernel context.
+type Handler func(ev RecvEvent)
+
+type kind int
+
+const (
+	kEager kind = iota
+	kRTS
+	kCTS
+	kData
+)
+
+type header struct {
+	kind  kind
+	msgID int64
+	size  int
+}
+
+const headerWire = 12
+
+// Endpoint is the per-node BIP instance: a single logical channel per
+// NIC (BIP has no port multiplexing — another reason arbitration is
+// needed above it).
+type Endpoint struct {
+	k       *vtime.Kernel
+	xb      *netsim.Crossbar
+	addr    int
+	handler Handler
+	nextMsg int64
+
+	credits  int                         // posted receive slots
+	pendingR map[int64]pendingRendezvous // msgID -> deferred long send (sender side)
+	waitCTS  []int64                     // FIFO of msgIDs awaiting credits (receiver side)
+	rtsSrcs  map[int64]int               // msgID -> source addr of pending RTS (receiver side)
+	longBufs map[int64]*longAsm          // msgID -> reassembly (receiver side)
+
+	MsgsSent   int64
+	MsgsRecv   int64
+	Rendezvous int64
+}
+
+type pendingRendezvous struct {
+	dst  int
+	data []byte
+}
+
+// Open attaches a BIP endpoint to a crossbar address.
+func Open(k *vtime.Kernel, xb *netsim.Crossbar, addr int) *Endpoint {
+	e := &Endpoint{
+		k: k, xb: xb, addr: addr,
+		pendingR: make(map[int64]pendingRendezvous),
+	}
+	xb.Attach(addr, e.deliver)
+	return e
+}
+
+// Addr returns the endpoint's crossbar address.
+func (e *Endpoint) Addr() int { return e.addr }
+
+// SetHandler installs the receive callback.
+func (e *Endpoint) SetHandler(h Handler) { e.handler = h }
+
+// PostRecv grants one receive credit: a long (rendezvous) message can
+// complete only against a posted receive. Short messages are eager and
+// bypass credits (BIP's implicit small-message buffers).
+func (e *Endpoint) PostRecv() {
+	e.credits++
+	if len(e.waitCTS) > 0 {
+		msgID := e.waitCTS[0]
+		e.waitCTS = e.waitCTS[1:]
+		e.grantCTS(msgID)
+	}
+}
+
+// Send transmits data to dstAddr: eagerly below model.BIPEagerLimit,
+// through RTS/CTS rendezvous above it.
+func (e *Endpoint) Send(dstAddr int, data []byte) {
+	e.MsgsSent++
+	msgID := e.nextMsg
+	e.nextMsg++
+	if len(data) < model.BIPEagerLimit {
+		e.k.After(model.BIPHostCost, func() {
+			e.send(dstAddr, &header{kind: kEager, msgID: msgID, size: len(data)}, data)
+		})
+		return
+	}
+	e.Rendezvous++
+	e.pendingR[msgID] = pendingRendezvous{dst: dstAddr, data: data}
+	e.k.After(model.BIPHostCost+model.BIPRendezvousCost, func() {
+		e.send(dstAddr, &header{kind: kRTS, msgID: msgID, size: len(data)}, nil)
+	})
+}
+
+func (e *Endpoint) send(dst int, h *header, payload []byte) {
+	e.xb.Send(&netsim.Packet{
+		Src: e.addr, Dst: dst,
+		Payload: payload, Wire: len(payload) + headerWire,
+		Meta: h,
+	})
+}
+
+func (e *Endpoint) deliver(pkt *netsim.Packet) {
+	h := pkt.Meta.(*header)
+	switch h.kind {
+	case kEager:
+		e.complete(pkt.Src, pkt.Payload)
+	case kRTS:
+		e.rtsFrom(pkt.Src, h.msgID)
+	case kCTS:
+		p, ok := e.pendingR[h.msgID]
+		if !ok {
+			return
+		}
+		delete(e.pendingR, h.msgID)
+		// Long payload leaves now, segmented by the crossbar model as one
+		// wire unit per hardware packet.
+		data := p.data
+		for off := 0; off < len(data); off += model.MyrinetPacket {
+			end := off + model.MyrinetPacket
+			if end > len(data) {
+				end = len(data)
+			}
+			last := end == len(data)
+			hk := kData
+			seg := data[off:end]
+			if last {
+				e.send(p.dst, &header{kind: hk, msgID: h.msgID, size: len(data)}, seg)
+			} else {
+				e.send(p.dst, &header{kind: hk, msgID: h.msgID, size: -1}, seg)
+			}
+		}
+	case kData:
+		e.longChunk(pkt.Src, h, pkt.Payload)
+	}
+}
+
+// longAsm reassembles one rendezvous payload on the receiver.
+type longAsm struct {
+	buf []byte
+}
+
+func (e *Endpoint) rtsFrom(src int, msgID int64) {
+	if e.rtsSrcs == nil {
+		e.rtsSrcs = make(map[int64]int)
+	}
+	e.rtsSrcs[msgID] = src
+	if e.credits > 0 {
+		e.grantCTS(msgID)
+		return
+	}
+	e.waitCTS = append(e.waitCTS, msgID)
+}
+
+func (e *Endpoint) grantCTS(msgID int64) {
+	e.credits--
+	src := e.rtsSrcs[msgID]
+	e.k.After(model.BIPRendezvousCost, func() {
+		e.send(src, &header{kind: kCTS, msgID: msgID}, nil)
+	})
+}
+
+func (e *Endpoint) longChunk(src int, h *header, chunk []byte) {
+	if e.longBufs == nil {
+		e.longBufs = make(map[int64]*longAsm)
+	}
+	a, ok := e.longBufs[h.msgID]
+	if !ok {
+		a = &longAsm{}
+		e.longBufs[h.msgID] = a
+	}
+	a.buf = append(a.buf, chunk...)
+	if h.size >= 0 && len(a.buf) == h.size { // final chunk carries the size
+		delete(e.longBufs, h.msgID)
+		delete(e.rtsSrcs, h.msgID)
+		e.complete(src, a.buf)
+	}
+}
+
+func (e *Endpoint) complete(src int, data []byte) {
+	e.MsgsRecv++
+	ev := RecvEvent{SrcAddr: src, Data: data}
+	e.k.After(model.BIPHostCost, func() {
+		if e.handler != nil {
+			e.handler(ev)
+		}
+	})
+}

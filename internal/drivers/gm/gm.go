@@ -1,0 +1,188 @@
+// Package gm emulates Myricom's GM message-passing API for Myrinet:
+// ports opened on a NIC, asynchronous sends of arbitrary-size messages
+// (segmented into hardware packets), and receive events delivered to a
+// registered handler. GM is the primary system-level driver behind
+// Madeleine's Myrinet backend (paper §4.1).
+//
+// Hardware constraints reproduced: a NIC exposes a small fixed number of
+// ports (model.MyrinetHWChannels = 2 — this is why MadIO's logical
+// multiplexing exists), messages are segmented into 4 KiB packets that
+// serialize on the source link, and each message costs host CPU on both
+// sides.
+package gm
+
+import (
+	"errors"
+	"fmt"
+
+	"padico/internal/model"
+	"padico/internal/netsim"
+	"padico/internal/vtime"
+)
+
+// Exported errors.
+var (
+	ErrNoPort   = errors.New("gm: no free port on NIC (hardware limit)")
+	ErrPortBusy = errors.New("gm: port id already open")
+)
+
+// RecvEvent is one received message.
+type RecvEvent struct {
+	SrcAddr int
+	SrcPort int
+	Data    []byte
+}
+
+// Handler consumes receive events in kernel context; it must not block.
+type Handler func(ev RecvEvent)
+
+// NIC is the per-node GM instance bound to one crossbar address.
+type NIC struct {
+	k     *vtime.Kernel
+	xb    *netsim.Crossbar
+	addr  int
+	ports map[int]*Port
+
+	// Stats
+	MsgsSent int64
+	MsgsRecv int64
+}
+
+// packet header modelled structurally (16 bytes charged on the wire).
+type pktHeader struct {
+	port    int // destination port
+	srcPort int
+	msgID   int64
+	offset  int
+	total   int
+}
+
+const pktHeaderWire = 16
+
+// OpenNIC attaches GM to a crossbar address. The returned NIC can open
+// up to model.MyrinetHWChannels ports.
+func OpenNIC(k *vtime.Kernel, xb *netsim.Crossbar, addr int) *NIC {
+	n := &NIC{k: k, xb: xb, addr: addr, ports: make(map[int]*Port)}
+	xb.Attach(addr, n.deliver)
+	return n
+}
+
+// Addr returns the NIC's crossbar address.
+func (n *NIC) Addr() int { return n.addr }
+
+func (n *NIC) deliver(pkt *netsim.Packet) {
+	h := pkt.Meta.(*pktHeader)
+	p, ok := n.ports[h.port]
+	if !ok {
+		return // no such port: hardware drops silently
+	}
+	p.packet(pkt.Src, h, pkt.Payload)
+}
+
+// Port is one hardware communication channel.
+type Port struct {
+	nic     *NIC
+	id      int
+	handler Handler
+	nextMsg int64
+	asm     map[asmKey]*assembly
+}
+
+type asmKey struct {
+	src   int
+	port  int
+	msgID int64
+}
+
+type assembly struct {
+	data []byte
+	got  int
+}
+
+// OpenPort opens hardware port id (0 <= id < MyrinetHWChannels).
+func (n *NIC) OpenPort(id int) (*Port, error) {
+	if id < 0 || id >= model.MyrinetHWChannels {
+		return nil, ErrNoPort
+	}
+	if _, dup := n.ports[id]; dup {
+		return nil, ErrPortBusy
+	}
+	p := &Port{nic: n, id: id, asm: make(map[asmKey]*assembly)}
+	n.ports[id] = p
+	return p, nil
+}
+
+// ID returns the port number.
+func (p *Port) ID() int { return p.id }
+
+// SetHandler installs the receive callback.
+func (p *Port) SetHandler(h Handler) { p.handler = h }
+
+// Close releases the port.
+func (p *Port) Close() { delete(p.nic.ports, p.id) }
+
+// Send transmits segments as one message to (dstAddr, dstPort). The
+// call is asynchronous: it queues the packets (which serialize on the
+// source link) and returns. Host-side CPU cost is modelled as a fixed
+// delay before the first packet leaves.
+func (p *Port) Send(dstAddr, dstPort int, segments ...[]byte) {
+	total := 0
+	for _, s := range segments {
+		total += len(s)
+	}
+	data := make([]byte, 0, total)
+	for _, s := range segments {
+		data = append(data, s...)
+	}
+	p.nic.MsgsSent++
+	msgID := p.nextMsg
+	p.nextMsg++
+	k := p.nic.k
+	// Host injection cost, then packets serialize on the crossbar.
+	k.After(model.GMHostCost, func() {
+		if total == 0 {
+			p.sendPkt(dstAddr, dstPort, msgID, 0, total, nil)
+			return
+		}
+		for off := 0; off < total; off += model.MyrinetPacket {
+			end := off + model.MyrinetPacket
+			if end > total {
+				end = total
+			}
+			p.sendPkt(dstAddr, dstPort, msgID, off, total, data[off:end])
+		}
+	})
+}
+
+func (p *Port) sendPkt(dstAddr, dstPort int, msgID int64, off, total int, chunk []byte) {
+	p.nic.xb.Send(&netsim.Packet{
+		Src: p.nic.addr, Dst: dstAddr,
+		Payload: chunk, Wire: len(chunk) + pktHeaderWire,
+		Meta: &pktHeader{port: dstPort, srcPort: p.id, msgID: msgID, offset: off, total: total},
+	})
+}
+
+// packet reassembles and, on completion, schedules the receive event
+// after the receive-side host cost.
+func (p *Port) packet(src int, h *pktHeader, chunk []byte) {
+	key := asmKey{src: src, port: h.srcPort, msgID: h.msgID}
+	a, ok := p.asm[key]
+	if !ok {
+		a = &assembly{data: make([]byte, h.total)}
+		p.asm[key] = a
+	}
+	copy(a.data[h.offset:], chunk)
+	a.got += len(chunk)
+	if a.got < h.total {
+		return
+	}
+	delete(p.asm, key)
+	p.nic.MsgsRecv++
+	ev := RecvEvent{SrcAddr: src, SrcPort: h.srcPort, Data: a.data}
+	p.nic.k.After(model.GMHostCost, func() {
+		if p.handler == nil {
+			panic(fmt.Sprintf("gm: message arrived on port %d/%d with no handler", p.nic.addr, p.id))
+		}
+		p.handler(ev)
+	})
+}

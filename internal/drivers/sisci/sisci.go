@@ -1,0 +1,162 @@
+// Package sisci emulates the SISCI API for SCI (IEEE 1596) networks:
+// exported memory segments that remote nodes map and write into with
+// remote stores, plus remote interrupts for notification. There is no
+// message abstraction at this level — messaging (Madeleine's SCI
+// backend) is built as a ring buffer in a shared segment, exactly as on
+// real SCI hardware.
+//
+// SCI exposes a single hardware channel (model.SCIHWChannels = 1): one
+// more reason the paper's arbitration layer must multiplex.
+package sisci
+
+import (
+	"errors"
+	"fmt"
+
+	"padico/internal/model"
+	"padico/internal/netsim"
+	"padico/internal/vtime"
+)
+
+// Exported errors.
+var (
+	ErrNoSegment = errors.New("sisci: no such remote segment")
+	ErrBounds    = errors.New("sisci: write outside segment bounds")
+)
+
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opInterrupt
+)
+
+type op struct {
+	kind   opKind
+	segID  int
+	offset int
+	intrNo int
+}
+
+const writeHeaderWire = 8
+
+// Node is the per-node SISCI instance on the SCI crossbar.
+type Node struct {
+	k        *vtime.Kernel
+	xb       *netsim.Crossbar
+	addr     int
+	segments map[int]*Segment
+	intrs    map[int]func(src int)
+
+	RemoteWrites int64
+	Interrupts   int64
+}
+
+// Open attaches a SISCI node to the SCI fabric.
+func Open(k *vtime.Kernel, xb *netsim.Crossbar, addr int) *Node {
+	n := &Node{
+		k: k, xb: xb, addr: addr,
+		segments: make(map[int]*Segment),
+		intrs:    make(map[int]func(src int)),
+	}
+	xb.Attach(addr, n.deliver)
+	return n
+}
+
+// Addr returns the node's SCI address.
+func (n *Node) Addr() int { return n.addr }
+
+// Segment is a locally exported memory region remote nodes can write.
+type Segment struct {
+	ID  int
+	Mem []byte
+}
+
+// CreateSegment exports a local segment of the given size.
+func (n *Node) CreateSegment(id, size int) *Segment {
+	if _, dup := n.segments[id]; dup {
+		panic(fmt.Sprintf("sisci: segment %d exported twice on node %d", id, n.addr))
+	}
+	s := &Segment{ID: id, Mem: make([]byte, size)}
+	n.segments[id] = s
+	return s
+}
+
+// RegisterInterrupt installs a handler for remote interrupt intrNo; the
+// handler runs in kernel context with the triggering node's address.
+func (n *Node) RegisterInterrupt(intrNo int, fn func(src int)) {
+	n.intrs[intrNo] = fn
+}
+
+func (n *Node) deliver(pkt *netsim.Packet) {
+	o := pkt.Meta.(*op)
+	switch o.kind {
+	case opWrite:
+		seg, ok := n.segments[o.segID]
+		if !ok {
+			return // writes to unknown segments vanish (bus error on real hw)
+		}
+		if o.offset+len(pkt.Payload) > len(seg.Mem) {
+			return
+		}
+		copy(seg.Mem[o.offset:], pkt.Payload)
+		n.RemoteWrites++
+	case opInterrupt:
+		n.Interrupts++
+		if fn, ok := n.intrs[o.intrNo]; ok {
+			// Interrupt dispatch costs host CPU.
+			src := pkt.Src
+			n.k.After(model.SISCIHostCost, func() { fn(src) })
+		}
+	}
+}
+
+// RemoteSegment is a mapped view of a segment exported by another node.
+type RemoteSegment struct {
+	node   *Node
+	dst    int
+	segID  int
+	size   int
+	synced vtime.Time // completion horizon of issued stores
+}
+
+// Connect maps remote segment segID on node dst. size must match the
+// exporter's (checked by the caller's protocol; SISCI itself trusts it).
+func (n *Node) Connect(dst, segID, size int) *RemoteSegment {
+	return &RemoteSegment{node: n, dst: dst, segID: segID, size: size}
+}
+
+// Write issues remote stores of data at offset. Stores are posted
+// (asynchronous); use TriggerInterrupt for notification — SCI orders
+// stores and interrupts point-to-point, which the crossbar's per-source
+// FIFO guarantees.
+func (rs *RemoteSegment) Write(offset int, data []byte) error {
+	if offset+len(data) > rs.size {
+		return ErrBounds
+	}
+	// Remote stores stream in PIO chunks.
+	const chunk = 512
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		rs.node.xb.Send(&netsim.Packet{
+			Src: rs.node.addr, Dst: rs.dst,
+			Payload: append([]byte(nil), data[off:end]...),
+			Wire:    (end - off) + writeHeaderWire,
+			Meta:    &op{kind: opWrite, segID: rs.segID, offset: offset + off},
+		})
+	}
+	return nil
+}
+
+// TriggerInterrupt raises remote interrupt intrNo on the mapped node,
+// after all previously issued writes (FIFO ordering).
+func (rs *RemoteSegment) TriggerInterrupt(intrNo int) {
+	rs.node.xb.Send(&netsim.Packet{
+		Src: rs.node.addr, Dst: rs.dst,
+		Wire: writeHeaderWire,
+		Meta: &op{kind: opInterrupt, intrNo: intrNo},
+	})
+}

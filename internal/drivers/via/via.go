@@ -1,0 +1,180 @@
+// Package via emulates the Virtual Interface Architecture: VI endpoints
+// with descriptor-based send and receive queues and completion
+// notification. A send consumes a pre-posted receive descriptor on the
+// remote VI — if none is posted the message is dropped (VIA's
+// "reliability level" Unreliable Delivery; the layer above manages
+// credits, as Madeleine's VIA backend does here).
+package via
+
+import (
+	"errors"
+	"fmt"
+
+	"padico/internal/model"
+	"padico/internal/netsim"
+	"padico/internal/vtime"
+)
+
+// ErrQueueEmpty is returned by a completion poll with no completions.
+var ErrQueueEmpty = errors.New("via: completion queue empty")
+
+// Completion describes a finished receive.
+type Completion struct {
+	SrcAddr int
+	SrcVI   int
+	Data    []byte // filled receive buffer, trimmed to message length
+}
+
+type header struct {
+	dstVI int
+	srcVI int
+	last  bool // final chunk of the message
+}
+
+const headerWire = 12
+
+// NIC is the per-node VIA instance.
+type NIC struct {
+	k    *vtime.Kernel
+	xb   *netsim.Crossbar
+	addr int
+	vis  map[int]*VI
+
+	MsgsSent int64
+	MsgsRecv int64
+	Dropped  int64 // messages that found no posted receive descriptor
+}
+
+// Open attaches a VIA NIC to a crossbar address.
+func Open(k *vtime.Kernel, xb *netsim.Crossbar, addr int) *NIC {
+	n := &NIC{k: k, xb: xb, addr: addr, vis: make(map[int]*VI)}
+	xb.Attach(addr, n.deliver)
+	return n
+}
+
+// Addr returns the NIC's address.
+func (n *NIC) Addr() int { return n.addr }
+
+func (n *NIC) deliver(pkt *netsim.Packet) {
+	h := pkt.Meta.(*header)
+	vi, ok := n.vis[h.dstVI]
+	if !ok {
+		n.Dropped++
+		return
+	}
+	vi.receive(pkt.Src, h.srcVI, pkt.Payload, h.last)
+}
+
+// VI is one virtual interface (endpoint) with its descriptor queues.
+type VI struct {
+	nic     *NIC
+	id      int
+	recvQ   []([]byte) // posted receive buffers, FIFO
+	handler func(Completion)
+	cq      []Completion
+	pending *pendingMsg // chunks of the in-flight message (per-source FIFO)
+}
+
+// CreateVI creates virtual interface id on the NIC.
+func (n *NIC) CreateVI(id int) *VI {
+	if _, dup := n.vis[id]; dup {
+		panic(fmt.Sprintf("via: VI %d created twice on %d", id, n.addr))
+	}
+	vi := &VI{nic: n, id: id}
+	n.vis[id] = vi
+	return vi
+}
+
+// ID returns the VI number.
+func (vi *VI) ID() int { return vi.id }
+
+// PostRecv posts a receive buffer descriptor. Buffers complete in FIFO
+// order; an arriving message larger than the posted buffer is truncated
+// (as VIA specifies).
+func (vi *VI) PostRecv(buf []byte) { vi.recvQ = append(vi.recvQ, buf) }
+
+// PostedRecvs returns the number of posted, unconsumed receive buffers.
+func (vi *VI) PostedRecvs() int { return len(vi.recvQ) }
+
+// SetHandler installs a completion callback (kernel context); without
+// one, completions accumulate on the completion queue for PollCQ.
+func (vi *VI) SetHandler(fn func(Completion)) { vi.handler = fn }
+
+// PollCQ pops one completion, or ErrQueueEmpty.
+func (vi *VI) PollCQ() (Completion, error) {
+	if len(vi.cq) == 0 {
+		return Completion{}, ErrQueueEmpty
+	}
+	c := vi.cq[0]
+	vi.cq = vi.cq[1:]
+	return c, nil
+}
+
+// PostSend transmits data to (dstAddr, dstVI). The descriptor is
+// processed after the host cost; delivery consumes one remote posted
+// receive.
+func (vi *VI) PostSend(dstAddr, dstVI int, data []byte) {
+	vi.nic.MsgsSent++
+	n := vi.nic
+	n.k.After(model.VIAHostCost, func() {
+		for off := 0; off < len(data) || off == 0; off += model.MyrinetPacket {
+			end := off + model.MyrinetPacket
+			if end > len(data) {
+				end = len(data)
+			}
+			chunk := data[off:end]
+			n.xb.Send(&netsim.Packet{
+				Src: n.addr, Dst: dstAddr,
+				Payload: chunk, Wire: len(chunk) + headerWire,
+				Meta: &header{dstVI: dstVI, srcVI: vi.id, last: end == len(data)},
+			})
+			if end == len(data) {
+				break
+			}
+		}
+	})
+}
+
+// receive gathers chunks (the crossbar preserves per-source FIFO order)
+// and, on the final chunk, consumes the head posted receive descriptor.
+func (vi *VI) receive(src, srcVI int, chunk []byte, last bool) {
+	if len(vi.recvQ) == 0 && vi.pending == nil {
+		vi.nic.Dropped++
+		return
+	}
+	cur := vi.pending
+	if cur == nil {
+		cur = &pendingMsg{src: src, srcVI: srcVI}
+		vi.pending = cur
+	}
+	cur.data = append(cur.data, chunk...)
+	if !last {
+		return
+	}
+	vi.pending = nil
+	if len(vi.recvQ) == 0 {
+		vi.nic.Dropped++
+		return
+	}
+	buf := vi.recvQ[0]
+	vi.recvQ = vi.recvQ[1:]
+	data := cur.data
+	if len(data) > len(buf) {
+		data = data[:len(buf)] // truncate to posted buffer
+	}
+	n := copy(buf, data)
+	vi.nic.MsgsRecv++
+	comp := Completion{SrcAddr: cur.src, SrcVI: cur.srcVI, Data: buf[:n]}
+	vi.nic.k.After(model.VIAHostCost, func() {
+		if vi.handler != nil {
+			vi.handler(comp)
+			return
+		}
+		vi.cq = append(vi.cq, comp)
+	})
+}
+
+type pendingMsg struct {
+	src, srcVI int
+	data       []byte
+}

@@ -1,0 +1,329 @@
+// Package dsm implements a home-based page Distributed Shared Memory —
+// the DSM the paper counts among the parallel-paradigm middleware
+// systems PadicoTM hosts (§2.2, §7).
+//
+// Protocol: every page has a home rank holding the authoritative copy
+// (write-through home). Readers cache shared copies and are recorded in
+// the home's copyset. A write is sent to the home, which applies it,
+// invalidates every cached copy, and acknowledges the writer only after
+// all invalidation acks — writes are serialized per page at the home
+// and no stale copy survives a completed write (sequential consistency
+// at page grain). Global locks are home-based with FIFO queueing.
+// The protocol engine never blocks, so one daemon per rank serves both
+// home duties and cache maintenance. Transport: Circuit data plane.
+package dsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"padico/internal/circuit"
+	"padico/internal/madapi"
+	"padico/internal/model"
+	"padico/internal/vtime"
+)
+
+// PageSize is the sharing grain.
+const PageSize = 4096
+
+type msgKind byte
+
+const (
+	mReadReq msgKind = iota
+	mReadReply
+	mWriteReq
+	mWriteReply
+	mInvalidate
+	mInvalidateAck
+	mLockReq
+	mLockGrant
+	mUnlock
+)
+
+// DSM is one rank's view of the shared space.
+type DSM struct {
+	k     *vtime.Kernel
+	c     *circuit.Circuit
+	rank  int
+	size  int
+	pages int
+
+	mem     map[int][]byte       // home pages + cached copies
+	cached  map[int]bool         // non-home pages currently cached
+	copyset map[int]map[int]bool // home side: page -> readers
+	writeQ  map[int][]*writeTask // home side: serialized writers per page
+	locks   map[int]*lockState   // home side: lock id -> state
+
+	readReplies  *vtime.Queue[reply]
+	writeReplies *vtime.Queue[int]
+	grants       *vtime.Queue[int]
+
+	Faults      int64
+	Invalidates int64
+}
+
+type reply struct {
+	page int
+	data []byte
+}
+
+type writeTask struct {
+	src    int
+	offset int
+	data   []byte
+	need   int // invalidation acks outstanding
+}
+
+type lockState struct {
+	held  bool
+	queue []int
+}
+
+// New builds the DSM over a circuit; every rank calls it with the same
+// page count. A protocol daemon is spawned per rank.
+func New(k *vtime.Kernel, c *circuit.Circuit, pages int) *DSM {
+	d := &DSM{
+		k: k, c: c, rank: c.Self(), size: c.Size(), pages: pages,
+		mem: make(map[int][]byte), cached: make(map[int]bool),
+		copyset:      make(map[int]map[int]bool),
+		writeQ:       make(map[int][]*writeTask),
+		locks:        make(map[int]*lockState),
+		readReplies:  vtime.NewQueue[reply](fmt.Sprintf("dsm-rr:%d", c.Self())),
+		writeReplies: vtime.NewQueue[int](fmt.Sprintf("dsm-wr:%d", c.Self())),
+		grants:       vtime.NewQueue[int](fmt.Sprintf("dsm-gr:%d", c.Self())),
+	}
+	for pg := 0; pg < pages; pg++ {
+		if d.home(pg) == d.rank {
+			d.mem[pg] = make([]byte, PageSize)
+		}
+	}
+	k.GoDaemon(fmt.Sprintf("dsm:%d", d.rank), d.serve)
+	return d
+}
+
+// ModuleName implements core.Module.
+func (d *DSM) ModuleName() string { return "dsm" }
+
+// Pages returns the page count.
+func (d *DSM) Pages() int { return d.pages }
+
+// home returns the home rank of a page (block-cyclic distribution).
+func (d *DSM) home(pg int) int { return pg % d.size }
+
+func (d *DSM) send(dst int, kind msgKind, pg int, data []byte) {
+	hdr := make([]byte, 9)
+	hdr[0] = byte(kind)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(pg))
+	binary.BigEndian.PutUint32(hdr[5:], uint32(len(data)))
+	out := d.c.BeginPacking(dst)
+	out.Pack(hdr, madapi.SendSafer)
+	out.Pack(data, madapi.SendSafer)
+	out.EndPacking()
+}
+
+// serve is the non-blocking protocol engine.
+func (d *DSM) serve(p *vtime.Proc) {
+	for {
+		in := d.c.BeginUnpacking(p)
+		hdr := in.Unpack(9, madapi.ReceiveExpress)
+		kind := msgKind(hdr[0])
+		pg := int(binary.BigEndian.Uint32(hdr[1:]))
+		n := int(binary.BigEndian.Uint32(hdr[5:]))
+		data := in.Unpack(n, madapi.ReceiveCheaper)
+		in.EndUnpacking()
+		src := in.Src()
+		p.Consume(model.DSMRequestCost)
+		switch kind {
+		case mReadReq:
+			if d.copyset[pg] == nil {
+				d.copyset[pg] = make(map[int]bool)
+			}
+			d.copyset[pg][src] = true
+			d.send(src, mReadReply, pg, d.mem[pg])
+		case mReadReply:
+			d.readReplies.Push(reply{page: pg, data: append([]byte(nil), data...)})
+		case mWriteReq:
+			offset := int(binary.BigEndian.Uint32(data[:4]))
+			d.enqueueWrite(pg, &writeTask{src: src, offset: offset, data: append([]byte(nil), data[4:]...)})
+		case mWriteReply:
+			d.writeReplies.Push(pg)
+		case mInvalidate:
+			d.Invalidates++
+			delete(d.mem, pg)
+			delete(d.cached, pg)
+			d.send(src, mInvalidateAck, pg, nil)
+		case mInvalidateAck:
+			d.ackWrite(pg)
+		case mLockReq:
+			d.lockReq(pg, src)
+		case mLockGrant:
+			d.grants.Push(pg)
+		case mUnlock:
+			d.unlock(pg)
+		}
+	}
+}
+
+// enqueueWrite serializes writers per page at the home.
+func (d *DSM) enqueueWrite(pg int, t *writeTask) {
+	d.writeQ[pg] = append(d.writeQ[pg], t)
+	if len(d.writeQ[pg]) == 1 {
+		d.startWrite(pg)
+	}
+}
+
+// startWrite applies the head write and launches invalidations.
+func (d *DSM) startWrite(pg int) {
+	t := d.writeQ[pg][0]
+	copy(d.mem[pg][t.offset:], t.data)
+	for r := range d.copyset[pg] {
+		if r == t.src {
+			continue
+		}
+		t.need++
+		d.send(r, mInvalidate, pg, nil)
+	}
+	// The writer's own cached copy is now stale unless it is the home.
+	delete(d.copyset, pg)
+	if t.need == 0 {
+		d.finishWrite(pg)
+	}
+}
+
+func (d *DSM) ackWrite(pg int) {
+	q := d.writeQ[pg]
+	if len(q) == 0 {
+		return
+	}
+	q[0].need--
+	if q[0].need == 0 {
+		d.finishWrite(pg)
+	}
+}
+
+func (d *DSM) finishWrite(pg int) {
+	t := d.writeQ[pg][0]
+	d.writeQ[pg] = d.writeQ[pg][1:]
+	if t.src == d.rank {
+		d.writeReplies.Push(pg)
+	} else {
+		d.send(t.src, mWriteReply, pg, nil)
+	}
+	if len(d.writeQ[pg]) > 0 {
+		d.startWrite(pg)
+	}
+}
+
+func (d *DSM) lockReq(lid, src int) {
+	st := d.locks[lid]
+	if st == nil {
+		st = &lockState{}
+		d.locks[lid] = st
+	}
+	if !st.held {
+		st.held = true
+		d.grantLock(lid, src)
+		return
+	}
+	st.queue = append(st.queue, src)
+}
+
+func (d *DSM) unlock(lid int) {
+	st := d.locks[lid]
+	if st == nil {
+		return
+	}
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		st.queue = st.queue[1:]
+		d.grantLock(lid, next)
+		return
+	}
+	st.held = false
+}
+
+func (d *DSM) grantLock(lid, dst int) {
+	if dst == d.rank {
+		d.grants.Push(lid)
+		return
+	}
+	d.send(dst, mLockGrant, lid, nil)
+}
+
+// ---------------------------------------------------------------------
+// Application API (call from the rank's application process).
+
+// Read returns a snapshot of a page, faulting it in if needed.
+func (d *DSM) Read(p *vtime.Proc, pg int) []byte {
+	if d.home(pg) == d.rank || d.cached[pg] {
+		return append([]byte(nil), d.mem[pg]...)
+	}
+	d.Faults++
+	d.send(d.home(pg), mReadReq, pg, nil)
+	for {
+		r := d.readReplies.Pop(p)
+		if r.page == pg {
+			d.mem[pg] = r.data
+			d.cached[pg] = true
+			return append([]byte(nil), r.data...)
+		}
+		d.readReplies.Push(r)
+		p.Yield()
+	}
+}
+
+// Write stores data at offset within a page; it returns once every
+// cached copy has been invalidated (write completion, SC order).
+func (d *DSM) Write(p *vtime.Proc, pg, offset int, data []byte) {
+	if offset+len(data) > PageSize {
+		panic("dsm: write beyond page")
+	}
+	payload := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(payload, uint32(offset))
+	copy(payload[4:], data)
+	home := d.home(pg)
+	// The writer's own cache is stale the moment the write is issued.
+	if home != d.rank {
+		delete(d.mem, pg)
+		delete(d.cached, pg)
+		d.send(home, mWriteReq, pg, payload)
+	} else {
+		d.enqueueWrite(pg, &writeTask{src: d.rank, offset: offset, data: append([]byte(nil), data...)})
+	}
+	for {
+		got := d.writeReplies.Pop(p)
+		if got == pg {
+			return
+		}
+		d.writeReplies.Push(got)
+		p.Yield()
+	}
+}
+
+// Acquire takes a global lock.
+func (d *DSM) Acquire(p *vtime.Proc, lid int) {
+	home := lid % d.size
+	if home == d.rank {
+		d.lockReq(lid, d.rank)
+	} else {
+		d.send(home, mLockReq, lid, nil)
+	}
+	for {
+		got := d.grants.Pop(p)
+		if got == lid {
+			return
+		}
+		d.grants.Push(got)
+		p.Yield()
+	}
+}
+
+// Release frees a global lock.
+func (d *DSM) Release(p *vtime.Proc, lid int) {
+	home := lid % d.size
+	if home == d.rank {
+		d.unlock(lid)
+		return
+	}
+	d.send(home, mUnlock, lid, nil)
+}

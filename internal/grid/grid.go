@@ -1,0 +1,405 @@
+// Package grid assembles complete simulated testbeds: topology, fabrics,
+// protocol stacks, and one PadicoTM runtime (internal/core) per node.
+// The canned deployments mirror the paper's evaluation platforms:
+//
+//   - Cluster:        dual-network cluster (Myrinet-2000 + Ethernet-100)
+//   - TwoClusterWAN:  two such clusters joined by a VTHD-like WAN
+//   - LossyPair:      two hosts over the lossy trans-continental link
+//
+// The builder also wires Circuits and VLinks between nodes following
+// the selector's per-link decisions, which is exactly the role the
+// PadicoTM bootstrap plays.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"padico/internal/adoc"
+	"padico/internal/circuit"
+	"padico/internal/core"
+	"padico/internal/drivers/gm"
+	"padico/internal/gsec"
+	"padico/internal/ipstack"
+	"padico/internal/madeleine"
+	"padico/internal/model"
+	"padico/internal/netaccess"
+	"padico/internal/netsim"
+	"padico/internal/pstreams"
+	"padico/internal/selector"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// Grid is a fully wired testbed.
+type Grid struct {
+	K     *vtime.Kernel
+	Topo  *topology.Grid
+	Stack *ipstack.Stack
+	RT    []*core.Runtime
+	Prefs selector.Preferences
+
+	nextPort    int
+	nextLogical uint16
+	nextCirc    int
+
+	madAdapters map[topology.NodeID]*madeleine.Adapter // per node, first SAN
+}
+
+// vlinkMadIOChannel is the logical channel the VLink madio driver uses
+// on every MadIO instance.
+const vlinkMadIOChannel = 100
+
+// Cluster builds an n-node single-site cluster with Myrinet-2000 and
+// Ethernet-100, GM as the Myrinet driver, and full runtimes.
+func Cluster(n int) *Grid {
+	g := newGrid()
+	site := "rennes"
+	myri := g.Topo.AddNetwork("myri0", topology.Myrinet, true, model.MyrinetRate, model.MyrinetWireLat, 0, 0)
+	eth := g.Topo.AddNetwork("eth0", topology.Ethernet, true, model.EthernetRate, model.EthernetWireLat, 0, model.EthernetMTU)
+	var nodes []*topology.Node
+	for i := 0; i < n; i++ {
+		node := g.Topo.AddNode(fmt.Sprintf("n%d", i), site)
+		g.Topo.Attach(node, myri)
+		g.Topo.Attach(node, eth)
+		nodes = append(nodes, node)
+	}
+	g.wireEthernet(eth, 1)
+	g.buildRuntimes()
+	g.wireMyrinetGM(myri)
+	return g
+}
+
+// TwoClusterWAN builds two clusters (n1 and n2 nodes) in different
+// sites, each with its own Myrinet and Ethernet, joined by a VTHD-like
+// WAN reached through each node's Ethernet access link.
+func TwoClusterWAN(n1, n2 int) *Grid {
+	g := newGrid()
+	sites := []string{"rennes", "grenoble"}
+	counts := []int{n1, n2}
+	var myris []*topology.Network
+	var eths []*topology.Network
+	for s := range sites {
+		myri := g.Topo.AddNetwork(fmt.Sprintf("myri%d", s), topology.Myrinet, true, model.MyrinetRate, model.MyrinetWireLat, 0, 0)
+		eth := g.Topo.AddNetwork(fmt.Sprintf("eth%d", s), topology.Ethernet, true, model.EthernetRate, model.EthernetWireLat, 0, model.EthernetMTU)
+		myris = append(myris, myri)
+		eths = append(eths, eth)
+		for i := 0; i < counts[s]; i++ {
+			node := g.Topo.AddNode(fmt.Sprintf("%s%d", sites[s][:1], i), sites[s])
+			g.Topo.Attach(node, myri)
+			g.Topo.Attach(node, eth)
+		}
+	}
+	wan := g.Topo.AddNetwork("vthd", topology.WAN, false, 12.2e6, model.VTHDWireLat, 0, model.EthernetMTU)
+	for _, node := range g.Topo.Nodes() {
+		g.Topo.Attach(node, wan)
+	}
+	for s := range sites {
+		g.wireEthernet(eths[s], int64(s+1))
+	}
+	g.wireWAN(wan)
+	g.buildRuntimes()
+	for _, myri := range myris {
+		g.wireMyrinetGM(myri)
+	}
+	return g
+}
+
+// LossyPair builds two hosts in different sites joined only by the
+// lossy trans-continental Internet link.
+func LossyPair() *Grid {
+	g := newGrid()
+	inet := g.Topo.AddNetwork("transcont", topology.Internet, false, model.LossyRate, model.LossyWireLat, model.LossyLossPct, model.EthernetMTU)
+	a := g.Topo.AddNode("paris", "paris")
+	b := g.Topo.AddNode("tsukuba", "tsukuba")
+	g.Topo.Attach(a, inet)
+	g.Topo.Attach(b, inet)
+	mk := func(seed int64) *netsim.Path {
+		return netsim.NewPath(g.K, "transcont", seed,
+			&netsim.Hop{Name: "transcont", Rate: model.LossyRate,
+				Latency: model.LossyWireLat, Loss: model.LossyLossPct, QueueCap: 256})
+	}
+	g.Stack.ConnectPath(a.ID, b.ID, mk(31), mk(32), model.EthernetMTU)
+	g.buildRuntimes()
+	return g
+}
+
+func newGrid() *Grid {
+	k := vtime.NewKernel()
+	return &Grid{
+		K: k, Topo: topology.New(), Stack: ipstack.New(k),
+		Prefs:    selector.DefaultPreferences(),
+		nextPort: 20000, nextLogical: 2000,
+	}
+}
+
+// wireEthernet connects every pair of a LAN's members through a shared
+// switched fabric.
+func (g *Grid) wireEthernet(eth *topology.Network, seed int64) {
+	lan := netsim.NewSwitchedLAN(g.K, model.EthernetRate, model.EthernetFrameOH, model.EthernetWireLat, eth.Loss, seed)
+	members := eth.Members()
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			aAddr, _ := eth.Addr(a)
+			bAddr, _ := eth.Addr(b)
+			g.Stack.ConnectLAN(lan, a, aAddr, b, bAddr, model.EthernetMTU)
+		}
+	}
+}
+
+// wireWAN connects every cross-site pair through shared per-node access
+// hops and a shared core, so parallel streams contend for the same
+// access link (the paper's 12 MB/s cap).
+func (g *Grid) wireWAN(wan *topology.Network) {
+	up := make(map[topology.NodeID]*netsim.Hop)
+	down := make(map[topology.NodeID]*netsim.Hop)
+	for _, n := range wan.Members() {
+		up[n] = &netsim.Hop{Name: fmt.Sprintf("up%d", n), Rate: wan.RateBps,
+			Latency: 50 * time.Microsecond, QueueCap: 256}
+		down[n] = &netsim.Hop{Name: fmt.Sprintf("down%d", n), Rate: wan.RateBps,
+			Latency: 50 * time.Microsecond, QueueCap: 256}
+	}
+	core := &netsim.Hop{Name: "vthd-core", Rate: model.VTHDCoreRate,
+		Latency: model.VTHDWireLat, QueueCap: 4096}
+	members := wan.Members()
+	seed := int64(100)
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			if g.Topo.SameSite(a, b) {
+				continue // same-site pairs use their LAN
+			}
+			seed++
+			ab := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", a, b), seed, up[a], core, down[b])
+			seed++
+			ba := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", b, a), seed, up[b], core, down[a])
+			g.Stack.ConnectPath(a, b, ab, ba, model.EthernetMTU)
+		}
+	}
+}
+
+// buildRuntimes creates a core.Runtime per node with SysIO and the
+// standard VLink drivers (sysio, loopback; madio is added per SAN).
+func (g *Grid) buildRuntimes() {
+	for _, node := range g.Topo.Nodes() {
+		rt := core.NewRuntime(g.K, node, g.Stack.Host(node.ID))
+		rt.VLink.AddDriver(vlink.NewSysIODriver(g.K, rt.Host, rt.Sys))
+		rt.VLink.AddDriver(vlink.NewLoopbackDriver(g.K, node.ID))
+		g.RT = append(g.RT, rt)
+	}
+}
+
+// wireMyrinetGM attaches a Myrinet crossbar with GM NICs, Madeleine,
+// MadIO and the VLink madio driver to every member runtime.
+func (g *Grid) wireMyrinetGM(myri *topology.Network) {
+	xb := netsim.NewCrossbar(g.K, topology.Myrinet, model.MyrinetRate, model.MyrinetPktOverhd, model.MyrinetWireLat)
+	members := myri.Members()
+	addrs := make([]int, len(members))
+	for r, n := range members {
+		addrs[r], _ = myri.Addr(n)
+	}
+	for r, n := range members {
+		rt := g.RT[n]
+		nic := gm.OpenNIC(g.K, xb, addrs[r])
+		ad := madeleine.New(g.K, madeleine.NewGM(nic, addrs), r, len(members))
+		if g.madAdapters == nil {
+			g.madAdapters = make(map[topology.NodeID]*madeleine.Adapter)
+		}
+		if _, dup := g.madAdapters[n]; !dup {
+			g.madAdapters[n] = ad
+		}
+		ch, err := ad.Open(0)
+		if err != nil {
+			panic(err)
+		}
+		mio := netaccess.NewMadIO(rt.NA, ch, myri.Name, true)
+		rt.AttachMadIO(myri, mio, members)
+		rankOf := func(id topology.NodeID) (int, bool) { return rt.MadRank(myri, id) }
+		nodeOf := func(rank int) topology.NodeID { return members[rank] }
+		rt.VLink.AddDriver(vlink.NewMadIODriver(g.K, n, mio, vlinkMadIOChannel, rankOf, nodeOf))
+	}
+}
+
+// Runtime returns node id's runtime.
+func (g *Grid) Runtime(id topology.NodeID) *core.Runtime { return g.RT[id] }
+
+// allocPort hands out distinct rendezvous ports for builder wiring.
+func (g *Grid) allocPort() int {
+	g.nextPort++
+	return g.nextPort
+}
+
+// ---------------------------------------------------------------------
+// VLink wiring via the selector.
+
+// DialVLink opens a VLink from a to b choosing driver and wrappers per
+// the selector; the listener side is set up transparently. It blocks p
+// until established. Both runtimes must exist.
+func (g *Grid) DialVLink(p *vtime.Proc, a, b topology.NodeID) (*vlink.VLink, *vlink.VLink, error) {
+	dec, err := selector.Choose(g.Topo, g.Prefs, a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.DialVLinkWith(p, a, b, dec)
+}
+
+// DialVLinkWith is DialVLink with an explicit decision (for ablations).
+// It returns the two ends (dialer side, acceptor side).
+func (g *Grid) DialVLinkWith(p *vtime.Proc, a, b topology.NodeID, dec selector.Decision) (*vlink.VLink, *vlink.VLink, error) {
+	port := g.allocPort()
+	da, err := g.buildDriverStack(g.RT[a], dec)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := g.buildDriverStack(g.RT[b], dec)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := g.RT[b].VLink.ListenDriver(db, port)
+	if err != nil {
+		return nil, nil, err
+	}
+	accepted := vtime.NewQueue[*vlink.VLink]("accepted")
+	ln.SetAcceptHandler(func(v *vlink.VLink) { accepted.Push(v) })
+	va, op := g.RT[a].VLink.ConnectDriver(da, vlink.Addr{Node: b, Port: port})
+	if _, err := op.Wait(p); err != nil {
+		return nil, nil, err
+	}
+	vb, ok := accepted.PopTimeout(p, 10*time.Second)
+	if !ok {
+		return nil, nil, fmt.Errorf("grid: accept timeout %d->%d", a, b)
+	}
+	return va, vb, nil
+}
+
+// buildDriverStack composes the method driver with optional adoc and
+// gsec wrappers per the decision.
+func (g *Grid) buildDriverStack(rt *core.Runtime, dec selector.Decision) (vlink.Driver, error) {
+	var d vlink.Driver
+	var err error
+	switch dec.Method {
+	case "madio":
+		d, err = rt.VLink.Driver("madio")
+	case "sysio", "vrp": // vrp has a message API; its stream adapter uses sysio for now
+		d, err = rt.VLink.Driver("sysio")
+	case "loopback":
+		d, err = rt.VLink.Driver("loopback")
+	case "pstreams":
+		var inner vlink.Driver
+		inner, err = rt.VLink.Driver("sysio")
+		if err == nil {
+			d = pstreams.New(g.K, rt.Node().ID, inner, dec.Streams)
+		}
+	default:
+		err = fmt.Errorf("grid: unknown method %q", dec.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if dec.Compress {
+		d = adoc.New(g.K, d)
+	}
+	if dec.Secure {
+		d = gsec.New(g.K, d, gsec.Credential{ID: "grid-ca", Key: []byte("padico-psk-0001")})
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------
+// Circuit wiring via the selector.
+
+// NewCircuits builds one Circuit per member node over the given node
+// set, with per-link adapters chosen by the selector, and returns them
+// indexed by rank. Must run inside a proc (stream links handshake).
+func (g *Grid) NewCircuits(p *vtime.Proc, name string, nodes []topology.NodeID) ([]*circuit.Circuit, error) {
+	g.nextCirc++
+	circs := make([]*circuit.Circuit, len(nodes))
+	for r := range nodes {
+		circs[r] = circuit.New(g.K, name, r, nodes)
+	}
+	// madio ports are shared per (circuit, network, node); allocate the
+	// logical channel once per network so every member uses the same id.
+	g.nextLogical++
+	logical := g.nextLogical
+	ports := make(map[string]*circuit.MadIOPort) // key: network/node
+	for i := range nodes {
+		for j := range nodes {
+			if i == j {
+				circs[i].SetLink(i, circuit.NewLoopbackLink(g.K, circs[i], i))
+				continue
+			}
+			if i > j {
+				continue // links are wired pairwise below
+			}
+			if err := g.wireCircuitLink(p, name, logical, ports, circs, nodes, i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return circs, nil
+}
+
+// wireCircuitLink connects ranks i<j of the circuit per the selector.
+func (g *Grid) wireCircuitLink(p *vtime.Proc, name string, logical uint16,
+	ports map[string]*circuit.MadIOPort, circs []*circuit.Circuit,
+	nodes []topology.NodeID, i, j int) error {
+	a, b := nodes[i], nodes[j]
+	dec, err := selector.Choose(g.Topo, g.Prefs, a, b)
+	if err != nil {
+		return err
+	}
+	if dec.Method == "madio" {
+		for _, pair := range [2][2]int{{i, j}, {j, i}} {
+			self, other := pair[0], pair[1]
+			rt := g.RT[nodes[self]]
+			key := fmt.Sprintf("%s/%d", dec.Network.Name, nodes[self])
+			port, ok := ports[key]
+			if !ok {
+				mio := rt.MadIO[dec.Network]
+				if mio == nil {
+					return fmt.Errorf("grid: no MadIO on %s for node %d", dec.Network.Name, nodes[self])
+				}
+				members := rt.Members(dec.Network)
+				circRankOf := make(map[topology.NodeID]int, len(nodes))
+				for r, nd := range nodes {
+					circRankOf[nd] = r
+				}
+				madRank := func(cr int) int {
+					r, _ := rt.MadRank(dec.Network, nodes[cr])
+					return r
+				}
+				circRank := func(mr int) int { return circRankOf[members[mr]] }
+				port = circuit.NewMadIOPort(mio, logical, circs[self], madRank, circRank)
+				ports[key] = port
+			}
+			circs[self].SetLink(other, port.Link(other))
+		}
+		return nil
+	}
+	// Stream link: one VLink per direction pair over the chosen method.
+	va, vb, err := g.DialVLinkWith(p, a, b, dec)
+	if err != nil {
+		return err
+	}
+	circs[i].SetLink(j, &vlinkLinkAdapter{circuit.NewVLinkLink(va, circs[i], j)})
+	circs[j].SetLink(i, &vlinkLinkAdapter{circuit.NewVLinkLink(vb, circs[j], i)})
+	return nil
+}
+
+// vlinkLinkAdapter just fixes the adapter name reported to callers.
+type vlinkLinkAdapter struct{ *circuit.VLinkLink }
+
+// RewireMadIONoCombining opens the second Myrinet hardware channel on
+// nodes a and b with MadIO header combining disabled — the §4.1
+// ablation comparator.
+func RewireMadIONoCombining(g *Grid, a, b topology.NodeID) (*netaccess.MadIO, *netaccess.MadIO) {
+	mk := func(n topology.NodeID) *netaccess.MadIO {
+		ad := g.madAdapters[n]
+		ch, err := ad.Open(1) // Myrinet's second (and last) hardware channel
+		if err != nil {
+			panic(err)
+		}
+		return netaccess.NewMadIO(g.RT[n].NA, ch, "myri-nocombine", false)
+	}
+	return mk(a), mk(b)
+}

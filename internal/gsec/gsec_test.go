@@ -1,0 +1,149 @@
+package gsec_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"padico/internal/gsec"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+func endpoint(k *vtime.Kernel, key string) *vlink.Endpoint {
+	ep := vlink.NewEndpoint(topology.NodeID(0))
+	ep.AddDriver(gsec.New(k, vlink.NewLoopbackDriver(k, 0),
+		gsec.Credential{ID: "test-ca", Key: []byte(key)}))
+	return ep
+}
+
+func TestAuthenticatedEncryptedRoundTrip(t *testing.T) {
+	k := vtime.NewKernel()
+	ep := endpoint(k, "shared-secret")
+	payload := make([]byte, 60000)
+	rand.New(rand.NewSource(2)).Read(payload)
+	var got []byte
+	if err := k.Run(func(p *vtime.Proc) {
+		ln, err := ep.Listen("gsec", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := vtime.NewWaitGroup("done")
+		done.Add(1)
+		k.Go("sink", func(q *vtime.Proc) {
+			defer done.Done()
+			v := ln.Accept(q)
+			buf := make([]byte, 16<<10)
+			for {
+				n, err := v.Read(q, buf)
+				got = append(got, buf[:n]...)
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		v, err := ep.ConnectWait(p, "gsec", vlink.Addr{Node: 0, Port: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Write(p, payload)
+		v.Close()
+		done.Wait(p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("ciphered stream corrupted")
+	}
+}
+
+func TestWrongKeyRefused(t *testing.T) {
+	k := vtime.NewKernel()
+	// Two drivers with different PSKs on the same node: the dialer must
+	// be rejected by the acceptor's verification.
+	good := vlink.NewEndpoint(topology.NodeID(0))
+	inner := vlink.NewLoopbackDriver(k, 0)
+	good.AddDriver(gsec.New(k, inner, gsec.Credential{ID: "ca", Key: []byte("right-key")}))
+	evilDrv := gsec.New(k, inner, gsec.Credential{ID: "ca", Key: []byte("wrong-key")})
+	evil := vlink.NewEndpoint(topology.NodeID(0))
+	evil.AddDriver(evilDrv)
+
+	if err := k.Run(func(p *vtime.Proc) {
+		ln, err := good.Listen("gsec", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := false
+		ln.SetAcceptHandler(func(*vlink.VLink) { accepted = true })
+		_, err = evil.ConnectWait(p, "gsec", vlink.Addr{Node: 0, Port: 1})
+		if !errors.Is(err, gsec.ErrAuth) {
+			t.Fatalf("dial with wrong key: err = %v, want ErrAuth", err)
+		}
+		if accepted {
+			t.Fatal("acceptor produced a link for a failed handshake")
+		}
+		if evilDrv.AuthFails == 0 {
+			t.Fatal("no auth failure recorded")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary chunkings cross the record layer intact.
+func TestQuickRecordLayer(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		k := vtime.NewKernel()
+		ep := endpoint(k, "k")
+		rnd := rand.New(rand.NewSource(int64(trial)))
+		var msg []byte
+		sizes := make([]int, rnd.Intn(6)+1)
+		for i := range sizes {
+			sizes[i] = rnd.Intn(9000) + 1
+			b := make([]byte, sizes[i])
+			rnd.Read(b)
+			msg = append(msg, b...)
+		}
+		var got []byte
+		if err := k.Run(func(p *vtime.Proc) {
+			ln, _ := ep.Listen("gsec", 1)
+			done := vtime.NewWaitGroup("done")
+			done.Add(1)
+			k.Go("sink", func(q *vtime.Proc) {
+				defer done.Done()
+				v := ln.Accept(q)
+				buf := make([]byte, 4096)
+				for {
+					n, err := v.Read(q, buf)
+					got = append(got, buf[:n]...)
+					if err != nil {
+						return
+					}
+				}
+			})
+			v, err := ep.ConnectWait(p, "gsec", vlink.Addr{Node: 0, Port: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := 0
+			for _, n := range sizes {
+				v.Write(p, msg[off:off+n])
+				off += n
+			}
+			v.Close()
+			done.Wait(p)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d corrupted", trial)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package hla implements a small HLA-RTI core (the paper's Certi, §4.3):
+// a federation with publish/subscribe object attributes, attribute
+// reflections delivered to subscriber callbacks, and conservative time
+// management (time-advance requests granted at the federation's lower
+// bound). Star topology: the federation runs where it was created and
+// federates join over VLink — a distributed-paradigm middleware.
+package hla
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"padico/internal/model"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// ErrJoin is returned when joining an unknown federation.
+var ErrJoin = errors.New("hla: cannot join federation")
+
+type msgKind byte
+
+const (
+	mJoin msgKind = iota
+	mSubscribe
+	mUpdate
+	mReflect
+	mTimeRequest
+	mTimeGrant
+)
+
+// Federation is the RTI executive (server side).
+type Federation struct {
+	k       *vtime.Kernel
+	name    string
+	members []*memberConn
+
+	Updates int64
+}
+
+type memberConn struct {
+	v        *vlink.VLink
+	handle   int
+	subs     map[string]bool
+	reqTime  float64
+	granted  float64
+	pendingT bool
+}
+
+// CreateFederation starts the RTI executive listening on driver/port.
+func CreateFederation(k *vtime.Kernel, ep *vlink.Endpoint, name, driver string, port int) (*Federation, error) {
+	f := &Federation{k: k, name: name}
+	ln, err := ep.Listen(driver, port)
+	if err != nil {
+		return nil, err
+	}
+	ln.SetAcceptHandler(func(v *vlink.VLink) { f.serve(v) })
+	return f, nil
+}
+
+// ModuleName implements core.Module.
+func (f *Federation) ModuleName() string { return "certi-hla" }
+
+func (f *Federation) serve(v *vlink.VLink) {
+	m := &memberConn{v: v, handle: len(f.members) + 1, subs: make(map[string]bool), granted: 0}
+	f.members = append(f.members, m)
+	f.k.GoDaemon(fmt.Sprintf("hla-fed:%d", m.handle), func(p *vtime.Proc) {
+		for {
+			kind, class, payload, t, err := readMsg(p, v)
+			if err != nil {
+				return
+			}
+			p.Consume(model.HLARequestCost)
+			switch kind {
+			case mSubscribe:
+				m.subs[class] = true
+			case mUpdate:
+				f.Updates++
+				for _, other := range f.members {
+					if other != m && other.subs[class] {
+						writeMsg(p, other.v, mReflect, class, payload, t)
+					}
+				}
+			case mTimeRequest:
+				m.reqTime = t
+				m.pendingT = true
+				f.grantTimes(p)
+			}
+		}
+	})
+}
+
+// grantTimes grants pending time-advance requests up to the federation
+// lower bound (min of all requested/granted times).
+func (f *Federation) grantTimes(p *vtime.Proc) {
+	for _, m := range f.members {
+		if !m.pendingT {
+			continue
+		}
+		lbts := m.reqTime
+		for _, other := range f.members {
+			if other == m {
+				continue
+			}
+			t := other.granted
+			if other.pendingT && other.reqTime > t {
+				t = other.reqTime
+			}
+			if t < lbts {
+				lbts = t
+			}
+		}
+		if lbts >= m.reqTime {
+			m.granted = m.reqTime
+			m.pendingT = false
+			writeMsg(p, m.v, mTimeGrant, "", nil, m.reqTime)
+		}
+	}
+}
+
+// Federate is one simulation member (client side).
+type Federate struct {
+	k      *vtime.Kernel
+	v      *vlink.VLink
+	name   string
+	onRefl func(class string, value []byte, t float64)
+	grants *vtime.Queue[float64]
+	refl   *vtime.Queue[Reflection]
+}
+
+// Reflection is one received attribute update.
+type Reflection struct {
+	Class string
+	Value []byte
+	Time  float64
+}
+
+// Join connects a federate to the federation executive.
+func Join(p *vtime.Proc, ep *vlink.Endpoint, driver string, node topology.NodeID, port int, name string) (*Federate, error) {
+	v, err := ep.ConnectWait(p, driver, vlink.Addr{Node: node, Port: port})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrJoin, err)
+	}
+	fd := &Federate{
+		k: p.Kernel(), v: v, name: name,
+		grants: vtime.NewQueue[float64]("hla-grants:" + name),
+		refl:   vtime.NewQueue[Reflection]("hla-refl:" + name),
+	}
+	writeMsg(p, v, mJoin, name, nil, 0)
+	fd.k.GoDaemon("hla-fedate:"+name, func(q *vtime.Proc) {
+		for {
+			kind, class, payload, t, err := readMsg(q, v)
+			if err != nil {
+				return
+			}
+			q.Consume(model.HLARequestCost)
+			switch kind {
+			case mReflect:
+				fd.refl.Push(Reflection{Class: class, Value: payload, Time: t})
+			case mTimeGrant:
+				fd.grants.Push(t)
+			}
+		}
+	})
+	return fd, nil
+}
+
+// Subscribe registers interest in an object class's attributes.
+func (fd *Federate) Subscribe(p *vtime.Proc, class string) {
+	writeMsg(p, fd.v, mSubscribe, class, nil, 0)
+}
+
+// UpdateAttributes publishes new attribute values at time t.
+func (fd *Federate) UpdateAttributes(p *vtime.Proc, class string, value []byte, t float64) {
+	writeMsg(p, fd.v, mUpdate, class, value, t)
+}
+
+// NextReflection blocks for the next incoming reflection.
+func (fd *Federate) NextReflection(p *vtime.Proc) Reflection { return fd.refl.Pop(p) }
+
+// TryReflection is the non-blocking variant.
+func (fd *Federate) TryReflection() (Reflection, bool) { return fd.refl.TryPop() }
+
+// TimeAdvanceRequest asks for logical time t and blocks until granted.
+func (fd *Federate) TimeAdvanceRequest(p *vtime.Proc, t float64) float64 {
+	writeMsg(p, fd.v, mTimeRequest, "", nil, t)
+	return fd.grants.Pop(p)
+}
+
+// Resign disconnects the federate.
+func (fd *Federate) Resign() { fd.v.Close() }
+
+// ---------------------------------------------------------------------
+// Wire format: [1B kind][8B time][2B classLen][class][4B payloadLen][payload]
+
+func writeMsg(p *vtime.Proc, v *vlink.VLink, kind msgKind, class string, payload []byte, t float64) {
+	buf := make([]byte, 1+8+2+len(class)+4+len(payload))
+	buf[0] = byte(kind)
+	binary.BigEndian.PutUint64(buf[1:], uint64FromF(t))
+	binary.BigEndian.PutUint16(buf[9:], uint16(len(class)))
+	copy(buf[11:], class)
+	off := 11 + len(class)
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(payload)))
+	copy(buf[off+4:], payload)
+	hdr := make([]byte, 4, 4+len(buf))
+	binary.BigEndian.PutUint32(hdr, uint32(len(buf)))
+	v.Write(p, append(hdr, buf...))
+}
+
+func readMsg(p *vtime.Proc, v *vlink.VLink) (msgKind, string, []byte, float64, error) {
+	var hdr [4]byte
+	if _, err := v.ReadFull(p, hdr[:]); err != nil {
+		return 0, "", nil, 0, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := v.ReadFull(p, buf); err != nil {
+		return 0, "", nil, 0, err
+	}
+	kind := msgKind(buf[0])
+	t := fFromUint64(binary.BigEndian.Uint64(buf[1:]))
+	cl := int(binary.BigEndian.Uint16(buf[9:]))
+	class := string(buf[11 : 11+cl])
+	off := 11 + cl
+	pl := int(binary.BigEndian.Uint32(buf[off:]))
+	payload := append([]byte(nil), buf[off+4:off+4+pl]...)
+	return kind, class, payload, t, nil
+}
+
+func uint64FromF(f float64) uint64 { return math.Float64bits(f) }
+func fFromUint64(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,975 @@
+// Package ipstack implements the "system-level TCP/IP" of the testbed:
+// hosts with per-destination routes, UDP datagram sockets and a small
+// Reno TCP (slow start, congestion avoidance, fast retransmit, RTO
+// backoff, cumulative ACKs, out-of-order reassembly, flow control).
+//
+// It plays the role the OS socket layer plays in the paper: SysIO
+// (internal/netaccess) arbitrates access to these sockets, and the
+// distributed-paradigm stack (VLink and everything above it) ultimately
+// bottoms out here when running on LAN/WAN resources. WAN behaviour in
+// the paper's evaluation — the 9 MB/s window-limited VTHD streams, the
+// 150 KB/s collapse on the lossy trans-continental link — emerges from
+// this protocol's dynamics rather than from hard-coded figures.
+package ipstack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"padico/internal/netsim"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// Protocol numbers for the IP header.
+const (
+	protoTCP = 6
+	protoUDP = 17
+)
+
+// Header sizes charged as wire overhead.
+const (
+	tcpHeader = 40 // IP + TCP
+	udpHeader = 28 // IP + UDP
+)
+
+// Default socket buffer sizes. The 160 KiB receive window is what makes
+// a single VTHD stream land at the paper's ~9 MB/s (160 KiB / 16 ms RTT).
+const (
+	DefaultSndBuf = 256 << 10
+	DefaultRcvBuf = 160 << 10
+)
+
+// Exported errors.
+var (
+	ErrRefused   = errors.New("ipstack: connection refused")
+	ErrClosed    = errors.New("ipstack: use of closed connection")
+	ErrNoRoute   = errors.New("ipstack: no route to host")
+	ErrPortInUse = errors.New("ipstack: port already in use")
+)
+
+// ipHeader is carried in netsim.Packet.Meta.
+type ipHeader struct {
+	proto    int
+	src, dst topology.NodeID
+	srcPort  int
+	dstPort  int
+	seg      *tcpSeg // TCP only
+}
+
+// tcpSeg is the TCP-specific part of a packet.
+type tcpSeg struct {
+	syn, ack, fin bool
+	seq           int64      // stream offset of the first payload byte (or of FIN)
+	ackNo         int64      // cumulative ack (valid if ack)
+	wnd           int        // advertised receive window
+	ts            vtime.Time // sender timestamp
+	ets           vtime.Time // echoed timestamp (for RTT sampling)
+}
+
+// route is a unidirectional way to reach one destination host.
+type route struct {
+	mtu  int
+	send func(pkt *netsim.Packet)
+}
+
+// Stack owns all hosts of a simulation.
+type Stack struct {
+	k     *vtime.Kernel
+	hosts map[topology.NodeID]*Host
+}
+
+// New creates an empty stack on the kernel.
+func New(k *vtime.Kernel) *Stack {
+	return &Stack{k: k, hosts: make(map[topology.NodeID]*Host)}
+}
+
+// Host returns (creating it on first use) the protocol endpoint of a
+// node.
+func (s *Stack) Host(id topology.NodeID) *Host {
+	h, ok := s.hosts[id]
+	if !ok {
+		h = &Host{
+			stack: s, id: id,
+			listeners: make(map[int]*Listener),
+			udp:       make(map[int]*UDPConn),
+			conns:     make(map[connKey]*TCPConn),
+			routes:    make(map[topology.NodeID]*route),
+			nextPort:  40000,
+		}
+		s.hosts[id] = h
+	}
+	return h
+}
+
+// Kernel returns the stack's kernel.
+func (s *Stack) Kernel() *vtime.Kernel { return s.k }
+
+// ConnectLAN attaches two hosts to a shared fabric and installs routes
+// between them. Call once per unordered pair; addresses are the nodes'
+// attachment addresses on the fabric.
+func (s *Stack) ConnectLAN(f netsim.Fabric, a topology.NodeID, addrA int,
+	b topology.NodeID, addrB int, mtu int) {
+	ha, hb := s.Host(a), s.Host(b)
+	ha.ensureAttached(f, addrA)
+	hb.ensureAttached(f, addrB)
+	ha.routes[b] = &route{mtu: mtu, send: func(pkt *netsim.Packet) {
+		pkt.Src, pkt.Dst = addrA, addrB
+		f.Send(pkt)
+	}}
+	hb.routes[a] = &route{mtu: mtu, send: func(pkt *netsim.Packet) {
+		pkt.Src, pkt.Dst = addrB, addrA
+		f.Send(pkt)
+	}}
+}
+
+// ConnectPath installs a WAN route between two hosts using a dedicated
+// netsim.Path per direction.
+func (s *Stack) ConnectPath(a, b topology.NodeID, ab, ba *netsim.Path, mtu int) {
+	ha, hb := s.Host(a), s.Host(b)
+	ab.SetDeliver(hb.input)
+	ba.SetDeliver(ha.input)
+	ha.routes[b] = &route{mtu: mtu, send: ab.Send}
+	hb.routes[a] = &route{mtu: mtu, send: ba.Send}
+}
+
+// connKey identifies an established TCP connection on a host.
+type connKey struct {
+	remote     topology.NodeID
+	remotePort int
+	localPort  int
+}
+
+// Host is one node's transport endpoint.
+type Host struct {
+	stack     *Stack
+	id        topology.NodeID
+	attached  map[netsim.Fabric]bool
+	listeners map[int]*Listener
+	udp       map[int]*UDPConn
+	conns     map[connKey]*TCPConn
+	routes    map[topology.NodeID]*route
+	nextPort  int
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() topology.NodeID { return h.id }
+
+func (h *Host) ensureAttached(f netsim.Fabric, addr int) {
+	if h.attached == nil {
+		h.attached = make(map[netsim.Fabric]bool)
+	}
+	if !h.attached[f] {
+		f.Attach(addr, h.input)
+		h.attached[f] = true
+	}
+}
+
+func (h *Host) ephemeralPort() int {
+	h.nextPort++
+	return h.nextPort
+}
+
+// input demultiplexes an arriving packet. Runs in kernel context.
+func (h *Host) input(pkt *netsim.Packet) {
+	hdr := pkt.Meta.(*ipHeader)
+	switch hdr.proto {
+	case protoUDP:
+		if u, ok := h.udp[hdr.dstPort]; ok {
+			u.deliver(hdr, pkt.Payload)
+		}
+	case protoTCP:
+		key := connKey{remote: hdr.src, remotePort: hdr.srcPort, localPort: hdr.dstPort}
+		if c, ok := h.conns[key]; ok {
+			c.segment(hdr.seg, pkt.Payload)
+			return
+		}
+		if hdr.seg.syn && !hdr.seg.ack {
+			if ln, ok := h.listeners[hdr.dstPort]; ok {
+				ln.handleSYN(hdr)
+				return
+			}
+			// No listener: refuse by dropping; the dialer times out.
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// TCP listener.
+
+// Listener accepts inbound TCP connections on a port.
+type Listener struct {
+	host    *Host
+	port    int
+	backlog *vtime.Queue[*TCPConn]
+	closed  bool
+}
+
+// Listen binds a TCP listener to port.
+func (h *Host) Listen(port int) (*Listener, error) {
+	if _, dup := h.listeners[port]; dup {
+		return nil, ErrPortInUse
+	}
+	ln := &Listener{
+		host: h, port: port,
+		backlog: vtime.NewQueue[*TCPConn](fmt.Sprintf("accept:%d:%d", h.id, port)),
+	}
+	h.listeners[port] = ln
+	return ln, nil
+}
+
+// Port returns the bound port.
+func (ln *Listener) Port() int { return ln.port }
+
+// handleSYN creates the server-side connection and replies SYN|ACK.
+func (ln *Listener) handleSYN(hdr *ipHeader) {
+	if ln.closed {
+		return
+	}
+	h := ln.host
+	rt, ok := h.routes[hdr.src]
+	if !ok {
+		return
+	}
+	c := newTCPConn(h, hdr.src, ln.port, hdr.srcPort, rt)
+	c.established = true
+	h.conns[connKey{remote: hdr.src, remotePort: hdr.srcPort, localPort: ln.port}] = c
+	c.sendSeg(&tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(), ts: h.stack.k.Now(), ets: hdr.seg.ts}, nil)
+	ln.backlog.Push(c)
+}
+
+// Accept blocks until an inbound connection is available.
+func (ln *Listener) Accept(p *vtime.Proc) (*TCPConn, error) {
+	if ln.closed {
+		return nil, ErrClosed
+	}
+	return ln.backlog.Pop(p), nil
+}
+
+// AcceptTimeout is Accept bounded by d.
+func (ln *Listener) AcceptTimeout(p *vtime.Proc, d time.Duration) (*TCPConn, bool) {
+	return ln.backlog.PopTimeout(p, d)
+}
+
+// SetReadyHandler installs a callback fired (in kernel context) whenever
+// a connection lands in the accept backlog; used by SysIO.
+func (ln *Listener) SetReadyHandler(fn func()) { ln.backlog.OnPush = fn }
+
+// Pending returns the number of connections waiting to be accepted.
+func (ln *Listener) Pending() int { return ln.backlog.Len() }
+
+// Close unbinds the listener.
+func (ln *Listener) Close() {
+	ln.closed = true
+	delete(ln.host.listeners, ln.port)
+}
+
+// ---------------------------------------------------------------------
+// UDP.
+
+// UDPDatagram is one received datagram.
+type UDPDatagram struct {
+	From     topology.NodeID
+	FromPort int
+	Data     []byte
+}
+
+// UDPConn is a bound UDP socket.
+type UDPConn struct {
+	host   *Host
+	port   int
+	rx     *vtime.Queue[UDPDatagram]
+	rxCap  int
+	closed bool
+	Drops  int64
+}
+
+// ListenUDP binds a UDP socket; port 0 picks an ephemeral port.
+func (h *Host) ListenUDP(port int) (*UDPConn, error) {
+	if port == 0 {
+		port = h.ephemeralPort()
+	}
+	if _, dup := h.udp[port]; dup {
+		return nil, ErrPortInUse
+	}
+	u := &UDPConn{
+		host: h, port: port, rxCap: 256,
+		rx: vtime.NewQueue[UDPDatagram](fmt.Sprintf("udp:%d:%d", h.id, port)),
+	}
+	h.udp[port] = u
+	return u, nil
+}
+
+// Port returns the bound port.
+func (u *UDPConn) Port() int { return u.port }
+
+// MTU returns the path MTU toward dst minus the UDP/IP header, i.e. the
+// largest datagram payload that can be sent.
+func (u *UDPConn) MTU(dst topology.NodeID) (int, error) {
+	rt, ok := u.host.routes[dst]
+	if !ok {
+		return 0, ErrNoRoute
+	}
+	return rt.mtu - udpHeader, nil
+}
+
+// SendTo transmits one datagram (unreliable, unordered under loss).
+func (u *UDPConn) SendTo(dst topology.NodeID, dstPort int, data []byte) error {
+	if u.closed {
+		return ErrClosed
+	}
+	rt, ok := u.host.routes[dst]
+	if !ok {
+		return ErrNoRoute
+	}
+	if len(data)+udpHeader > rt.mtu {
+		return fmt.Errorf("ipstack: datagram of %d bytes exceeds path MTU %d", len(data), rt.mtu)
+	}
+	rt.send(&netsim.Packet{
+		Payload: data, Wire: len(data) + udpHeader,
+		Meta: &ipHeader{proto: protoUDP, src: u.host.id, dst: dst,
+			srcPort: u.port, dstPort: dstPort},
+	})
+	return nil
+}
+
+func (u *UDPConn) deliver(hdr *ipHeader, data []byte) {
+	if u.closed {
+		return
+	}
+	if u.rx.Len() >= u.rxCap {
+		u.Drops++
+		return
+	}
+	u.rx.Push(UDPDatagram{From: hdr.src, FromPort: hdr.srcPort, Data: data})
+}
+
+// Recv blocks until a datagram arrives.
+func (u *UDPConn) Recv(p *vtime.Proc) UDPDatagram { return u.rx.Pop(p) }
+
+// RecvTimeout is Recv bounded by d.
+func (u *UDPConn) RecvTimeout(p *vtime.Proc, d time.Duration) (UDPDatagram, bool) {
+	return u.rx.PopTimeout(p, d)
+}
+
+// SetReadyHandler installs a SysIO-style arrival callback.
+func (u *UDPConn) SetReadyHandler(fn func()) { u.rx.OnPush = fn }
+
+// Pending returns the number of queued datagrams.
+func (u *UDPConn) Pending() int { return u.rx.Len() }
+
+// Close unbinds the socket.
+func (u *UDPConn) Close() {
+	u.closed = true
+	delete(u.host.udp, u.port)
+}
+
+// ---------------------------------------------------------------------
+// TCP connection. See package comment for the feature set.
+
+const (
+	minRTO     = 200 * time.Millisecond
+	maxRTO     = 10 * time.Second
+	synTimeout = 3 * time.Second
+)
+
+// TCPConn is a reliable byte-stream connection.
+type TCPConn struct {
+	host       *Host
+	remote     topology.NodeID
+	localPort  int
+	remotePort int
+	rt         *route
+	mss        int
+
+	established bool
+	dialErr     error
+	connCond    *vtime.Cond
+
+	// Sender state.
+	sndBuf     []byte // bytes [sndUna, sndEnd) not yet acked
+	sndUna     int64
+	sndNxt     int64
+	sndEnd     int64 // total bytes written so far
+	sndCap     int
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	inRecovery bool  // NewReno fast recovery in progress
+	recover    int64 // sndNxt when recovery was entered
+	peerWnd    int
+	rtoTimer   *vtime.Timer
+	rto        time.Duration
+	srtt       time.Duration
+	rttvar     time.Duration
+	finQueued  bool
+	finSeq     int64 // == sndEnd when finQueued
+	writeCond  *vtime.Cond
+	writableCB func()
+	wasFull    bool
+
+	// Receiver state.
+	rcvNxt   int64
+	rcvBuf   []byte
+	rcvCap   int
+	ooo      map[int64][]byte
+	oooBytes int
+	peerFin  int64      // -1 until FIN received; then stream length
+	lastTS   vtime.Time // timestamp of latest in-order segment, echoed in ACKs
+	readCond *vtime.Cond
+	readyCB  func()
+
+	closed bool
+
+	// Stats for tests and the bench harness.
+	Retransmits int64
+	SegsSent    int64
+	SegsRecvd   int64
+}
+
+func newTCPConn(h *Host, remote topology.NodeID, localPort, remotePort int, rt *route) *TCPConn {
+	name := fmt.Sprintf("tcp:%d:%d->%d:%d", h.id, localPort, remote, remotePort)
+	c := &TCPConn{
+		host: h, remote: remote, localPort: localPort, remotePort: remotePort,
+		rt: rt, mss: rt.mtu - tcpHeader,
+		sndCap: DefaultSndBuf, rcvCap: DefaultRcvBuf,
+		ssthresh: 1 << 30, peerWnd: DefaultRcvBuf,
+		rto: time.Second, peerFin: -1,
+		ooo:       make(map[int64][]byte),
+		connCond:  vtime.NewCond(name + ":conn"),
+		writeCond: vtime.NewCond(name + ":write"),
+		readCond:  vtime.NewCond(name + ":read"),
+	}
+	c.cwnd = float64(2 * c.mss)
+	return c
+}
+
+// Dial opens a TCP connection to (dst, port), blocking p through the
+// handshake.
+func (h *Host) Dial(p *vtime.Proc, dst topology.NodeID, port int) (*TCPConn, error) {
+	rt, ok := h.routes[dst]
+	if !ok {
+		return nil, ErrNoRoute
+	}
+	c := newTCPConn(h, dst, h.ephemeralPort(), port, rt)
+	key := connKey{remote: dst, remotePort: port, localPort: c.localPort}
+	h.conns[key] = c
+	deadline := p.Now().Add(synTimeout)
+	for try := 0; try < 3 && !c.established; try++ {
+		c.sendSeg(&tcpSeg{syn: true, wnd: c.rcvWnd(), ts: p.Now()}, nil)
+		c.connCond.WaitTimeout(p, time.Second)
+		if p.Now() >= deadline {
+			break
+		}
+	}
+	if !c.established {
+		delete(h.conns, key)
+		return nil, ErrRefused
+	}
+	return c, nil
+}
+
+// Remote returns the peer node.
+func (c *TCPConn) Remote() topology.NodeID { return c.remote }
+
+// LocalPort returns the local port number.
+func (c *TCPConn) LocalPort() int { return c.localPort }
+
+// MSS returns the maximum segment size on this connection's path.
+func (c *TCPConn) MSS() int { return c.mss }
+
+// SetBuffers overrides the send/receive buffer sizes; call before
+// transferring data.
+func (c *TCPConn) SetBuffers(snd, rcv int) {
+	if snd > 0 {
+		c.sndCap = snd
+	}
+	if rcv > 0 {
+		c.rcvCap = rcv
+	}
+}
+
+// SetReadyHandler installs a callback fired in kernel context whenever
+// data (or EOF) becomes available to Read; used by SysIO.
+func (c *TCPConn) SetReadyHandler(fn func()) { c.readyCB = fn }
+
+// PokeReady re-fires the ready callback if data is already pending;
+// poll-style layers use it to re-arm interest after registering.
+func (c *TCPConn) PokeReady() {
+	if c.readyCB != nil && c.Readable() {
+		c.readyCB()
+	}
+}
+
+// Readable reports whether Read would return without blocking.
+func (c *TCPConn) Readable() bool {
+	return len(c.rcvBuf) > 0 || (c.peerFin >= 0 && c.rcvNxt >= c.peerFin)
+}
+
+func (c *TCPConn) rcvWnd() int {
+	w := c.rcvCap - len(c.rcvBuf) - c.oooBytes
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// sendSeg emits one segment with the given payload.
+func (c *TCPConn) sendSeg(seg *tcpSeg, payload []byte) {
+	c.SegsSent++
+	c.rt.send(&netsim.Packet{
+		Payload: payload, Wire: len(payload) + tcpHeader,
+		Meta: &ipHeader{proto: protoTCP, src: c.host.id, dst: c.remote,
+			srcPort: c.localPort, dstPort: c.remotePort, seg: seg},
+	})
+}
+
+// TryWrite queues as much of b as fits in the send buffer without
+// blocking and returns the number of bytes accepted. Used by
+// callback-driven layers (SysIO/VLink) that must never block the I/O
+// manager.
+func (c *TCPConn) TryWrite(b []byte) int {
+	if c.closed || c.finQueued {
+		return 0
+	}
+	free := c.sndCap - len(c.sndBuf)
+	if free <= 0 {
+		c.wasFull = true
+		return 0
+	}
+	n := len(b)
+	if n > free {
+		n = free
+	}
+	c.sndBuf = append(c.sndBuf, b[:n]...)
+	c.sndEnd += int64(n)
+	if len(c.sndBuf) == c.sndCap {
+		c.wasFull = true
+	}
+	c.pump()
+	return n
+}
+
+// Writable reports whether TryWrite would accept at least one byte.
+func (c *TCPConn) Writable() bool {
+	return !c.closed && !c.finQueued && len(c.sndBuf) < c.sndCap
+}
+
+// SetWritableHandler installs a callback fired in kernel context when
+// send-buffer space opens up after having been full.
+func (c *TCPConn) SetWritableHandler(fn func()) { c.writableCB = fn }
+
+// Write queues the whole of b on the stream, blocking p while the send
+// buffer is full.
+func (c *TCPConn) Write(p *vtime.Proc, b []byte) error {
+	for len(b) > 0 {
+		if c.closed || c.finQueued {
+			return ErrClosed
+		}
+		free := c.sndCap - len(c.sndBuf)
+		if free == 0 {
+			c.writeCond.Wait(p)
+			continue
+		}
+		n := len(b)
+		if n > free {
+			n = free
+		}
+		c.sndBuf = append(c.sndBuf, b[:n]...)
+		c.sndEnd += int64(n)
+		b = b[n:]
+		c.pump()
+	}
+	return nil
+}
+
+// Read fills buf with available stream bytes, blocking p until at least
+// one byte (or EOF) is available.
+func (c *TCPConn) Read(p *vtime.Proc, buf []byte) (int, error) {
+	for {
+		if len(c.rcvBuf) > 0 {
+			n := copy(buf, c.rcvBuf)
+			c.rcvBuf = c.rcvBuf[n:]
+			// Window may have reopened; let the peer know if it was shut.
+			if c.rcvWnd() >= c.mss && c.rcvWnd()-n < c.mss {
+				c.sendAck()
+			}
+			return n, nil
+		}
+		if c.peerFin >= 0 && c.rcvNxt >= c.peerFin {
+			return 0, io.EOF
+		}
+		if c.closed {
+			return 0, ErrClosed
+		}
+		c.readCond.Wait(p)
+	}
+}
+
+// ReadFull reads exactly len(buf) bytes unless EOF intervenes.
+func (c *TCPConn) ReadFull(p *vtime.Proc, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(p, buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Close sends FIN after any queued data. Reading remains possible until
+// the peer's FIN.
+func (c *TCPConn) Close() {
+	if c.closed || c.finQueued {
+		return
+	}
+	c.finQueued = true
+	c.finSeq = c.sndEnd
+	c.sndEnd++ // FIN occupies one sequence number
+	c.pump()
+}
+
+// Abort tears the connection down immediately (no FIN exchange).
+func (c *TCPConn) Abort() {
+	c.closed = true
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	delete(c.host.conns, connKey{remote: c.remote, remotePort: c.remotePort, localPort: c.localPort})
+	c.readCond.Broadcast()
+	c.writeCond.Broadcast()
+}
+
+// flightLimit returns how many bytes may be outstanding.
+func (c *TCPConn) flightLimit() int64 {
+	w := int64(c.cwnd)
+	if pw := int64(c.peerWnd); pw < w {
+		w = pw
+	}
+	if w < int64(c.mss) {
+		// Always allow one segment (zero-window probe simplification:
+		// the window reopens via the reader's explicit ACK).
+		if c.peerWnd == 0 {
+			return 0
+		}
+		w = int64(c.mss)
+	}
+	return w
+}
+
+// pump transmits as much as window and data allow. Runs in kernel or
+// proc context.
+func (c *TCPConn) pump() {
+	if c.closed {
+		return
+	}
+	for {
+		limit := c.sndUna + c.flightLimit()
+		if c.sndNxt >= limit {
+			break
+		}
+		if c.finQueued && c.sndNxt == c.finSeq {
+			c.sendSeg(&tcpSeg{fin: true, ack: true, seq: c.sndNxt,
+				ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, nil)
+			c.sndNxt++
+			break
+		}
+		avail := c.sndEnd - c.sndNxt
+		if c.finQueued {
+			avail-- // FIN's sequence slot is not data
+		}
+		if avail <= 0 {
+			break
+		}
+		n := limit - c.sndNxt
+		if n > avail {
+			n = avail
+		}
+		if n > int64(c.mss) {
+			n = int64(c.mss)
+		}
+		off := c.sndNxt - c.sndUna
+		payload := make([]byte, n)
+		copy(payload, c.sndBuf[off:off+n])
+		c.sendSeg(&tcpSeg{ack: true, seq: c.sndNxt, ackNo: c.rcvNxt,
+			wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, payload)
+		c.sndNxt += n
+	}
+	c.armRTO()
+}
+
+func (c *TCPConn) armRTO() {
+	if c.sndUna == c.sndNxt { // nothing outstanding
+		if c.rtoTimer != nil {
+			c.rtoTimer.Stop()
+			c.rtoTimer = nil
+		}
+		return
+	}
+	if c.rtoTimer != nil {
+		return // already armed
+	}
+	c.rtoTimer = c.host.stack.k.After(c.rto, c.onRTO)
+}
+
+func (c *TCPConn) onRTO() {
+	c.rtoTimer = nil
+	if c.closed || c.sndUna == c.sndNxt {
+		return
+	}
+	// Multiplicative decrease and retransmit of the first unacked segment.
+	flight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = flight / 2
+	if min := float64(2 * c.mss); c.ssthresh < min {
+		c.ssthresh = min
+	}
+	c.cwnd = float64(c.mss)
+	c.inRecovery = false
+	c.dupAcks = 0
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	// Go-back-N: rewind and resend from the first unacked byte in slow
+	// start. The receiver's reassembly buffer makes the cumulative ACKs
+	// jump straight over whatever did arrive.
+	c.sndNxt = c.sndUna
+	c.Retransmits++
+	c.pump() // re-arms the (backed-off) RTO
+}
+
+// retransmitFirst resends the segment starting at sndUna.
+func (c *TCPConn) retransmitFirst() {
+	c.Retransmits++
+	if c.finQueued && c.sndUna == c.finSeq {
+		c.sendSeg(&tcpSeg{fin: true, ack: true, seq: c.sndUna,
+			ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, nil)
+		return
+	}
+	n := c.sndNxt - c.sndUna
+	if c.finQueued && c.sndUna+n > c.finSeq {
+		n = c.finSeq - c.sndUna
+	}
+	if n > int64(c.mss) {
+		n = int64(c.mss)
+	}
+	if n <= 0 {
+		return
+	}
+	payload := make([]byte, n)
+	copy(payload, c.sndBuf[:n])
+	c.sendSeg(&tcpSeg{ack: true, seq: c.sndUna, ackNo: c.rcvNxt,
+		wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, payload)
+}
+
+func (c *TCPConn) sendAck() {
+	c.sendSeg(&tcpSeg{ack: true, ackNo: c.rcvNxt, wnd: c.rcvWnd(),
+		ts: c.host.stack.k.Now(), ets: c.lastTS}, nil)
+}
+
+// segment processes one arriving segment. Runs in kernel context.
+func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
+	if c.closed {
+		return
+	}
+	c.SegsRecvd++
+
+	// Handshake.
+	if seg.syn && seg.ack && !c.established {
+		c.established = true
+		c.rttSample(seg.ets)
+		c.connCond.Broadcast()
+		c.sendAck()
+		return
+	}
+	if seg.syn && !seg.ack {
+		// Duplicate SYN: our SYN|ACK was lost; resend it.
+		c.sendSeg(&tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(),
+			ts: c.host.stack.k.Now(), ets: seg.ts}, nil)
+		return
+	}
+
+	// ACK processing (sender side).
+	if seg.ack {
+		c.peerWnd = seg.wnd
+		switch {
+		case seg.ackNo > c.sndUna:
+			acked := seg.ackNo - c.sndUna
+			dataAcked := acked
+			if c.finQueued && seg.ackNo > c.finSeq {
+				dataAcked = c.finSeq - c.sndUna
+			}
+			if dataAcked > 0 {
+				c.sndBuf = c.sndBuf[dataAcked:]
+			}
+			c.sndUna = seg.ackNo
+			if c.sndNxt < c.sndUna {
+				c.sndNxt = c.sndUna
+			}
+			c.dupAcks = 0
+			if c.inRecovery {
+				if seg.ackNo < c.recover {
+					// NewReno partial ack: the next hole is known lost;
+					// retransmit it immediately instead of waiting for
+					// three more dupacks or an RTO.
+					c.retransmitFirst()
+				} else {
+					c.inRecovery = false
+					c.cwnd = c.ssthresh
+				}
+			}
+			c.rttSample(seg.ets)
+			// Congestion window growth (RFC 5681: at most one SMSS per ACK
+			// in slow start, so cumulative jumps after reassembly do not
+			// overshoot).
+			if c.cwnd < c.ssthresh {
+				inc := float64(acked)
+				if m := float64(c.mss); inc > m {
+					inc = m
+				}
+				c.cwnd += inc // slow start
+			} else {
+				c.cwnd += float64(c.mss) * float64(acked) / c.cwnd // CA
+			}
+			// Fresh RTO for the remaining flight.
+			if c.rtoTimer != nil {
+				c.rtoTimer.Stop()
+				c.rtoTimer = nil
+			}
+			c.writeCond.Broadcast()
+			if c.wasFull && c.Writable() {
+				c.wasFull = false
+				if c.writableCB != nil {
+					c.writableCB()
+				}
+			}
+			c.pump()
+		case seg.ackNo == c.sndUna && c.sndNxt > c.sndUna && len(payload) == 0 && !seg.fin:
+			c.dupAcks++
+			switch {
+			case c.dupAcks == 3 && !c.inRecovery:
+				// Fast retransmit, enter NewReno fast recovery.
+				flight := float64(c.sndNxt - c.sndUna)
+				c.ssthresh = flight / 2
+				if min := float64(2 * c.mss); c.ssthresh < min {
+					c.ssthresh = min
+				}
+				c.cwnd = c.ssthresh + float64(3*c.mss)
+				c.inRecovery = true
+				c.recover = c.sndNxt
+				c.retransmitFirst()
+			case c.inRecovery:
+				// Window inflation: each dupack signals a departed
+				// segment, letting new data keep the pipe full.
+				c.cwnd += float64(c.mss)
+				c.pump()
+			}
+		}
+	}
+
+	// Data / FIN processing (receiver side). Segments may overlap
+	// arbitrarily (retransmissions are cut at mss boundaries that need
+	// not match the original transmission), so both the in-order path
+	// and the out-of-order drain trim duplicates by stream offset.
+	advanced := false
+	if len(payload) > 0 {
+		end := seg.seq + int64(len(payload))
+		switch {
+		case end <= c.rcvNxt:
+			// Complete duplicate: ack only.
+		case seg.seq <= c.rcvNxt:
+			c.rcvBuf = append(c.rcvBuf, payload[c.rcvNxt-seg.seq:]...)
+			c.rcvNxt = end
+			c.lastTS = seg.ts
+			c.drainOOO()
+			advanced = true
+		default: // a hole precedes this segment
+			if _, dup := c.ooo[seg.seq]; !dup && c.oooBytes+len(payload) <= c.rcvCap {
+				c.ooo[seg.seq] = payload
+				c.oooBytes += len(payload)
+			}
+		}
+		// Ack everything (including duplicates — that's what generates
+		// the dupacks driving fast retransmit on the other side).
+		c.sendAck()
+	}
+	if seg.fin {
+		if seg.seq == c.rcvNxt && c.peerFin < 0 {
+			c.peerFin = seg.seq
+			c.rcvNxt = seg.seq + 1
+			advanced = true
+		}
+		c.sendAck()
+	}
+	if advanced {
+		c.readCond.Broadcast()
+		if c.readyCB != nil {
+			c.readyCB()
+		}
+	}
+}
+
+// drainOOO folds every buffered out-of-order segment that is now
+// (partially) in order into rcvBuf, trimming overlaps. Keys are scanned
+// in sorted order so behaviour is deterministic.
+func (c *TCPConn) drainOOO() {
+	for {
+		progressed := false
+		keys := make([]int64, 0, len(c.ooo))
+		for seq := range c.ooo {
+			keys = append(keys, seq)
+		}
+		slices.Sort(keys)
+		for _, seq := range keys {
+			pl := c.ooo[seq]
+			end := seq + int64(len(pl))
+			switch {
+			case end <= c.rcvNxt: // fully duplicate now
+				delete(c.ooo, seq)
+				c.oooBytes -= len(pl)
+			case seq <= c.rcvNxt: // extends the contiguous stream
+				delete(c.ooo, seq)
+				c.oooBytes -= len(pl)
+				c.rcvBuf = append(c.rcvBuf, pl[c.rcvNxt-seq:]...)
+				c.rcvNxt = end
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (c *TCPConn) rttSample(ets vtime.Time) {
+	if ets == 0 {
+		return
+	}
+	sample := c.host.stack.k.Now().Sub(ets)
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		delta := c.srtt - sample
+		if delta < 0 {
+			delta = -delta
+		}
+		c.rttvar = (3*c.rttvar + delta) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}

@@ -1,0 +1,73 @@
+// Package madapi defines the Madeleine programming interface: channels
+// over a static group of nodes, incremental message packing with
+// explicit semantics (paper §2.3, §4.2). Two implementations exist:
+// the real portability layer (internal/madeleine) directly over SAN
+// drivers, and the "virtual Madeleine" personality
+// (internal/personality/vmad) over Circuit — which is how the existing
+// MPICH/Madeleine runs unchanged inside PadicoTM (paper §4.3).
+package madapi
+
+import "padico/internal/vtime"
+
+// PackMode expresses the sender-side constraint of a packed segment.
+type PackMode int
+
+const (
+	// SendSafer: the buffer may be reused by the caller immediately
+	// (the layer copies it).
+	SendSafer PackMode = iota
+	// SendLater: the buffer must remain valid until EndPacking.
+	SendLater
+	// SendCheaper: the layer chooses the cheapest strategy; the buffer
+	// must remain valid until EndPacking.
+	SendCheaper
+)
+
+// UnpackMode expresses the receiver-side constraint of a segment.
+type UnpackMode int
+
+const (
+	// ReceiveExpress: the data is needed immediately to make progress
+	// (typically headers); it must be available when Unpack returns.
+	ReceiveExpress UnpackMode = iota
+	// ReceiveCheaper: the data may arrive as late as EndUnpacking.
+	// After a ReceiveCheaper unpack, no ReceiveExpress may follow
+	// (Madeleine's incremental-packing rule).
+	ReceiveCheaper
+)
+
+// Channel is a Madeleine communication channel over a definite group of
+// nodes. Ranks index the group.
+type Channel interface {
+	// Self returns this node's rank in the channel's group.
+	Self() int
+	// Size returns the group size.
+	Size() int
+	// BeginPacking starts an outgoing message to dst (a rank).
+	BeginPacking(dst int) OutMessage
+	// BeginUnpacking blocks until a message is available and starts
+	// unpacking it.
+	BeginUnpacking(p *vtime.Proc) InMessage
+	// TryBeginUnpacking is the non-blocking variant.
+	TryBeginUnpacking() (InMessage, bool)
+}
+
+// OutMessage is an outgoing message being packed.
+type OutMessage interface {
+	// Pack appends one segment with the given semantics.
+	Pack(data []byte, mode PackMode)
+	// EndPacking flushes the message to the network.
+	EndPacking()
+}
+
+// InMessage is an incoming message being unpacked.
+type InMessage interface {
+	// Src returns the sender's rank.
+	Src() int
+	// Unpack extracts the next segment, which must have exactly n bytes
+	// (segment boundaries are part of the protocol contract).
+	Unpack(n int, mode UnpackMode) []byte
+	// EndUnpacking finishes the message; every packed segment must have
+	// been unpacked.
+	EndUnpacking()
+}

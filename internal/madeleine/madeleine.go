@@ -1,0 +1,229 @@
+// Package madeleine reimplements the Madeleine portability layer
+// (Aumage et al., CLUSTER 2000) that PadicoTM builds MadIO on: channels
+// over a static group, incremental pack/unpack with explicit semantics,
+// and per-driver backends (GM, BIP, SISCI, VIA). A channel provides at
+// most what the hardware offers — 2 channels on Myrinet, 1 on SCI —
+// which is precisely why MadIO adds logical multiplexing above it
+// (paper §4.1).
+package madeleine
+
+import (
+	"errors"
+	"fmt"
+
+	"padico/internal/madapi"
+	"padico/internal/model"
+	"padico/internal/vtime"
+)
+
+// Exported errors.
+var (
+	ErrNoChannel = errors.New("madeleine: no hardware channel left")
+	ErrChanOpen  = errors.New("madeleine: channel id already open")
+)
+
+// Backend is a driver adapter bound to one node's NIC on one fabric.
+// Ranks index the group the adapter was built with.
+type Backend interface {
+	// Name identifies the driver ("gm", "bip", "sisci", "via").
+	Name() string
+	// MaxChannels is the hardware channel limit.
+	MaxChannels() int
+	// OpenChannel binds hardware channel id and returns a sender; incoming
+	// messages (concatenated segment payloads plus boundary list) are
+	// passed to deliver in kernel context.
+	OpenChannel(id int, deliver func(src int, segs [][]byte)) (BackendChannel, error)
+}
+
+// BackendChannel sends segment vectors to group ranks.
+type BackendChannel interface {
+	Send(dst int, segs [][]byte)
+}
+
+// Adapter is the per-node Madeleine instance over one backend.
+type Adapter struct {
+	k       *vtime.Kernel
+	backend Backend
+	self    int
+	size    int
+	open    map[int]*Channel
+}
+
+// New builds an adapter for a node with rank self in a group of size
+// nodes, over the given backend.
+func New(k *vtime.Kernel, backend Backend, self, size int) *Adapter {
+	return &Adapter{k: k, backend: backend, self: self, size: size, open: make(map[int]*Channel)}
+}
+
+// Backend returns the underlying driver adapter.
+func (a *Adapter) Backend() Backend { return a.backend }
+
+// MaxChannels returns the hardware channel limit of the backend.
+func (a *Adapter) MaxChannels() int { return a.backend.MaxChannels() }
+
+// Open binds hardware channel id and returns the Madeleine channel.
+func (a *Adapter) Open(id int) (*Channel, error) {
+	if id < 0 || id >= a.backend.MaxChannels() {
+		return nil, ErrNoChannel
+	}
+	if _, dup := a.open[id]; dup {
+		return nil, ErrChanOpen
+	}
+	ch := &Channel{
+		a: a, id: id,
+		rx: vtime.NewQueue[*incoming](fmt.Sprintf("mad:%s:%d:rx", a.backend.Name(), id)),
+	}
+	bc, err := a.backend.OpenChannel(id, ch.deliver)
+	if err != nil {
+		return nil, err
+	}
+	ch.bc = bc
+	a.open[id] = ch
+	return ch, nil
+}
+
+// incoming is one received message.
+type incoming struct {
+	src  int
+	segs [][]byte
+}
+
+// Channel is one Madeleine channel. It implements madapi.Channel.
+type Channel struct {
+	a  *Adapter
+	id int
+	bc BackendChannel
+	rx *vtime.Queue[*incoming]
+
+	MsgsSent int64
+	MsgsRecv int64
+}
+
+var _ madapi.Channel = (*Channel)(nil)
+
+// Self implements madapi.Channel.
+func (ch *Channel) Self() int { return ch.a.self }
+
+// Size implements madapi.Channel.
+func (ch *Channel) Size() int { return ch.a.size }
+
+// ID returns the hardware channel id.
+func (ch *Channel) ID() int { return ch.id }
+
+// SetRxNotify installs a callback fired in kernel context whenever a
+// message is queued (used by the NetAccess core poll loop).
+func (ch *Channel) SetRxNotify(fn func()) { ch.rx.OnPush = fn }
+
+// Pending returns the number of undelivered messages.
+func (ch *Channel) Pending() int { return ch.rx.Len() }
+
+// deliver runs in kernel context when the backend completes a message;
+// the receive-side per-message cost is charged here.
+func (ch *Channel) deliver(src int, segs [][]byte) {
+	ch.a.k.After(model.MadeleineCost, func() {
+		ch.MsgsRecv++
+		ch.rx.Push(&incoming{src: src, segs: segs})
+	})
+}
+
+// BeginPacking implements madapi.Channel.
+func (ch *Channel) BeginPacking(dst int) madapi.OutMessage {
+	if dst < 0 || dst >= ch.a.size {
+		panic(fmt.Sprintf("madeleine: pack to rank %d outside group of %d", dst, ch.a.size))
+	}
+	return &outMessage{ch: ch, dst: dst}
+}
+
+// BeginUnpacking implements madapi.Channel.
+func (ch *Channel) BeginUnpacking(p *vtime.Proc) madapi.InMessage {
+	in := ch.rx.Pop(p)
+	return &inMessage{ch: ch, msg: in}
+}
+
+// TryBeginUnpacking implements madapi.Channel.
+func (ch *Channel) TryBeginUnpacking() (madapi.InMessage, bool) {
+	in, ok := ch.rx.TryPop()
+	if !ok {
+		return nil, false
+	}
+	return &inMessage{ch: ch, msg: in}, true
+}
+
+// outMessage accumulates segments until EndPacking.
+type outMessage struct {
+	ch    *Channel
+	dst   int
+	segs  [][]byte
+	ended bool
+}
+
+// Pack implements madapi.OutMessage. SendSafer copies the buffer so the
+// caller may reuse it; the other modes alias it until EndPacking.
+func (m *outMessage) Pack(data []byte, mode madapi.PackMode) {
+	if m.ended {
+		panic("madeleine: Pack after EndPacking")
+	}
+	if mode == madapi.SendSafer {
+		data = append([]byte(nil), data...)
+	}
+	m.segs = append(m.segs, data)
+}
+
+// EndPacking implements madapi.OutMessage: the message leaves after the
+// send-side per-message cost.
+func (m *outMessage) EndPacking() {
+	if m.ended {
+		panic("madeleine: EndPacking twice")
+	}
+	m.ended = true
+	m.ch.MsgsSent++
+	segs := m.segs
+	dst := m.dst
+	ch := m.ch
+	ch.a.k.After(model.MadeleineCost, func() { ch.bc.Send(dst, segs) })
+}
+
+// inMessage walks the received segment list.
+type inMessage struct {
+	ch      *Channel
+	msg     *incoming
+	next    int
+	cheaper bool
+	ended   bool
+}
+
+// Src implements madapi.InMessage.
+func (m *inMessage) Src() int { return m.msg.src }
+
+// Unpack implements madapi.InMessage. Segment sizes must match the
+// packing exactly; ReceiveExpress after ReceiveCheaper violates
+// Madeleine's protocol and panics.
+func (m *inMessage) Unpack(n int, mode madapi.UnpackMode) []byte {
+	if m.ended {
+		panic("madeleine: Unpack after EndUnpacking")
+	}
+	if mode == madapi.ReceiveExpress && m.cheaper {
+		panic("madeleine: ReceiveExpress after ReceiveCheaper")
+	}
+	if mode == madapi.ReceiveCheaper {
+		m.cheaper = true
+	}
+	if m.next >= len(m.msg.segs) {
+		panic(fmt.Sprintf("madeleine: Unpack #%d beyond %d packed segments", m.next, len(m.msg.segs)))
+	}
+	seg := m.msg.segs[m.next]
+	if len(seg) != n {
+		panic(fmt.Sprintf("madeleine: Unpack size %d does not match packed segment size %d", n, len(seg)))
+	}
+	m.next++
+	return seg
+}
+
+// EndUnpacking implements madapi.InMessage.
+func (m *inMessage) EndUnpacking() {
+	if m.next != len(m.msg.segs) {
+		panic(fmt.Sprintf("madeleine: EndUnpacking with %d of %d segments unpacked",
+			m.next, len(m.msg.segs)))
+	}
+	m.ended = true
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: float64 vector codecs round-trip.
+func TestQuickF64Codec(t *testing.T) {
+	f := func(v []float64) bool {
+		got := BytesF64(F64Bytes(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] && !(v[i] != v[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: part-list codec (allgather transport) round-trips.
+func TestQuickPartsCodec(t *testing.T) {
+	f := func(parts [][]byte) bool {
+		if len(parts) > 64 {
+			return true
+		}
+		got := decodeParts(encodeParts(parts))
+		if len(got) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollTagsDisambiguate(t *testing.T) {
+	c := &Comm{}
+	seen := make(map[int]bool)
+	for op := 0; op < 6; op++ {
+		for i := 0; i < 10; i++ {
+			tag := c.collTag(op)
+			if tag < collTagBase {
+				t.Fatalf("collective tag %d below reserved base", tag)
+			}
+			if seen[tag] {
+				t.Fatalf("tag %d minted twice", tag)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestOpsCombine(t *testing.T) {
+	a := []float64{1, 5, 3}
+	Sum(a, []float64{2, 2, 2})
+	if a[0] != 3 || a[1] != 7 || a[2] != 5 {
+		t.Fatalf("sum = %v", a)
+	}
+	b := []float64{1, 5, 3}
+	Max(b, []float64{2, 2, 2})
+	if b[0] != 2 || b[1] != 5 || b[2] != 3 {
+		t.Fatalf("max = %v", b)
+	}
+	c := []float64{1, 5, 3}
+	Min(c, []float64{2, 2, 2})
+	if c[0] != 1 || c[1] != 2 || c[2] != 2 {
+		t.Fatalf("min = %v", c)
+	}
+}

@@ -1,0 +1,258 @@
+package netaccess_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"padico/internal/drivers/gm"
+	"padico/internal/ipstack"
+	"padico/internal/madapi"
+	"padico/internal/madeleine"
+	"padico/internal/model"
+	"padico/internal/netaccess"
+	"padico/internal/netsim"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// rig is a two-node Myrinet + Ethernet testbed with NetAccess on each.
+type rig struct {
+	k        *vtime.Kernel
+	na       [2]*netaccess.NetAccess
+	mio      [2]*netaccess.MadIO
+	sys      [2]*netaccess.SysIO
+	hosts    [2]*ipstack.Host
+	combined bool
+}
+
+func newRig(t *testing.T, combining bool) *rig {
+	t.Helper()
+	k := vtime.NewKernel()
+	r := &rig{k: k, combined: combining}
+	xb := netsim.NewCrossbar(k, topology.Myrinet, model.MyrinetRate, model.MyrinetPktOverhd, model.MyrinetWireLat)
+	lan := netsim.NewSwitchedLAN(k, model.EthernetRate, model.EthernetFrameOH, model.EthernetWireLat, 0, 1)
+	st := ipstack.New(k)
+	st.ConnectLAN(lan, 0, 0, 1, 1, model.EthernetMTU)
+	group := []int{0, 1}
+	for i := 0; i < 2; i++ {
+		r.na[i] = netaccess.New(k, string(rune('a'+i)))
+		ad := madeleine.New(k, madeleine.NewGM(gm.OpenNIC(k, xb, i), group), i, 2)
+		ch, err := ad.Open(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.mio[i] = netaccess.NewMadIO(r.na[i], ch, "myri", combining)
+		r.sys[i] = netaccess.NewSysIO(r.na[i])
+		r.hosts[i] = st.Host(topology.NodeID(i))
+	}
+	return r
+}
+
+func TestMadIOMultiplexesLogicalChannels(t *testing.T) {
+	r := newRig(t, true)
+	if err := r.k.Run(func(p *vtime.Proc) {
+		got := vtime.NewQueue[string]("got")
+		for _, id := range []uint16{10, 20, 30} {
+			id := id
+			r.mio[1].Register(id, func(q *vtime.Proc, src int, in madapi.InMessage) {
+				data := in.Unpack(5, madapi.ReceiveCheaper)
+				in.EndUnpacking()
+				got.Push(string(rune('0'+id/10)) + string(data))
+			})
+		}
+		r.mio[0].Send(1, 20, []byte("hello"))
+		r.mio[0].Send(1, 10, []byte("world"))
+		r.mio[0].Send(1, 30, []byte("third"))
+		want := []string{"2hello", "1world", "3third"}
+		for _, w := range want {
+			if g := got.Pop(p); g != w {
+				t.Errorf("got %q, want %q", g, w)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMadIOSeparateHeaderMode(t *testing.T) {
+	r := newRig(t, false)
+	if err := r.k.Run(func(p *vtime.Proc) {
+		got := vtime.NewQueue[[]byte]("got")
+		r.mio[1].Register(7, func(q *vtime.Proc, src int, in madapi.InMessage) {
+			got.Push(in.Unpack(4, madapi.ReceiveCheaper))
+			in.EndUnpacking()
+		})
+		r.mio[0].Send(1, 7, []byte("data"))
+		if g := got.Pop(p); string(g) != "data" {
+			t.Errorf("got %q", g)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The core claim of §4.1: header combining makes multiplexing nearly
+// free. Measure MadIO ping-pong latency both ways; the difference must
+// exceed the separate-header penalty and combined overhead must be tiny.
+func TestHeaderCombiningOverhead(t *testing.T) {
+	lat := func(combining bool) time.Duration {
+		r := newRig(t, combining)
+		var oneway time.Duration
+		if err := r.k.Run(func(p *vtime.Proc) {
+			pong := vtime.NewQueue[struct{}]("pong")
+			r.mio[1].Register(1, func(q *vtime.Proc, src int, in madapi.InMessage) {
+				in.Unpack(1, madapi.ReceiveCheaper)
+				in.EndUnpacking()
+				r.mio[1].Send(src, 1, []byte{1})
+			})
+			r.mio[0].Register(1, func(q *vtime.Proc, src int, in madapi.InMessage) {
+				in.Unpack(1, madapi.ReceiveCheaper)
+				in.EndUnpacking()
+				pong.Push(struct{}{})
+			})
+			const rounds = 100
+			start := p.Now()
+			for i := 0; i < rounds; i++ {
+				r.mio[0].Send(1, 1, []byte{1})
+				pong.Pop(p)
+			}
+			oneway = p.Now().Sub(start) / (2 * rounds)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return oneway
+	}
+	with := lat(true)
+	without := lat(false)
+	overhead := with - 8200*time.Nanosecond // Madeleine/GM baseline ~8.2 µs
+	if overhead > 300*time.Nanosecond {
+		t.Errorf("combined-mode MadIO overhead = %v, want < 0.3 µs", overhead)
+	}
+	if without-with < 500*time.Nanosecond {
+		t.Errorf("separate headers should cost much more: with=%v without=%v", with, without)
+	}
+}
+
+func TestSysIOCallbackDriven(t *testing.T) {
+	r := newRig(t, true)
+	if err := r.k.Run(func(p *vtime.Proc) {
+		lnReady := vtime.NewQueue[*ipstack.TCPConn]("accepted")
+		ln, _ := r.hosts[1].Listen(80)
+		r.sys[1].RegisterListener(ln, func(q *vtime.Proc) {
+			c, _ := ln.AcceptTimeout(q, 0)
+			if c != nil {
+				lnReady.Push(c)
+			}
+		})
+		conn, err := r.hosts[0].Dial(p, 1, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := lnReady.Pop(p)
+
+		var rx bytes.Buffer
+		r.sys[1].RegisterConn(srv, func(q *vtime.Proc) {
+			buf := make([]byte, 4096)
+			for srv.Readable() {
+				n, err := srv.Read(q, buf)
+				rx.Write(buf[:n])
+				if err != nil {
+					return
+				}
+			}
+		})
+		msg := make([]byte, 20000)
+		rand.New(rand.NewSource(4)).Read(msg)
+		conn.Write(p, msg)
+		p.Sleep(100 * time.Millisecond)
+		if !bytes.Equal(rx.Bytes(), msg) {
+			t.Fatalf("SysIO delivered %d bytes, want %d", rx.Len(), len(msg))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two middleware systems (one per paradigm) share the node: MadIO and
+// SysIO traffic must both make progress — the arbitration claim.
+func TestConcurrentParadigmsBothProgress(t *testing.T) {
+	r := newRig(t, true)
+	if err := r.k.Run(func(p *vtime.Proc) {
+		madCount, sysCount := 0, 0
+		r.mio[1].Register(2, func(q *vtime.Proc, src int, in madapi.InMessage) {
+			in.Unpack(1024, madapi.ReceiveCheaper)
+			in.EndUnpacking()
+			madCount++
+		})
+		ln, _ := r.hosts[1].Listen(80)
+		acc := vtime.NewQueue[*ipstack.TCPConn]("acc")
+		r.sys[1].RegisterListener(ln, func(q *vtime.Proc) {
+			if c, ok := ln.AcceptTimeout(q, 0); ok {
+				acc.Push(c)
+			}
+		})
+		conn, err := r.hosts[0].Dial(p, 1, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := acc.Pop(p)
+		r.sys[1].RegisterConn(srv, func(q *vtime.Proc) {
+			buf := make([]byte, 4096)
+			for srv.Readable() {
+				n, _ := srv.Read(q, buf)
+				sysCount += n
+			}
+		})
+		// Interleave both kinds of traffic.
+		blob := make([]byte, 1024)
+		for i := 0; i < 50; i++ {
+			r.mio[0].Send(1, 2, blob)
+			conn.Write(p, blob)
+		}
+		p.Sleep(200 * time.Millisecond)
+		if madCount != 50 {
+			t.Errorf("MadIO messages = %d, want 50", madCount)
+		}
+		if sysCount != 50*1024 {
+			t.Errorf("SysIO bytes = %d, want %d", sysCount, 50*1024)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityPolicyIsTunable(t *testing.T) {
+	r := newRig(t, true)
+	r.na[1].SetPriority(4, 1)
+	if err := r.k.Run(func(p *vtime.Proc) {
+		n := 0
+		r.mio[1].Register(3, func(q *vtime.Proc, src int, in madapi.InMessage) {
+			in.Unpack(1, madapi.ReceiveCheaper)
+			in.EndUnpacking()
+			n++
+		})
+		for i := 0; i < 10; i++ {
+			r.mio[0].Send(1, 3, []byte{0})
+		}
+		p.Sleep(10 * time.Millisecond)
+		if n != 10 {
+			t.Errorf("delivered %d of 10 under skewed priority", n)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateLogicalChannelPanics(t *testing.T) {
+	r := newRig(t, true)
+	err := r.k.Run(func(p *vtime.Proc) {
+		h := func(q *vtime.Proc, src int, in madapi.InMessage) {}
+		r.mio[0].Register(5, h)
+		r.mio[0].Register(5, h)
+	})
+	if err == nil {
+		t.Fatal("duplicate Register did not panic")
+	}
+}

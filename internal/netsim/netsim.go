@@ -1,0 +1,316 @@
+// Package netsim simulates the grid's networking hardware on the vtime
+// kernel: a Myrinet-like crossbar SAN, a switched Ethernet LAN, and
+// multi-hop WAN paths with configurable rate, latency, loss and queues.
+// Data really moves (packets carry payload bytes end to end); timing is
+// virtual: each link serializes packets at its configured rate and adds
+// its latency, so bandwidth and latency emerge from the same mechanics
+// as on real hardware.
+//
+// netsim sits below the drivers (internal/drivers/*) which expose
+// vendor-style APIs, and below internal/ipstack which implements UDP and
+// a Reno TCP over these fabrics.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// Packet is a unit of transmission on a fabric. Payload is real data;
+// Wire is the byte count that occupies the link (payload + headers), so
+// protocol overhead costs wire time even though header bytes are
+// represented structurally rather than serialized.
+type Packet struct {
+	Src, Dst int // fabric addresses
+	Payload  []byte
+	Wire     int // bytes on the wire; >= len(Payload)
+	Meta     any // driver/protocol data (seq numbers, flags, ...)
+}
+
+// DeliverFunc receives a packet in kernel (event handler) context. It
+// must not block; typical implementations push to a vtime.Queue and
+// signal a poller.
+type DeliverFunc func(pkt *Packet)
+
+// Fabric is a simulated interconnect to which endpoints attach by
+// address.
+type Fabric interface {
+	// Attach registers the delivery callback for an address.
+	Attach(addr int, deliver DeliverFunc)
+	// Send schedules pkt for delivery to pkt.Dst. It never blocks; flow
+	// control, if any, is the caller's business.
+	Send(pkt *Packet)
+	// Kind reports the technology simulated by this fabric.
+	Kind() topology.NetworkKind
+}
+
+// ---------------------------------------------------------------------
+// Crossbar: a full-bisection SAN switch (Myrinet, SCI, VIA hardware).
+// Each source port serializes its own traffic (rate + per-packet
+// overhead); the switch adds a fixed latency. No loss, no contention on
+// distinct destination ports (ideal crossbar).
+
+// Crossbar simulates a SAN switch.
+type Crossbar struct {
+	k        *vtime.Kernel
+	kind     topology.NetworkKind
+	rate     float64 // bytes/s per port
+	pktOverh time.Duration
+	wireLat  time.Duration
+	ports    map[int]DeliverFunc
+	txFree   map[int]vtime.Time // per-source serialization horizon
+
+	// Stats
+	Packets int64
+	Bytes   int64
+}
+
+// NewCrossbar builds a SAN fabric with the given per-port rate,
+// per-packet overhead and switch latency.
+func NewCrossbar(k *vtime.Kernel, kind topology.NetworkKind, rate float64,
+	pktOverhead, wireLat time.Duration) *Crossbar {
+	return &Crossbar{
+		k: k, kind: kind, rate: rate, pktOverh: pktOverhead, wireLat: wireLat,
+		ports:  make(map[int]DeliverFunc),
+		txFree: make(map[int]vtime.Time),
+	}
+}
+
+// Kind implements Fabric.
+func (c *Crossbar) Kind() topology.NetworkKind { return c.kind }
+
+// Attach implements Fabric.
+func (c *Crossbar) Attach(addr int, deliver DeliverFunc) {
+	if _, dup := c.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: crossbar address %d attached twice", addr))
+	}
+	c.ports[addr] = deliver
+}
+
+// Send implements Fabric: the packet occupies the source port for
+// wire/rate + overhead, then arrives after the switch latency.
+func (c *Crossbar) Send(pkt *Packet) {
+	deliver, ok := c.ports[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: crossbar send to unattached address %d", pkt.Dst))
+	}
+	now := c.k.Now()
+	start := c.txFree[pkt.Src]
+	if start < now {
+		start = now
+	}
+	txTime := time.Duration(float64(pkt.Wire)/c.rate*1e9) + c.pktOverh
+	end := start.Add(txTime)
+	c.txFree[pkt.Src] = end
+	c.Packets++
+	c.Bytes += int64(pkt.Wire)
+	c.k.At(end.Add(c.wireLat), func() { deliver(pkt) })
+}
+
+// ---------------------------------------------------------------------
+// SwitchedLAN: store-and-forward Ethernet switch. Ingress and egress
+// ports serialize independently at the port rate; frame overhead is
+// added per packet; optional uniform random loss (deterministic RNG).
+
+// SwitchedLAN simulates a switched Ethernet segment.
+type SwitchedLAN struct {
+	k       *vtime.Kernel
+	rate    float64
+	frameOH int
+	wireLat time.Duration
+	loss    float64
+	rng     *rand.Rand
+	ports   map[int]DeliverFunc
+	inFree  map[int]vtime.Time
+	outFree map[int]vtime.Time
+
+	Packets int64
+	Drops   int64
+	Bytes   int64
+}
+
+// NewSwitchedLAN builds an Ethernet-like fabric.
+func NewSwitchedLAN(k *vtime.Kernel, rate float64, frameOverhead int,
+	wireLat time.Duration, loss float64, seed int64) *SwitchedLAN {
+	return &SwitchedLAN{
+		k: k, rate: rate, frameOH: frameOverhead, wireLat: wireLat, loss: loss,
+		rng:   rand.New(rand.NewSource(seed)),
+		ports: make(map[int]DeliverFunc), inFree: make(map[int]vtime.Time),
+		outFree: make(map[int]vtime.Time),
+	}
+}
+
+// Kind implements Fabric.
+func (s *SwitchedLAN) Kind() topology.NetworkKind { return topology.Ethernet }
+
+// Attach implements Fabric.
+func (s *SwitchedLAN) Attach(addr int, deliver DeliverFunc) {
+	if _, dup := s.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: LAN address %d attached twice", addr))
+	}
+	s.ports[addr] = deliver
+}
+
+// Send implements Fabric.
+func (s *SwitchedLAN) Send(pkt *Packet) {
+	deliver, ok := s.ports[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: LAN send to unattached address %d", pkt.Dst))
+	}
+	frame := pkt.Wire + s.frameOH
+	txTime := time.Duration(float64(frame) / s.rate * 1e9)
+	now := s.k.Now()
+
+	// Ingress link (host -> switch).
+	start := s.inFree[pkt.Src]
+	if start < now {
+		start = now
+	}
+	inEnd := start.Add(txTime)
+	s.inFree[pkt.Src] = inEnd
+
+	s.Packets++
+	s.Bytes += int64(frame)
+	if s.loss > 0 && s.rng.Float64() < s.loss {
+		s.Drops++
+		return // consumed ingress wire time, then vanished
+	}
+
+	// Egress link (switch -> host): store-and-forward, so egress starts
+	// after full ingress reception.
+	s.k.At(inEnd, func() {
+		es := s.outFree[pkt.Dst]
+		if n := s.k.Now(); es < n {
+			es = n
+		}
+		outEnd := es.Add(txTime)
+		s.outFree[pkt.Dst] = outEnd
+		s.k.At(outEnd.Add(s.wireLat), func() { deliver(pkt) })
+	})
+}
+
+// ---------------------------------------------------------------------
+// Hop and Path: WAN modelling. A Path is a unidirectional chain of hops,
+// each with its own rate, latency, loss and a bounded FIFO queue
+// (tail-drop). Bidirectional WAN connectivity uses two Paths.
+
+// Hop is one store-and-forward stage of a Path.
+type Hop struct {
+	Name     string
+	Rate     float64 // bytes/s
+	Latency  time.Duration
+	Loss     float64 // random loss probability
+	QueueCap int     // max packets queued waiting for the link (0 = 64)
+
+	free   vtime.Time
+	queued int
+
+	Packets int64
+	Drops   int64
+}
+
+// Path is a unidirectional multi-hop route between two fabrics'
+// endpoints — used by ipstack for inter-site traffic.
+type Path struct {
+	k    *vtime.Kernel
+	name string
+	hops []*Hop
+	rng  *rand.Rand
+	dst  DeliverFunc
+}
+
+// NewPath builds a path delivering to dst through the given hops.
+func NewPath(k *vtime.Kernel, name string, seed int64, hops ...*Hop) *Path {
+	for _, h := range hops {
+		if h.QueueCap == 0 {
+			h.QueueCap = 64
+		}
+	}
+	return &Path{k: k, name: name, hops: hops, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDeliver installs the terminal delivery callback.
+func (p *Path) SetDeliver(d DeliverFunc) { p.dst = d }
+
+// Name returns the path's name.
+func (p *Path) Name() string { return p.name }
+
+// Send pushes a packet through every hop in order.
+func (p *Path) Send(pkt *Packet) { p.sendHop(0, pkt) }
+
+func (p *Path) sendHop(i int, pkt *Packet) {
+	if i == len(p.hops) {
+		if p.dst == nil {
+			panic("netsim: path " + p.name + " has no delivery callback")
+		}
+		p.dst(pkt)
+		return
+	}
+	h := p.hops[i]
+	h.Packets++
+	if h.Loss > 0 && p.rng.Float64() < h.Loss {
+		h.Drops++
+		return
+	}
+	now := p.k.Now()
+	start := h.free
+	if start < now {
+		start = now
+	}
+	// Tail-drop if too many packets are already waiting for this link.
+	if h.queued >= h.QueueCap {
+		h.Drops++
+		return
+	}
+	txTime := time.Duration(float64(pkt.Wire) / h.Rate * 1e9)
+	end := start.Add(txTime)
+	h.free = end
+	// The queue drains when the packet finishes serializing; packets in
+	// propagation (latency) flight do not occupy buffer space.
+	h.queued++
+	p.k.At(end, func() { h.queued-- })
+	p.k.At(end.Add(h.Latency), func() { p.sendHop(i+1, pkt) })
+}
+
+// Drops sums drops over all hops (loss + queue overflow).
+func (p *Path) Drops() int64 {
+	var d int64
+	for _, h := range p.hops {
+		d += h.Drops
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------
+// LoopbackFabric: intra-node communication, near-zero latency.
+
+// Loopback is the intra-process fabric.
+type Loopback struct {
+	k     *vtime.Kernel
+	lat   time.Duration
+	ports map[int]DeliverFunc
+}
+
+// NewLoopback builds a loopback fabric with the given (tiny) latency.
+func NewLoopback(k *vtime.Kernel, lat time.Duration) *Loopback {
+	return &Loopback{k: k, lat: lat, ports: make(map[int]DeliverFunc)}
+}
+
+// Kind implements Fabric.
+func (l *Loopback) Kind() topology.NetworkKind { return topology.Loopback }
+
+// Attach implements Fabric.
+func (l *Loopback) Attach(addr int, deliver DeliverFunc) { l.ports[addr] = deliver }
+
+// Send implements Fabric.
+func (l *Loopback) Send(pkt *Packet) {
+	deliver, ok := l.ports[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: loopback send to unattached address %d", pkt.Dst))
+	}
+	l.k.After(l.lat, func() { deliver(pkt) })
+}

@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+func TestCrossbarLatencyAndSerialization(t *testing.T) {
+	k := vtime.NewKernel()
+	xb := NewCrossbar(k, topology.Myrinet, 250e6, 650*time.Nanosecond, 2*time.Microsecond)
+	var arrivals []vtime.Time
+	xb.Attach(0, func(pkt *Packet) {})
+	xb.Attach(1, func(pkt *Packet) { arrivals = append(arrivals, k.Now()) })
+	err := k.Run(func(p *vtime.Proc) {
+		// Two back-to-back 4096-byte packets from the same source must
+		// serialize: second arrives one tx-time after the first.
+		xb.Send(&Packet{Src: 0, Dst: 1, Wire: 4096})
+		xb.Send(&Packet{Src: 0, Dst: 1, Wire: 4096})
+		p.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(arrivals))
+	}
+	tx := time.Duration(4096.0/250e6*1e9) + 650*time.Nanosecond
+	want1 := vtime.Time(0).Add(tx + 2*time.Microsecond)
+	want2 := vtime.Time(0).Add(2*tx + 2*time.Microsecond)
+	if arrivals[0] != want1 || arrivals[1] != want2 {
+		t.Fatalf("arrivals = %v, want [%v %v]", arrivals, want1, want2)
+	}
+}
+
+func TestCrossbarDistinctSourcesDoNotSerialize(t *testing.T) {
+	k := vtime.NewKernel()
+	xb := NewCrossbar(k, topology.Myrinet, 250e6, 0, time.Microsecond)
+	var arrivals []vtime.Time
+	xb.Attach(0, func(*Packet) {})
+	xb.Attach(1, func(*Packet) {})
+	xb.Attach(2, func(*Packet) { arrivals = append(arrivals, k.Now()) })
+	err := k.Run(func(p *vtime.Proc) {
+		xb.Send(&Packet{Src: 0, Dst: 2, Wire: 1000})
+		xb.Send(&Packet{Src: 1, Dst: 2, Wire: 1000})
+		p.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 || arrivals[0] != arrivals[1] {
+		t.Fatalf("independent sources should arrive together: %v", arrivals)
+	}
+}
+
+func TestCrossbarPayloadIntegrity(t *testing.T) {
+	k := vtime.NewKernel()
+	xb := NewCrossbar(k, topology.Myrinet, 250e6, 0, time.Microsecond)
+	var got []byte
+	xb.Attach(0, func(*Packet) {})
+	xb.Attach(1, func(pkt *Packet) { got = pkt.Payload })
+	err := k.Run(func(p *vtime.Proc) {
+		xb.Send(&Packet{Src: 0, Dst: 1, Payload: []byte("hello grid"), Wire: 10})
+		p.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello grid" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestLANStoreAndForward(t *testing.T) {
+	k := vtime.NewKernel()
+	lan := NewSwitchedLAN(k, 12.5e6, 38, 30*time.Microsecond, 0, 1)
+	var at vtime.Time
+	lan.Attach(0, func(*Packet) {})
+	lan.Attach(1, func(pkt *Packet) { at = k.Now() })
+	err := k.Run(func(p *vtime.Proc) {
+		lan.Send(&Packet{Src: 0, Dst: 1, Wire: 1462}) // 1500-byte frame
+		p.Sleep(10 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store-and-forward: frame crosses ingress then egress, 120 µs each
+	// at 12.5 MB/s, + 30 µs switch latency.
+	frameTx := time.Duration(1500.0 / 12.5e6 * 1e9)
+	want := vtime.Time(0).Add(2*frameTx + 30*time.Microsecond)
+	if at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+func TestLANLossIsDeterministic(t *testing.T) {
+	run := func() int64 {
+		k := vtime.NewKernel()
+		lan := NewSwitchedLAN(k, 12.5e6, 38, time.Microsecond, 0.3, 42)
+		lan.Attach(0, func(*Packet) {})
+		lan.Attach(1, func(*Packet) {})
+		_ = k.Run(func(p *vtime.Proc) {
+			for i := 0; i < 1000; i++ {
+				lan.Send(&Packet{Src: 0, Dst: 1, Wire: 100})
+			}
+			p.Sleep(time.Second)
+		})
+		return lan.Drops
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("loss not deterministic: %d vs %d", d1, d2)
+	}
+	if d1 < 200 || d1 > 400 {
+		t.Fatalf("drops = %d out of 1000 at p=0.3", d1)
+	}
+}
+
+func TestPathThroughputMatchesBottleneck(t *testing.T) {
+	k := vtime.NewKernel()
+	// Fast first hop, slow second: throughput set by the bottleneck.
+	path := NewPath(k, "wan", 7,
+		&Hop{Name: "access", Rate: 12.5e6, Latency: 30 * time.Microsecond, QueueCap: 1 << 20},
+		&Hop{Name: "core", Rate: 1e6, Latency: 5 * time.Millisecond, QueueCap: 1 << 20},
+	)
+	var last vtime.Time
+	var bytes int
+	path.SetDeliver(func(pkt *Packet) { last = k.Now(); bytes += pkt.Wire })
+	err := k.Run(func(p *vtime.Proc) {
+		for i := 0; i < 100; i++ {
+			path.Send(&Packet{Src: 0, Dst: 1, Wire: 1000})
+		}
+		p.Sleep(time.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != 100000 {
+		t.Fatalf("delivered %d bytes", bytes)
+	}
+	rate := float64(bytes) / last.Seconds()
+	if rate < 0.9e6 || rate > 1.1e6 {
+		t.Fatalf("path rate = %.3g B/s, want ~1e6", rate)
+	}
+}
+
+func TestPathQueueOverflowDrops(t *testing.T) {
+	k := vtime.NewKernel()
+	path := NewPath(k, "narrow", 7,
+		&Hop{Name: "slow", Rate: 1e5, Latency: time.Millisecond, QueueCap: 4},
+	)
+	delivered := 0
+	path.SetDeliver(func(*Packet) { delivered++ })
+	err := k.Run(func(p *vtime.Proc) {
+		for i := 0; i < 100; i++ {
+			path.Send(&Packet{Wire: 1000})
+		}
+		p.Sleep(5 * time.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Drops() == 0 {
+		t.Fatal("no tail drops despite tiny queue")
+	}
+	if delivered+int(path.Drops()) != 100 {
+		t.Fatalf("delivered %d + drops %d != 100", delivered, path.Drops())
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	k := vtime.NewKernel()
+	lo := NewLoopback(k, 500*time.Nanosecond)
+	var at vtime.Time
+	lo.Attach(0, func(*Packet) { at = k.Now() })
+	err := k.Run(func(p *vtime.Proc) {
+		lo.Send(&Packet{Dst: 0, Wire: 64})
+		p.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != vtime.Time(500) {
+		t.Fatalf("loopback arrival = %v", at)
+	}
+}
+
+// Property: on a loss-free crossbar, every packet sent is delivered
+// exactly once, in per-source FIFO order.
+func TestQuickCrossbarFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		k := vtime.NewKernel()
+		xb := NewCrossbar(k, topology.Myrinet, 250e6, 0, time.Microsecond)
+		var got []int
+		xb.Attach(0, func(*Packet) {})
+		xb.Attach(1, func(pkt *Packet) { got = append(got, pkt.Meta.(int)) })
+		err := k.Run(func(p *vtime.Proc) {
+			for i, s := range sizes {
+				xb.Send(&Packet{Src: 0, Dst: 1, Wire: int(s) + 1, Meta: i})
+			}
+			p.Sleep(time.Second)
+		})
+		if err != nil || len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologyGridDescription(t *testing.T) {
+	g := topology.New()
+	myri := g.AddNetwork("myri0", topology.Myrinet, true, 250e6, 2*time.Microsecond, 0, 0)
+	eth := g.AddNetwork("eth0", topology.Ethernet, true, 12.5e6, 30*time.Microsecond, 0, 1500)
+	a := g.AddNode("n0", "rennes")
+	b := g.AddNode("n1", "rennes")
+	c := g.AddNode("n2", "lyon")
+	g.Attach(a, myri)
+	g.Attach(b, myri)
+	g.Attach(a, eth)
+	g.Attach(b, eth)
+	g.Attach(c, eth)
+
+	if !g.SameSite(a.ID, b.ID) || g.SameSite(a.ID, c.ID) {
+		t.Fatal("site classification wrong")
+	}
+	common := g.Common(a.ID, b.ID)
+	if len(common) != 2 || common[0] != myri {
+		t.Fatalf("common(a,b) = %v", common)
+	}
+	if got := g.Common(a.ID, c.ID); len(got) != 1 || got[0] != eth {
+		t.Fatalf("common(a,c) should be eth only")
+	}
+	if ms := myri.Members(); len(ms) != 2 || ms[0] != a.ID || ms[1] != b.ID {
+		t.Fatalf("myrinet members = %v", ms)
+	}
+	if !topology.Myrinet.Parallel() || topology.Ethernet.Parallel() {
+		t.Fatal("paradigm classification wrong")
+	}
+}

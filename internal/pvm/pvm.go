@@ -1,0 +1,180 @@
+// Package pvm implements a PVM subset — the second parallel-paradigm
+// middleware of the paper (§2.1's "a MPI-based component could be
+// connected to a PVM-based component"). Task identifiers, typed pack
+// buffers (pvm_initsend/pkint/pkdouble/pkbytes), tagged send/receive
+// with wildcard matching. Transport: Circuit, like MPI, so both
+// parallel middleware systems share the SAN through MadIO arbitration.
+package pvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"padico/internal/madapi"
+	"padico/internal/model"
+	"padico/internal/vtime"
+)
+
+// AnyTID and AnyTag are receive wildcards.
+const (
+	AnyTID = -1
+	AnyTag = -1
+)
+
+// TID is a PVM task identifier (== circuit rank here).
+type TID int
+
+// Buffer is a typed pack/unpack buffer.
+type Buffer struct {
+	buf []byte
+	off int
+}
+
+// NewBuffer returns an empty send buffer (pvm_initsend).
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// PkInt packs an int64 (pvm_pkint widened).
+func (b *Buffer) PkInt(v int64) *Buffer {
+	var x [8]byte
+	binary.BigEndian.PutUint64(x[:], uint64(v))
+	b.buf = append(b.buf, x[:]...)
+	return b
+}
+
+// PkDouble packs a float64.
+func (b *Buffer) PkDouble(v float64) *Buffer { return b.PkInt(int64(math.Float64bits(v))) }
+
+// PkBytes packs a length-prefixed byte string.
+func (b *Buffer) PkBytes(v []byte) *Buffer {
+	var x [4]byte
+	binary.BigEndian.PutUint32(x[:], uint32(len(v)))
+	b.buf = append(b.buf, x[:]...)
+	b.buf = append(b.buf, v...)
+	return b
+}
+
+// PkString packs a string.
+func (b *Buffer) PkString(s string) *Buffer { return b.PkBytes([]byte(s)) }
+
+// UpkInt unpacks an int64.
+func (b *Buffer) UpkInt() int64 {
+	v := int64(binary.BigEndian.Uint64(b.buf[b.off:]))
+	b.off += 8
+	return v
+}
+
+// UpkDouble unpacks a float64.
+func (b *Buffer) UpkDouble() float64 { return math.Float64frombits(uint64(b.UpkInt())) }
+
+// UpkBytes unpacks a byte string.
+func (b *Buffer) UpkBytes() []byte {
+	n := int(binary.BigEndian.Uint32(b.buf[b.off:]))
+	b.off += 4
+	v := b.buf[b.off : b.off+n]
+	b.off += n
+	return v
+}
+
+// UpkString unpacks a string.
+func (b *Buffer) UpkString() string { return string(b.UpkBytes()) }
+
+// message is one queued incoming message.
+type message struct {
+	src TID
+	tag int
+	buf []byte
+}
+
+// Task is one PVM task (per rank).
+type Task struct {
+	k  *vtime.Kernel
+	ch madapi.Channel
+	rx []*message
+	nw *vtime.Cond
+
+	MsgsSent int64
+	MsgsRecv int64
+}
+
+// New enrolls a task over a Madeleine-interface channel (pvm_mytid).
+func New(k *vtime.Kernel, ch madapi.Channel) *Task {
+	t := &Task{k: k, ch: ch, nw: vtime.NewCond(fmt.Sprintf("pvm:%d", ch.Self()))}
+	k.GoDaemon(fmt.Sprintf("pvm-rx:%d", ch.Self()), t.pump)
+	return t
+}
+
+// ModuleName implements core.Module.
+func (t *Task) ModuleName() string { return "pvm" }
+
+// MyTID returns the task id.
+func (t *Task) MyTID() TID { return TID(t.ch.Self()) }
+
+// NTasks returns the virtual machine size.
+func (t *Task) NTasks() int { return t.ch.Size() }
+
+func (t *Task) pump(p *vtime.Proc) {
+	for {
+		in := t.ch.BeginUnpacking(p)
+		hdr := in.Unpack(8, madapi.ReceiveExpress)
+		tag := int(int32(binary.BigEndian.Uint32(hdr)))
+		n := int(binary.BigEndian.Uint32(hdr[4:]))
+		var data []byte
+		if n > 0 {
+			data = in.Unpack(n, madapi.ReceiveCheaper)
+		}
+		in.EndUnpacking()
+		p.Consume(model.PVMRequestCost)
+		t.MsgsRecv++
+		t.rx = append(t.rx, &message{src: TID(in.Src()), tag: tag, buf: append([]byte(nil), data...)})
+		t.nw.Broadcast()
+	}
+}
+
+// Send transmits a packed buffer (pvm_send).
+func (t *Task) Send(dst TID, tag int, b *Buffer) {
+	t.MsgsSent++
+	hdr := make([]byte, 8)
+	binary.BigEndian.PutUint32(hdr, uint32(int32(tag)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(b.buf)))
+	data := append([]byte(nil), b.buf...)
+	t.k.After(model.PVMRequestCost, func() {
+		out := t.ch.BeginPacking(int(dst))
+		out.Pack(hdr, madapi.SendSafer)
+		if len(data) > 0 {
+			out.Pack(data, madapi.SendSafer)
+		}
+		out.EndPacking()
+	})
+}
+
+// Recv blocks for a message matching (src, tag); wildcards allowed
+// (pvm_recv). It returns the unpack buffer and the actual source/tag.
+func (t *Task) Recv(p *vtime.Proc, src TID, tag int) (*Buffer, TID, int) {
+	for {
+		for i, m := range t.rx {
+			if (src == AnyTID || src == m.src) && (tag == AnyTag || tag == m.tag) {
+				t.rx = append(t.rx[:i], t.rx[i+1:]...)
+				return &Buffer{buf: m.buf}, m.src, m.tag
+			}
+		}
+		t.nw.Wait(p)
+	}
+}
+
+// Probe reports whether a matching message is queued (pvm_probe).
+func (t *Task) Probe(src TID, tag int) bool {
+	for _, m := range t.rx {
+		if (src == AnyTID || src == m.src) && (tag == AnyTag || tag == m.tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Mcast sends a buffer to several tasks (pvm_mcast).
+func (t *Task) Mcast(dsts []TID, tag int, b *Buffer) {
+	for _, d := range dsts {
+		t.Send(d, tag, b)
+	}
+}

@@ -1,0 +1,140 @@
+// Package selector implements the paper's Selector (§4.2): "VLink and
+// Circuit automatically choose which protocol to use according to a
+// knowledge base of the network topology managed by PadicoTM and
+// user-defined preferences."
+//
+// Given two nodes and the grid description, Choose returns a Decision:
+// which shared network to use, which method (driver/adapter) on it, and
+// which optional protocol adapters (compression, security, parallel
+// streams, loss tolerance) to stack — compromises only where required
+// (§3.1), e.g. ciphering only on insecure links ("if the network is
+// secure, it is useless to cipher data", §2.1).
+package selector
+
+import (
+	"fmt"
+
+	"padico/internal/topology"
+)
+
+// Preferences are the user-tunable knobs of the knowledge base.
+type Preferences struct {
+	// Streams is the number of parallel sockets per logical link on
+	// high-bandwidth high-latency WANs (1 disables striping).
+	Streams int
+	// Compress enables AdOC adaptive compression on links slower than
+	// CompressBelowBps.
+	Compress         bool
+	CompressBelowBps float64
+	// LossTolerance enables VRP with the given tolerated loss fraction
+	// (0 disables; only applies to lossy links).
+	LossTolerance float64
+	// Cipher selects when to wrap links with authentication/encryption:
+	// "never", "auto" (insecure networks only), "always".
+	Cipher string
+}
+
+// DefaultPreferences mirror the paper's deployment choices.
+func DefaultPreferences() Preferences {
+	return Preferences{
+		Streams:          4,
+		Compress:         true,
+		CompressBelowBps: 1e6,
+		LossTolerance:    0,
+		Cipher:           "auto",
+	}
+}
+
+// Decision is the selector's verdict for one node pair.
+type Decision struct {
+	Network *topology.Network
+	// Method is the VLink driver / Circuit adapter on that network:
+	// "madio" (SAN), "sysio" (TCP), "pstreams", "vrp", "loopback".
+	Method string
+	// Streams > 1 requests parallel-stream striping (Method pstreams).
+	Streams int
+	// Compress requests the AdOC wrapper.
+	Compress bool
+	// Secure requests the authentication/encryption wrapper.
+	Secure bool
+}
+
+func (d Decision) String() string {
+	s := fmt.Sprintf("%s via %s", d.Network.Name, d.Method)
+	if d.Streams > 1 {
+		s += fmt.Sprintf(" x%d", d.Streams)
+	}
+	if d.Compress {
+		s += "+adoc"
+	}
+	if d.Secure {
+		s += "+gsec"
+	}
+	return s
+}
+
+// sanOrder ranks SAN technologies by preference.
+var sanOrder = []topology.NetworkKind{topology.Myrinet, topology.SCI, topology.VIANet}
+
+// Choose picks the network and method for the pair (a, b).
+func Choose(g *topology.Grid, prefs Preferences, a, b topology.NodeID) (Decision, error) {
+	if a == b {
+		return Decision{Method: "loopback"}, nil
+	}
+	common := g.Common(a, b)
+	if len(common) == 0 {
+		return Decision{}, fmt.Errorf("selector: no common network between %d and %d", a, b)
+	}
+	// 1. Prefer parallel-oriented SANs, in technology order. Machine-room
+	// SANs are physically secure; only an explicit "always" policy
+	// ciphers them.
+	for _, kind := range sanOrder {
+		for _, nw := range common {
+			if nw.Kind == kind {
+				return Decision{Network: nw, Method: "madio",
+					Secure: prefs.Cipher == "always"}, nil
+			}
+		}
+	}
+	// 2. Prefer LAN over WAN over lossy Internet.
+	best := common[0]
+	rank := func(nw *topology.Network) int {
+		switch nw.Kind {
+		case topology.Ethernet:
+			return 0
+		case topology.WAN:
+			return 1
+		case topology.Internet:
+			return 2
+		default:
+			return 3
+		}
+	}
+	for _, nw := range common[1:] {
+		if rank(nw) < rank(best) {
+			best = nw
+		}
+	}
+	d := Decision{Network: best, Method: "sysio", Streams: 1}
+	switch best.Kind {
+	case topology.WAN:
+		if prefs.Streams > 1 {
+			d.Method = "pstreams"
+			d.Streams = prefs.Streams
+		}
+	case topology.Internet:
+		if prefs.LossTolerance > 0 && best.Loss > 0 {
+			d.Method = "vrp"
+		}
+	}
+	if prefs.Compress && best.RateBps < prefs.CompressBelowBps {
+		d.Compress = true
+	}
+	switch prefs.Cipher {
+	case "always":
+		d.Secure = true
+	case "auto":
+		d.Secure = !best.Secure || !g.SameSite(a, b)
+	}
+	return d, nil
+}

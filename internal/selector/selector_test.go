@@ -1,0 +1,127 @@
+package selector
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/topology"
+)
+
+// testGrid builds: site A {n0,n1} with myrinet+sci+ethernet; site B
+// {n2} reachable via WAN; n3 isolated on a lossy internet link with n2.
+func testGrid() *topology.Grid {
+	g := topology.New()
+	myri := g.AddNetwork("myri", topology.Myrinet, true, 250e6, 2*time.Microsecond, 0, 0)
+	sci := g.AddNetwork("sci", topology.SCI, true, 180e6, time.Microsecond, 0, 0)
+	eth := g.AddNetwork("eth", topology.Ethernet, true, 12.5e6, 30*time.Microsecond, 0, 1500)
+	wan := g.AddNetwork("wan", topology.WAN, false, 12.2e6, 8*time.Millisecond, 0, 1500)
+	inet := g.AddNetwork("inet", topology.Internet, false, 600e3, 25*time.Millisecond, 0.05, 1500)
+
+	n0 := g.AddNode("n0", "A")
+	n1 := g.AddNode("n1", "A")
+	n2 := g.AddNode("n2", "B")
+	n3 := g.AddNode("n3", "C")
+	for _, n := range []*topology.Node{n0, n1} {
+		g.Attach(n, myri)
+		g.Attach(n, sci)
+		g.Attach(n, eth)
+		g.Attach(n, wan)
+	}
+	g.Attach(n2, wan)
+	g.Attach(n2, inet)
+	g.Attach(n3, inet)
+	return g
+}
+
+func TestSANPreferenceOrder(t *testing.T) {
+	g := testGrid()
+	d, err := Choose(g, DefaultPreferences(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Network.Kind != topology.Myrinet || d.Method != "madio" {
+		t.Fatalf("want Myrinet/madio, got %v", d)
+	}
+	if d.Secure || d.Compress {
+		t.Fatalf("no wrappers expected on a secure fast SAN: %v", d)
+	}
+}
+
+func TestWANGetsStreamsAndCipher(t *testing.T) {
+	g := testGrid()
+	d, err := Choose(g, DefaultPreferences(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method != "pstreams" || d.Streams != 4 || !d.Secure {
+		t.Fatalf("want pstreams x4 + gsec, got %v", d)
+	}
+}
+
+func TestLossyLinkPolicies(t *testing.T) {
+	g := testGrid()
+	prefs := DefaultPreferences()
+	d, _ := Choose(g, prefs, 2, 3)
+	if d.Method != "sysio" || !d.Compress || !d.Secure {
+		t.Fatalf("default lossy decision = %v", d)
+	}
+	prefs.LossTolerance = 0.1
+	d, _ = Choose(g, prefs, 2, 3)
+	if d.Method != "vrp" {
+		t.Fatalf("loss-tolerant decision = %v", d)
+	}
+	prefs.Cipher = "never"
+	prefs.Compress = false
+	d, _ = Choose(g, prefs, 2, 3)
+	if d.Secure || d.Compress {
+		t.Fatalf("disabled wrappers still chosen: %v", d)
+	}
+}
+
+func TestCipherAlways(t *testing.T) {
+	g := testGrid()
+	prefs := DefaultPreferences()
+	prefs.Cipher = "always"
+	d, _ := Choose(g, prefs, 0, 1)
+	if !d.Secure {
+		t.Fatal("cipher=always ignored on SAN")
+	}
+}
+
+func TestNoCommonNetwork(t *testing.T) {
+	g := testGrid()
+	if _, err := Choose(g, DefaultPreferences(), 0, 3); err == nil {
+		t.Fatal("disconnected pair got a decision")
+	}
+}
+
+func TestSelfIsLoopback(t *testing.T) {
+	g := testGrid()
+	d, err := Choose(g, DefaultPreferences(), 1, 1)
+	if err != nil || d.Method != "loopback" {
+		t.Fatalf("self decision = %v, %v", d, err)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	g := testGrid()
+	d, _ := Choose(g, DefaultPreferences(), 0, 2)
+	s := d.String()
+	if s == "" {
+		t.Fatal("empty decision string")
+	}
+	for _, want := range []string{"pstreams", "x4", "+gsec"} {
+		if !contains(s, want) {
+			t.Fatalf("decision string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+// Package soapx implements a SOAP-style XML-envelope RPC (the paper's
+// gSOAP, §4.3) over VLink: requests and replies travel as XML documents
+// with string-typed parameters, which is why its per-byte cost dwarfs
+// the binary middleware — and why it is the natural fit for the loosely
+// coupled monitoring/steering interactions of §2.1 rather than bulk
+// transfer.
+package soapx
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"padico/internal/model"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// ErrFault is the base error for SOAP faults.
+var ErrFault = errors.New("soap: fault")
+
+// Envelope is the XML message shape.
+type Envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    Body     `xml:"Body"`
+}
+
+// Body carries the operation and its parameters.
+type Body struct {
+	Operation string  `xml:"Operation"`
+	Params    []Param `xml:"Param"`
+	Fault     string  `xml:"Fault,omitempty"`
+}
+
+// Param is one named string parameter.
+type Param struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Handler serves one operation.
+type Handler func(p *vtime.Proc, params map[string]string) (map[string]string, error)
+
+// Server is a SOAP endpoint.
+type Server struct {
+	k        *vtime.Kernel
+	handlers map[string]Handler
+
+	Requests int64
+}
+
+// NewServer creates a SOAP server and activates it on driver/port.
+func NewServer(k *vtime.Kernel, ep *vlink.Endpoint, driver string, port int) (*Server, error) {
+	s := &Server{k: k, handlers: make(map[string]Handler)}
+	ln, err := ep.Listen(driver, port)
+	if err != nil {
+		return nil, err
+	}
+	ln.SetAcceptHandler(func(v *vlink.VLink) { s.serve(v) })
+	return s, nil
+}
+
+// ModuleName implements core.Module.
+func (s *Server) ModuleName() string { return "gsoap" }
+
+// Handle binds an operation.
+func (s *Server) Handle(op string, h Handler) { s.handlers[op] = h }
+
+func (s *Server) serve(v *vlink.VLink) {
+	s.k.GoDaemon("soap-serve", func(p *vtime.Proc) {
+		for {
+			doc, err := readDoc(p, v)
+			if err != nil {
+				return
+			}
+			p.Consume(model.SOAPRequestCost + model.SOAPPerByte.Cost(len(doc)))
+			var env Envelope
+			var reply Envelope
+			if err := xml.Unmarshal(doc, &env); err != nil {
+				reply.Body.Fault = err.Error()
+			} else if h, ok := s.handlers[env.Body.Operation]; !ok {
+				reply.Body.Fault = "no such operation: " + env.Body.Operation
+			} else {
+				params := make(map[string]string, len(env.Body.Params))
+				for _, pr := range env.Body.Params {
+					params[pr.Name] = pr.Value
+				}
+				out, err := h(p, params)
+				if err != nil {
+					reply.Body.Fault = err.Error()
+				} else {
+					reply.Body.Operation = env.Body.Operation + "Response"
+					reply.Body.Params = sortedParams(out)
+				}
+			}
+			s.Requests++
+			raw, _ := xml.Marshal(reply)
+			p.Consume(model.SOAPRequestCost + model.SOAPPerByte.Cost(len(raw)))
+			writeDoc(p, v, raw)
+		}
+	})
+}
+
+// Client invokes SOAP operations over one connection.
+type Client struct {
+	k *vtime.Kernel
+	v *vlink.VLink
+}
+
+// Dial connects a SOAP client.
+func Dial(p *vtime.Proc, ep *vlink.Endpoint, driver string, node topology.NodeID, port int) (*Client, error) {
+	v, err := ep.ConnectWait(p, driver, vlink.Addr{Node: node, Port: port})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{k: p.Kernel(), v: v}, nil
+}
+
+// Call performs one request/response exchange.
+func (c *Client) Call(p *vtime.Proc, op string, params map[string]string) (map[string]string, error) {
+	env := Envelope{Body: Body{Operation: op, Params: sortedParams(params)}}
+	raw, err := xml.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	p.Consume(model.SOAPRequestCost + model.SOAPPerByte.Cost(len(raw)))
+	writeDoc(p, c.v, raw)
+	doc, err := readDoc(p, c.v)
+	if err != nil {
+		return nil, err
+	}
+	p.Consume(model.SOAPRequestCost + model.SOAPPerByte.Cost(len(doc)))
+	var reply Envelope
+	if err := xml.Unmarshal(doc, &reply); err != nil {
+		return nil, err
+	}
+	if reply.Body.Fault != "" {
+		return nil, fmt.Errorf("%w: %s", ErrFault, reply.Body.Fault)
+	}
+	out := make(map[string]string, len(reply.Body.Params))
+	for _, pr := range reply.Body.Params {
+		out[pr.Name] = pr.Value
+	}
+	return out, nil
+}
+
+// Close shuts the client connection.
+func (c *Client) Close() { c.v.Close() }
+
+// sortedParams renders a map in deterministic order.
+func sortedParams(m map[string]string) []Param {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort: tiny n
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]Param, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Param{Name: k, Value: m[k]})
+	}
+	return out
+}
+
+func writeDoc(p *vtime.Proc, v *vlink.VLink, doc []byte) {
+	hdr := make([]byte, 4, 4+len(doc))
+	binary.BigEndian.PutUint32(hdr, uint32(len(doc)))
+	v.Write(p, append(hdr, doc...))
+}
+
+func readDoc(p *vtime.Proc, v *vlink.VLink) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := v.ReadFull(p, hdr[:]); err != nil {
+		return nil, err
+	}
+	doc := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := v.ReadFull(p, doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

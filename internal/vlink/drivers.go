@@ -1,0 +1,522 @@
+package vlink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"padico/internal/ipstack"
+	"padico/internal/madapi"
+	"padico/internal/netaccess"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// ---------------------------------------------------------------------
+// SysIO driver: the straight incarnation of VLink on distributed
+// hardware — TCP sockets arbitrated by SysIO.
+
+// SysIODriver implements Driver over the node's TCP stack via SysIO.
+type SysIODriver struct {
+	k    *vtime.Kernel
+	host *ipstack.Host
+	sys  *netaccess.SysIO
+}
+
+// NewSysIODriver builds the sysio driver for one node.
+func NewSysIODriver(k *vtime.Kernel, host *ipstack.Host, sys *netaccess.SysIO) *SysIODriver {
+	return &SysIODriver{k: k, host: host, sys: sys}
+}
+
+// Name implements Driver.
+func (d *SysIODriver) Name() string { return "sysio" }
+
+// Listen implements Driver.
+func (d *SysIODriver) Listen(port int) (Listener, error) {
+	ln, err := d.host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	sl := &sysListener{d: d, ln: ln}
+	d.sys.RegisterListener(ln, func(p *vtime.Proc) {
+		for {
+			c, ok := ln.AcceptTimeout(p, 0)
+			if !ok {
+				return
+			}
+			sc := newSysConn(d, c)
+			if sl.accept != nil {
+				sl.accept(sc)
+			}
+		}
+	})
+	return sl, nil
+}
+
+type sysListener struct {
+	d      *SysIODriver
+	ln     *ipstack.Listener
+	accept func(Conn)
+}
+
+func (l *sysListener) SetAcceptHandler(fn func(Conn)) { l.accept = fn }
+func (l *sysListener) Close()                         { l.ln.Close() }
+
+// Dial implements Driver. The TCP handshake runs on a short-lived
+// helper process; completion is posted back in kernel context.
+func (d *SysIODriver) Dial(addr Addr, cb func(Conn, error)) {
+	d.k.Go(fmt.Sprintf("vlink-dial:%d", addr.Node), func(p *vtime.Proc) {
+		c, err := d.host.Dial(p, addr.Node, addr.Port)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(newSysConn(d, c), nil)
+	})
+}
+
+// sysConn adapts an ipstack.TCPConn to the async Conn interface using
+// SysIO readiness callbacks.
+type sysConn struct {
+	d    *SysIODriver
+	c    *ipstack.TCPConn
+	rbuf []byte
+	rcb  func(int, error)
+	wq   []pendingWrite
+}
+
+type pendingWrite struct {
+	data []byte
+	done int
+	cb   func(int, error)
+}
+
+func newSysConn(d *SysIODriver, c *ipstack.TCPConn) *sysConn {
+	sc := &sysConn{d: d, c: c}
+	d.sys.RegisterConn(c, sc.onReadable)
+	c.SetWritableHandler(sc.onWritable)
+	return sc
+}
+
+// Kernel lets VLink charge costs on the right kernel.
+func (sc *sysConn) Kernel() *vtime.Kernel { return sc.d.k }
+
+// Peer implements Conn.
+func (sc *sysConn) Peer() topology.NodeID { return sc.c.Remote() }
+
+// SetBuffers tunes the underlying socket buffers (pstreams uses this to
+// size per-stripe windows).
+func (sc *sysConn) SetBuffers(snd, rcv int) { sc.c.SetBuffers(snd, rcv) }
+
+func (sc *sysConn) onReadable(p *vtime.Proc) {
+	if sc.rcb == nil || !sc.c.Readable() {
+		return
+	}
+	n, err := sc.c.Read(p, sc.rbuf) // readable: returns without blocking
+	cb := sc.rcb
+	sc.rcb = nil
+	sc.rbuf = nil
+	cb(n, err)
+}
+
+func (sc *sysConn) onWritable() {
+	for len(sc.wq) > 0 {
+		w := &sc.wq[0]
+		w.done += sc.c.TryWrite(w.data[w.done:])
+		if w.done < len(w.data) {
+			return // buffer full again; wait for next writable event
+		}
+		cb, n := w.cb, w.done
+		sc.wq = sc.wq[1:]
+		cb(n, nil)
+	}
+}
+
+// PostRead implements Conn. If data is already queued, the readiness
+// event is re-fired so the receipt loop performs the read on the I/O
+// manager process.
+func (sc *sysConn) PostRead(buf []byte, cb func(int, error)) {
+	if sc.rcb != nil {
+		panic("vlink/sysio: overlapping PostRead")
+	}
+	sc.rbuf, sc.rcb = buf, cb
+	sc.c.PokeReady()
+}
+
+// PostWrite implements Conn.
+func (sc *sysConn) PostWrite(data []byte, cb func(int, error)) {
+	sc.wq = append(sc.wq, pendingWrite{data: data, cb: cb})
+	if len(sc.wq) == 1 {
+		sc.onWritable()
+	}
+}
+
+// Close implements Conn.
+func (sc *sysConn) Close() { sc.c.Close() }
+
+// ---------------------------------------------------------------------
+// MadIO driver: the cross-paradigm incarnation — a distributed
+// (client/server, streaming) interface on parallel SAN hardware.
+// Logical connections are multiplexed on one MadIO logical channel.
+
+// Control message kinds.
+const (
+	madConnect byte = iota
+	madAccept
+	madRefuse
+	madData
+	madClose
+)
+
+// MadIODriver implements Driver over a MadIO logical channel. All
+// MadIODriver instances of a fabric share logical channel `logical`.
+type MadIODriver struct {
+	k       *vtime.Kernel
+	node    topology.NodeID
+	mio     *netaccess.MadIO
+	logical uint16
+	rankOf  func(topology.NodeID) (int, bool) // node -> madeleine rank
+	nodeOf  func(int) topology.NodeID
+	ports   map[int]*madListener
+	conns   map[uint32]*madConn
+	dials   map[uint32]func(Conn, error)
+	nextCID uint32
+}
+
+// NewMadIODriver builds the madio VLink driver for one node. rankOf
+// and nodeOf translate between grid nodes and Madeleine ranks on this
+// fabric.
+func NewMadIODriver(k *vtime.Kernel, node topology.NodeID, mio *netaccess.MadIO, logical uint16,
+	rankOf func(topology.NodeID) (int, bool), nodeOf func(int) topology.NodeID) *MadIODriver {
+	d := &MadIODriver{
+		k: k, node: node, mio: mio, logical: logical, rankOf: rankOf, nodeOf: nodeOf,
+		ports: make(map[int]*madListener),
+		conns: make(map[uint32]*madConn),
+		dials: make(map[uint32]func(Conn, error)),
+	}
+	mio.Register(logical, d.onMessage)
+	return d
+}
+
+// Name implements Driver.
+func (d *MadIODriver) Name() string { return "madio" }
+
+// Listen implements Driver.
+func (d *MadIODriver) Listen(port int) (Listener, error) {
+	if _, dup := d.ports[port]; dup {
+		return nil, ipstack.ErrPortInUse
+	}
+	l := &madListener{d: d, port: port}
+	d.ports[port] = l
+	return l, nil
+}
+
+type madListener struct {
+	d      *MadIODriver
+	port   int
+	accept func(Conn)
+}
+
+func (l *madListener) SetAcceptHandler(fn func(Conn)) { l.accept = fn }
+func (l *madListener) Close()                         { delete(l.d.ports, l.port) }
+
+// Dial implements Driver.
+func (d *MadIODriver) Dial(addr Addr, cb func(Conn, error)) {
+	rank, ok := d.rankOf(addr.Node)
+	if !ok {
+		cb(nil, fmt.Errorf("vlink/madio: node %d not on this fabric", addr.Node))
+		return
+	}
+	d.nextCID++
+	cid := d.nextCID
+	d.dials[cid] = cb
+	var hdr [10]byte
+	hdr[0] = madConnect
+	binary.BigEndian.PutUint32(hdr[1:], cid)
+	binary.BigEndian.PutUint32(hdr[5:], uint32(addr.Port))
+	d.mio.Send(rank, d.logical, hdr[:])
+}
+
+// onMessage demultiplexes one MadIO message for this driver.
+func (d *MadIODriver) onMessage(p *vtime.Proc, src int, in madapi.InMessage) {
+	hdr := in.Unpack(10, madapi.ReceiveExpress)
+	kind := hdr[0]
+	cid := binary.BigEndian.Uint32(hdr[1:])
+	arg := binary.BigEndian.Uint32(hdr[5:])
+	switch kind {
+	case madConnect:
+		in.EndUnpacking()
+		l, ok := d.ports[int(arg)]
+		var reply [10]byte
+		binary.BigEndian.PutUint32(reply[1:], cid)
+		if !ok || l.accept == nil {
+			reply[0] = madRefuse
+			d.mio.Send(src, d.logical, reply[:])
+			return
+		}
+		c := d.newConn(connKeyOf(src, cid), src)
+		reply[0] = madAccept
+		d.mio.Send(src, d.logical, reply[:])
+		l.accept(c)
+	case madAccept:
+		in.EndUnpacking()
+		cb := d.dials[cid]
+		delete(d.dials, cid)
+		c := d.newConn(connKeyOf(src, cid)|dialerBit, src)
+		cb(c, nil)
+	case madRefuse:
+		in.EndUnpacking()
+		cb := d.dials[cid]
+		delete(d.dials, cid)
+		cb(nil, ErrRefused)
+	case madData:
+		data := in.Unpack(int(arg), madapi.ReceiveCheaper)
+		in.EndUnpacking()
+		// hdr[9] flags "sender is the dialer"; our matching link is then
+		// the accepted one (and vice versa), which disambiguates colliding
+		// connection ids from symmetric dials.
+		key := connKeyOf(src, cid)
+		if hdr[9] == 0 {
+			key |= dialerBit
+		}
+		if c, ok := d.conns[key]; ok {
+			c.deliver(data)
+		}
+	case madClose:
+		in.EndUnpacking()
+		key := connKeyOf(src, cid)
+		if hdr[9] == 0 {
+			key |= dialerBit
+		}
+		if c, ok := d.conns[key]; ok {
+			c.deliverEOF()
+		}
+	}
+}
+
+const dialerBit = uint32(1) << 31
+
+func connKeyOf(src int, cid uint32) uint32 { return uint32(src)<<16 | (cid & 0xFFFF) }
+
+func (d *MadIODriver) newConn(key uint32, peerRank int) *madConn {
+	c := &madConn{d: d, key: key, peer: peerRank}
+	d.conns[key] = c
+	return c
+}
+
+type madConn struct {
+	d      *MadIODriver
+	key    uint32
+	peer   int
+	rx     []byte
+	eof    bool
+	rbuf   []byte
+	rcb    func(int, error)
+	closed bool
+}
+
+// Kernel lets VLink charge costs on the right kernel.
+func (c *madConn) Kernel() *vtime.Kernel { return c.d.k }
+
+// Peer implements Conn.
+func (c *madConn) Peer() topology.NodeID { return c.d.nodeOf(c.peer) }
+
+func (c *madConn) cid() uint32 { return c.key & 0xFFFF }
+
+func (c *madConn) isDialer() byte {
+	if c.key&dialerBit != 0 {
+		return 1
+	}
+	return 0
+}
+
+func (c *madConn) deliver(data []byte) {
+	c.rx = append(c.rx, data...)
+	c.tryComplete()
+}
+
+func (c *madConn) deliverEOF() {
+	c.eof = true
+	c.tryComplete()
+}
+
+func (c *madConn) tryComplete() {
+	if c.rcb == nil {
+		return
+	}
+	if len(c.rx) == 0 && !c.eof {
+		return
+	}
+	n := copy(c.rbuf, c.rx)
+	c.rx = c.rx[n:]
+	cb := c.rcb
+	c.rcb, c.rbuf = nil, nil
+	var err error
+	if n == 0 && c.eof {
+		err = io.EOF
+	}
+	cb(n, err)
+}
+
+// PostRead implements Conn.
+func (c *madConn) PostRead(buf []byte, cb func(int, error)) {
+	if c.rcb != nil {
+		panic("vlink/madio: overlapping PostRead")
+	}
+	c.rbuf, c.rcb = buf, cb
+	c.tryComplete()
+}
+
+// PostWrite implements Conn: data rides one MadIO message. SAN links
+// are far faster than any producer here, so the driver accepts
+// immediately (no flow control, as on a well-provisioned SAN).
+func (c *madConn) PostWrite(data []byte, cb func(int, error)) {
+	if c.closed {
+		cb(0, ErrClosed)
+		return
+	}
+	var hdr [10]byte
+	hdr[0] = madData
+	binary.BigEndian.PutUint32(hdr[1:], c.cid())
+	binary.BigEndian.PutUint32(hdr[5:], uint32(len(data)))
+	hdr[9] = c.isDialer()
+	c.d.mio.Send(c.peer, c.d.logical, hdr[:], data)
+	cb(len(data), nil)
+}
+
+// Close implements Conn.
+func (c *madConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	var hdr [10]byte
+	hdr[0] = madClose
+	binary.BigEndian.PutUint32(hdr[1:], c.cid())
+	hdr[9] = c.isDialer()
+	c.d.mio.Send(c.peer, c.d.logical, hdr[:])
+	delete(c.d.conns, c.key)
+}
+
+// ---------------------------------------------------------------------
+// Loopback driver: intra-node links (§4.2 lists loopback among the
+// VLink drivers).
+
+// LoopbackDriver implements Driver inside one node.
+type LoopbackDriver struct {
+	k     *vtime.Kernel
+	node  topology.NodeID
+	ports map[int]*loopListener
+}
+
+// NewLoopbackDriver builds the loopback driver for one node.
+func NewLoopbackDriver(k *vtime.Kernel, node topology.NodeID) *LoopbackDriver {
+	return &LoopbackDriver{k: k, node: node, ports: make(map[int]*loopListener)}
+}
+
+// Name implements Driver.
+func (d *LoopbackDriver) Name() string { return "loopback" }
+
+// Listen implements Driver.
+func (d *LoopbackDriver) Listen(port int) (Listener, error) {
+	if _, dup := d.ports[port]; dup {
+		return nil, ipstack.ErrPortInUse
+	}
+	l := &loopListener{d: d, port: port}
+	d.ports[port] = l
+	return l, nil
+}
+
+type loopListener struct {
+	d      *LoopbackDriver
+	port   int
+	accept func(Conn)
+}
+
+func (l *loopListener) SetAcceptHandler(fn func(Conn)) { l.accept = fn }
+func (l *loopListener) Close()                         { delete(l.d.ports, l.port) }
+
+// Dial implements Driver.
+func (d *LoopbackDriver) Dial(addr Addr, cb func(Conn, error)) {
+	if addr.Node != d.node {
+		cb(nil, fmt.Errorf("vlink/loopback: %v is not the local node", addr.Node))
+		return
+	}
+	l, ok := d.ports[addr.Port]
+	if !ok || l.accept == nil {
+		cb(nil, ErrRefused)
+		return
+	}
+	a, b := newLoopPair(d)
+	d.k.After(500*time.Nanosecond, func() {
+		l.accept(b)
+		cb(a, nil)
+	})
+}
+
+// loopConn is one end of an in-memory pipe.
+type loopConn struct {
+	d    *LoopbackDriver
+	peer *loopConn
+	rx   []byte
+	eof  bool
+	rbuf []byte
+	rcb  func(int, error)
+}
+
+func newLoopPair(d *LoopbackDriver) (*loopConn, *loopConn) {
+	a := &loopConn{d: d}
+	b := &loopConn{d: d}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Kernel lets VLink charge costs on the right kernel.
+func (c *loopConn) Kernel() *vtime.Kernel { return c.d.k }
+
+// Peer implements Conn.
+func (c *loopConn) Peer() topology.NodeID { return c.d.node }
+
+// PostRead implements Conn.
+func (c *loopConn) PostRead(buf []byte, cb func(int, error)) {
+	if c.rcb != nil {
+		panic("vlink/loopback: overlapping PostRead")
+	}
+	c.rbuf, c.rcb = buf, cb
+	c.tryComplete()
+}
+
+func (c *loopConn) tryComplete() {
+	if c.rcb == nil || (len(c.rx) == 0 && !c.eof) {
+		return
+	}
+	n := copy(c.rbuf, c.rx)
+	c.rx = c.rx[n:]
+	cb := c.rcb
+	c.rcb, c.rbuf = nil, nil
+	var err error
+	if n == 0 && c.eof {
+		err = io.EOF
+	}
+	cb(n, err)
+}
+
+// PostWrite implements Conn.
+func (c *loopConn) PostWrite(data []byte, cb func(int, error)) {
+	peer := c.peer
+	c.d.k.After(200*time.Nanosecond, func() { // memcpy-scale latency
+		peer.rx = append(peer.rx, data...)
+		peer.tryComplete()
+	})
+	cb(len(data), nil)
+}
+
+// Close implements Conn.
+func (c *loopConn) Close() {
+	peer := c.peer
+	c.d.k.After(200*time.Nanosecond, func() {
+		peer.eof = true
+		peer.tryComplete()
+	})
+}

@@ -1,0 +1,126 @@
+package vrp_test
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/ipstack"
+	"padico/internal/model"
+	"padico/internal/netsim"
+	"padico/internal/vrp"
+	"padico/internal/vtime"
+)
+
+// pair builds a VRP sender/receiver over a path with the given loss.
+func pair(k *vtime.Kernel, loss float64, tolerance float64) (*vrp.Conn, *vrp.Conn) {
+	st := ipstack.New(k)
+	mk := func(seed int64) *netsim.Path {
+		return netsim.NewPath(k, "link", seed,
+			&netsim.Hop{Name: "hop", Rate: model.LossyRate,
+				Latency: model.LossyWireLat, Loss: loss, QueueCap: 256})
+	}
+	st.ConnectPath(0, 1, mk(5), mk(6), 1500)
+	ua, _ := st.Host(0).ListenUDP(7000)
+	ub, _ := st.Host(1).ListenUDP(7001)
+	return vrp.New(k, ua, 1, 7001, tolerance, model.LossyRate),
+		vrp.New(k, ub, 0, 7000, tolerance, model.LossyRate)
+}
+
+func TestLosslessLinkDeliversEverythingInOrder(t *testing.T) {
+	k := vtime.NewKernel()
+	snd, rcv := pair(k, 0, 0.1)
+	const n = 300
+	if err := k.Run(func(p *vtime.Proc) {
+		for i := 0; i < n; i++ {
+			snd.Send([]byte{byte(i)})
+		}
+		for i := 0; i < n; i++ {
+			m := rcv.Recv(p)
+			if m.Seq != uint64(i) || m.Data[0] != byte(i) {
+				t.Fatalf("msg %d: seq=%d data=%d", i, m.Seq, m.Data[0])
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snd.Stats.Skipped != 0 || snd.Stats.Retransmitted != 0 {
+		t.Fatalf("recovery on a lossless link: %+v", snd.Stats)
+	}
+}
+
+func TestZeroToleranceRepairsEverything(t *testing.T) {
+	k := vtime.NewKernel()
+	snd, rcv := pair(k, 0.05, 0) // lossy link, no loss allowed
+	const n = 400
+	received := 0
+	if err := k.Run(func(p *vtime.Proc) {
+		for i := 0; i < n; i++ {
+			snd.Send(make([]byte, 512))
+		}
+		for {
+			if _, ok := rcv.RecvTimeout(p, 3*time.Second); !ok {
+				break
+			}
+			received++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if received != n {
+		t.Fatalf("delivered %d of %d with zero tolerance", received, n)
+	}
+	if snd.Stats.Retransmitted == 0 {
+		t.Fatal("no repairs on a 5% lossy link")
+	}
+	if snd.Stats.Skipped != 0 {
+		t.Fatalf("skips with zero tolerance: %d", snd.Stats.Skipped)
+	}
+}
+
+func TestToleranceBoundsSkips(t *testing.T) {
+	k := vtime.NewKernel()
+	snd, rcv := pair(k, 0.05, 0.02) // loss above tolerance: some repairs
+	const n = 500
+	received := 0
+	if err := k.Run(func(p *vtime.Proc) {
+		for i := 0; i < n; i++ {
+			snd.Send(make([]byte, 512))
+		}
+		for {
+			if _, ok := rcv.RecvTimeout(p, 3*time.Second); !ok {
+				break
+			}
+			received++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	skipFrac := float64(snd.Stats.Skipped) / float64(n)
+	if skipFrac > 0.021 {
+		t.Fatalf("skipped %.1f%% with 2%% tolerance", skipFrac*100)
+	}
+	if float64(received)/float64(n) < 0.97 {
+		t.Fatalf("delivered only %d/%d", received, n)
+	}
+	if snd.Stats.Retransmitted == 0 {
+		t.Fatal("5% loss above 2% tolerance must force repairs")
+	}
+}
+
+func TestMaxPayloadRespectsMTU(t *testing.T) {
+	k := vtime.NewKernel()
+	snd, _ := pair(k, 0, 0.1)
+	if err := k.Run(func(p *vtime.Proc) {
+		if snd.MaxPayload() <= 0 || snd.MaxPayload() >= 1500 {
+			t.Fatalf("max payload = %d", snd.MaxPayload())
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized send did not panic")
+			}
+		}()
+		snd.Send(make([]byte, snd.MaxPayload()+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

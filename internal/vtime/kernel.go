@@ -1,0 +1,411 @@
+// Package vtime implements a deterministic, cooperative discrete-event
+// simulation kernel. It is the substrate every other package in this
+// repository runs on: simulated network links, protocol stacks,
+// middleware systems and benchmark drivers all execute as Procs on a
+// Kernel and observe a virtual clock instead of the wall clock.
+//
+// The execution model is strictly sequential: exactly one Proc (or one
+// event handler) runs at any instant, and control is handed over
+// explicitly when a Proc blocks, sleeps or exits. Runnable Procs are
+// resumed in FIFO order and events fire in (time, sequence) order, so a
+// simulation is fully deterministic: the same program produces the same
+// virtual trace on every run, regardless of GOMAXPROCS.
+//
+// Procs are real goroutines, but the kernel guarantees mutual exclusion
+// by construction, so simulation state shared between Procs needs no
+// locking. Do not share kernel objects with goroutines that are not
+// Procs of the same Kernel.
+package vtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration: virtual durations use the same unit
+// and literals (time.Microsecond etc.) as wall-clock durations.
+type Duration = time.Duration
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// ErrKilled is the panic value used to unwind Procs when the kernel
+// shuts down. User code must not recover it; the kernel does.
+var errKilled = errors.New("vtime: kernel shut down")
+
+// DeadlockError is returned by Run when every live Proc is blocked and
+// no event is pending, i.e. virtual time can no longer advance.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // "name (reason)" for each parked Proc
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at t=%v: %d proc(s) blocked: %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// PanicError is returned by Run when a Proc or event handler panicked.
+type PanicError struct {
+	ProcName string
+	Value    any
+	Stack    []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("vtime: panic in %q: %v\n%s", e.ProcName, e.Value, e.Stack)
+}
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by
+// the Kernel. All blocking simulation primitives take the Proc so that
+// only code running inside a process can block.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     int64
+	state  procState
+	reason string // why blocked, for deadlock diagnostics
+
+	resume chan struct{} // kernel -> proc: run
+	daemon bool
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this Proc belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. Create one with NewKernel, spawn
+// Procs with Go, then call Run.
+type Kernel struct {
+	now      Time
+	seq      int64
+	events   eventHeap
+	runnable []*Proc // FIFO
+	procs    map[int64]*Proc
+	parked   chan struct{} // proc -> kernel: I yielded
+	running  *Proc
+	dead     bool
+	failure  error
+	nprocs   int64
+
+	// Stats, exposed for tests and the bench harness.
+	EventsFired   int64
+	ProcSwitches  int64
+	ProcsSpawned  int64
+	ProcsFinished int64
+}
+
+// NewKernel returns an empty kernel at t=0.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs:  make(map[int64]*Proc),
+		parked: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Go spawns a new Proc named name running fn. It may be called before
+// Run or from inside a running Proc or event handler. The new Proc is
+// appended to the runnable queue; it starts when the scheduler reaches
+// it. Procs that outlive the root Proc (network pollers, daemons) are
+// unwound when Run returns.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	if k.dead {
+		panic("vtime: Go on dead kernel")
+	}
+	k.nprocs++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.nprocs,
+		state:  stateNew,
+		resume: make(chan struct{}),
+	}
+	k.procs[p.id] = p
+	k.ProcsSpawned++
+	go func() {
+		<-p.resume // wait for first schedule
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+					// Normal teardown unwind.
+					k.parked <- struct{}{}
+					return
+				}
+				if k.failure == nil {
+					k.failure = &PanicError{ProcName: p.name, Value: r, Stack: debug.Stack()}
+				}
+			}
+			p.state = stateDone
+			delete(k.procs, p.id)
+			k.ProcsFinished++
+			k.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	p.state = stateRunnable
+	k.runnable = append(k.runnable, p)
+	return p
+}
+
+// GoDaemon is Go for Procs that are expected to outlive the root Proc
+// (pollers, servers). Daemons do not count toward deadlock detection:
+// a simulation where only daemons remain blocked terminates normally.
+func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	p := k.Go(name, fn)
+	p.daemon = true
+	return p
+}
+
+// Timer is a cancellable scheduled event.
+type Timer struct {
+	ev      *event
+	stopped bool
+}
+
+// Stop cancels the timer; it is a no-op if the timer already fired.
+// It returns true if the call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t.stopped || t.ev.fn == nil {
+		return false
+	}
+	t.stopped = true
+	t.ev.fn = nil // tombstone; heap entry is skipped when popped
+	return true
+}
+
+// After schedules fn to run at now+d in scheduler context. Handlers must
+// be short and non-blocking: they typically complete operations and wake
+// Procs. Blocking primitives panic if used from handler context.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	ev := &event{at: k.now.Add(d), seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	d := t.Sub(k.now)
+	return k.After(d, fn)
+}
+
+// Run executes the simulation: it spawns root and schedules Procs and
+// events until root returns. It then unwinds any remaining Procs and
+// returns. Run returns an error if any Proc panicked or if the
+// simulation deadlocked (no runnable Proc, no pending event, and at
+// least one non-daemon Proc blocked) before root completed.
+func (k *Kernel) Run(root func(p *Proc)) error {
+	if k.dead {
+		return errors.New("vtime: Run on dead kernel")
+	}
+	done := false
+	k.Go("root", func(p *Proc) {
+		defer func() { done = true }()
+		root(p)
+	})
+	for !done && k.failure == nil {
+		if len(k.runnable) > 0 {
+			p := k.runnable[0]
+			k.runnable = k.runnable[1:]
+			k.step(p)
+			continue
+		}
+		if !k.fireNextEvent() {
+			// Nothing runnable, nothing scheduled.
+			if err := k.deadlock(); err != nil {
+				k.teardown()
+				return err
+			}
+			break
+		}
+	}
+	k.teardown()
+	return k.failure
+}
+
+// step resumes p and waits for it to yield control back.
+func (k *Kernel) step(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateRunning
+	p.reason = ""
+	k.running = p
+	k.ProcSwitches++
+	p.resume <- struct{}{}
+	<-k.parked
+	k.running = nil
+}
+
+// fireNextEvent pops events until one live event has run; it reports
+// whether any event fired.
+func (k *Kernel) fireNextEvent() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		k.EventsFired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// deadlock builds a DeadlockError if a non-daemon Proc is blocked.
+func (k *Kernel) deadlock() error {
+	var blocked []string
+	stuck := false
+	for _, p := range k.procs {
+		if p.state == stateBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.reason))
+			if !p.daemon {
+				stuck = true
+			}
+		}
+	}
+	if !stuck {
+		return nil
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Now: k.now, Blocked: blocked}
+}
+
+// teardown unwinds every remaining Proc by resuming it with the kernel
+// marked dead; park points detect this and panic errKilled, which the
+// spawn wrapper swallows. This prevents goroutine leaks across tests.
+func (k *Kernel) teardown() {
+	k.dead = true
+	for _, p := range k.procs {
+		if p.state == stateBlocked || p.state == stateRunnable {
+			p.resume <- struct{}{}
+			<-k.parked
+		}
+	}
+	k.runnable = nil
+	k.events = nil
+}
+
+// park blocks the calling Proc until something re-queues it via unpark.
+// reason is recorded for deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	k := p.k
+	if k.running != p {
+		panic(fmt.Sprintf("vtime: park of %q from outside its own context", p.name))
+	}
+	p.state = stateBlocked
+	p.reason = reason
+	k.running = nil
+	k.parked <- struct{}{}
+	<-p.resume
+	if k.dead {
+		panic(errKilled)
+	}
+	p.state = stateRunning
+	k.running = p
+}
+
+// unpark moves p from blocked to the back of the runnable queue. It is
+// idempotent for already-runnable Procs and must be called from kernel
+// context (another Proc or an event handler).
+func (p *Proc) unpark() {
+	if p.state != stateBlocked {
+		return
+	}
+	p.state = stateRunnable
+	p.k.runnable = append(p.k.runnable, p)
+}
+
+// Yield gives other runnable Procs and due events a chance to run before
+// p continues, without advancing virtual time.
+func (p *Proc) Yield() {
+	k := p.k
+	k.seq++
+	ev := &event{at: k.now, seq: k.seq, fn: func() { p.unpark() }}
+	heap.Push(&k.events, ev)
+	p.park("yield")
+}
+
+// Sleep suspends p for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.k.After(d, func() { p.unpark() })
+	p.park("sleep")
+}
+
+// Consume models CPU time spent by this process: it advances virtual
+// time by d exactly like Sleep but documents intent at call sites
+// (marshalling cost, copy cost, protocol processing).
+func (p *Proc) Consume(d Duration) { p.Sleep(d) }

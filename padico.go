@@ -1,0 +1,32 @@
+// Package padico is a Go reproduction of PadicoTM, the grid
+// communication framework of:
+//
+//	A. Denis, C. Pérez, T. Priol. "Network Communications in Grid
+//	Computing: At a Crossroads Between Parallel and Distributed
+//	Worlds". IPDPS 2004.
+//
+// The framework decouples communication middleware (MPI, PVM, CORBA,
+// SOAP, HLA, Java, DSM) from networking resources (Myrinet/SCI/VIA
+// SANs, Ethernet LANs, WANs) through a dual-abstraction, three-layer
+// model — arbitration (NetAccess: MadIO + SysIO), abstraction (VLink
+// for the distributed paradigm, Circuit for the parallel one) and
+// personalities (thin standard-API wrappers) — so that any middleware
+// runs efficiently on any network, several at the same time.
+//
+// Everything runs on a deterministic virtual-time simulation of the
+// paper's testbed (internal/vtime, internal/netsim): see DESIGN.md for
+// the substitution table and EXPERIMENTS.md for reproduced results.
+//
+// Entry points:
+//
+//   - internal/grid builds complete testbeds (Cluster, TwoClusterWAN,
+//     LossyPair) with a PadicoTM runtime per node;
+//   - internal/bench regenerates every table and figure of the paper;
+//   - examples/ holds runnable scenarios (quickstart, code coupling,
+//     computation monitoring, WAN methods);
+//   - cmd/padico-bench prints the full evaluation, cmd/padico-info the
+//     topology/selector view, cmd/padico-demo a traced quickstart.
+package padico
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
