@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp]
+//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp] [-datagrid]
 //
 // With no flags, everything runs.
 package main
@@ -22,8 +22,9 @@ func main() {
 	overhead := flag.Bool("overhead", false, "§5: MadIO and PadicoTM overheads")
 	wan := flag.Bool("wan", false, "§5: VTHD WAN parallel streams")
 	vrpf := flag.Bool("vrp", false, "§5: VRP on the lossy trans-continental link")
+	dgf := flag.Bool("datagrid", false, "data grid: striped replication across the lossy WAN")
 	flag.Parse()
-	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf
+	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf
 
 	if all || *fig3 {
 		fmt.Println("=== Figure 3: bandwidth (MB/s) of middleware systems in PadicoTM over Myrinet-2000 ===")
@@ -76,6 +77,17 @@ func main() {
 		fmt.Printf("TCP/IP plain sockets:    %6.0f KB/s  (paper: 150 KB/s)\n", v.TCPKBps)
 		fmt.Printf("VRP, %2.0f%% loss allowed:  %6.0f KB/s  (paper: ~500 KB/s, i.e. 3x)\n", v.Tolerance*100, v.VRPKBps)
 		fmt.Printf("speedup: %.1fx, skipped fraction: %.1f%%\n", v.VRPKBps/v.TCPKBps, v.SkippedFrac*100)
+		fmt.Println()
+	}
+	if all || *dgf {
+		fmt.Printf("=== Data grid: %d objects x %dMB, two clusters, %.0f%% WAN loss ===\n",
+			bench.DataGridObjects, bench.DataGridObjectSize>>20, bench.DataGridWANLoss*100)
+		fmt.Printf("%8s %9s %14s %14s %14s %12s\n",
+			"stripes", "replicas", "ingest MB/s", "converge (s)", "circuit jobs", "vlink jobs")
+		for _, r := range bench.DataGridBench() {
+			fmt.Printf("%8d %9d %14.1f %14.2f %14d %12d\n",
+				r.Streams, r.Replicas, r.IngestMBps, r.ConvergeS, r.CircuitJobs, r.VLinkJobs)
+		}
 		fmt.Println()
 	}
 	os.Exit(0)

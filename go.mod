@@ -1,0 +1,3 @@
+module padico
+
+go 1.24

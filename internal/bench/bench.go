@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"padico/internal/datagrid"
 	"padico/internal/grid"
 	"padico/internal/madapi"
 	"padico/internal/mpi"
@@ -650,4 +651,76 @@ func VRPBench() VRPResult {
 // the per-exchange duration and implied bandwidth in MB/s.
 func Measure(r *Runner, size, reps int) (time.Duration, float64) {
 	return r.measure(size, reps)
+}
+
+// ---------------------------------------------------------------------
+// Data grid: striped bulk replication across the WAN (extension; the
+// heavy-traffic workload the paper's crossroads argument points at).
+
+// DataGridResult is the outcome of one data-grid configuration on the
+// lossy two-cluster WAN testbed.
+type DataGridResult struct {
+	Streams  int
+	Replicas int
+	// IngestMBps is the aggregate client->first-replica PUT rate.
+	IngestMBps float64
+	// ConvergeS is the virtual time from the last PUT returning until
+	// every object reached its full replica set.
+	ConvergeS float64
+	// CircuitJobs / VLinkJobs split transfers by paradigm.
+	CircuitJobs int64
+	VLinkJobs   int64
+}
+
+// DataGridSizes: objects per run and bytes per object.
+const (
+	DataGridObjects    = 4
+	DataGridObjectSize = 4 << 20
+	DataGridWANLoss    = 0.01
+)
+
+// DataGridBench measures aggregate ingest throughput and replication
+// convergence versus stripe count and replica factor on a two-cluster
+// WAN with isolated loss.
+func DataGridBench() []DataGridResult {
+	var out []DataGridResult
+	for _, cfg := range []struct{ streams, replicas int }{
+		{1, 2}, {4, 2}, {4, 3},
+	} {
+		out = append(out, dataGridRun(cfg.streams, cfg.replicas))
+	}
+	return out
+}
+
+func dataGridRun(streams, replicas int) DataGridResult {
+	g := grid.TwoClusterWANLoss(2, 2, DataGridWANLoss)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: replicas, Streams: streams})
+	res := DataGridResult{Streams: streams, Replicas: replicas}
+	err := g.K.Run(func(p *vtime.Proc) {
+		data := make([]byte, DataGridObjectSize)
+		rand.New(rand.NewSource(42)).Read(data)
+		start := p.Now()
+		for i := 0; i < DataGridObjects; i++ {
+			name := fmt.Sprintf("bench-%d", i)
+			if err := dg.Put(p, topology.NodeID(i%4), name, data); err != nil {
+				panic(err)
+			}
+		}
+		putDone := p.Now()
+		res.IngestMBps = float64(DataGridObjects*DataGridObjectSize) /
+			putDone.Sub(start).Seconds() / 1e6
+		dg.WaitSettled(p)
+		res.ConvergeS = p.Now().Sub(putDone).Seconds()
+		for i := 0; i < DataGridObjects; i++ {
+			if err := dg.VerifyReplicas(fmt.Sprintf("bench-%d", i)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: datagrid: %v", err))
+	}
+	res.CircuitJobs = dg.Stats.CircuitTransfers
+	res.VLinkJobs = dg.Stats.VLinkTransfers
+	return res
 }

@@ -1,0 +1,440 @@
+package datagrid
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"padico/internal/model"
+	"padico/internal/selector"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// Exported errors.
+var (
+	ErrNoObject   = errors.New("datagrid: no such object")
+	ErrNoReplica  = errors.New("datagrid: no reachable replica")
+	ErrJobFailed  = errors.New("datagrid: transfer failed after retries")
+	ErrEmptyRing  = errors.New("datagrid: ring has no members")
+	ErrBadPayload = errors.New("datagrid: replica checksum mismatch")
+)
+
+// Config tunes a DataGrid instance. Zero values select defaults.
+type Config struct {
+	// Replicas is the replica factor per object (default 2).
+	Replicas int
+	// VNodes is the ring's virtual-node count per member (default
+	// DefaultVNodes).
+	VNodes int
+	// Streams overrides the selector's WAN stripe count for bulk
+	// transfers (0 keeps the testbed preference; 1 disables striping).
+	Streams int
+	// ChunkBytes is the transfer unit (default 256 KiB).
+	ChunkBytes int
+	// WindowBytes bounds unacknowledged in-flight bytes per transfer —
+	// the per-transfer flow-control window (default 1 MiB).
+	WindowBytes int
+	// Workers is the replication scheduler's concurrency (default 4).
+	Workers int
+	// MaxRetries bounds attempts per transfer job (default 3).
+	MaxRetries int
+	// RetryTimeout bounds the wait for a transfer status before the
+	// attempt is declared lost (default 120 s of virtual time).
+	RetryTimeout time.Duration
+	// InjectFault, when set, is consulted on the receiver side after a
+	// successful reception (chaos hook for retry testing): returning
+	// true discards the copy and reports a failure to the sender.
+	InjectFault func(name string, attempt int) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 256 << 10
+	}
+	if c.WindowBytes < c.ChunkBytes {
+		c.WindowBytes = 1 << 20
+		if c.WindowBytes < c.ChunkBytes {
+			c.WindowBytes = 2 * c.ChunkBytes
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 120 * time.Second
+	}
+	return c
+}
+
+// ObjectMeta is one replica-catalog entry.
+type ObjectMeta struct {
+	Name    string
+	Size    int
+	Sum     [32]byte
+	Version int
+	// Targets is the ring placement, primary first.
+	Targets []topology.NodeID
+}
+
+// Stats counts datagrid activity (virtual-time side effects are charged
+// where they happen; these are for reporting).
+type Stats struct {
+	Puts, Gets       int64
+	Jobs, Retries    int64
+	Failures         int64
+	BytesMoved       int64
+	CircuitTransfers int64
+	VLinkTransfers   int64
+	LocalTransfers   int64
+}
+
+// DataGrid is the replicated object store of one testbed: a placement
+// ring, a replica catalog, per-node object stores, and a scheduler
+// running transfer jobs on the virtual-time kernel.
+type DataGrid struct {
+	k     *vtime.Kernel
+	topo  *topology.Grid
+	prefs selector.Preferences
+	fab   Fabric
+	cfg   Config
+
+	ring    *Ring
+	catalog map[string]*ObjectMeta
+	stores  map[topology.NodeID]map[string][]byte
+	sched   *scheduler
+
+	// circuits caches one parallel-paradigm circuit per node pair:
+	// MadIO logical channels are a finite per-node resource, so SAN
+	// transfers reuse a pair's circuit (serialized by its semaphore)
+	// instead of wiring a fresh one per job.
+	circuits map[[2]topology.NodeID]*pairCircuit
+
+	Stats Stats
+}
+
+// New builds a DataGrid over an existing testbed. The ring initially
+// holds every node of the topology, zoned by site; use a custom ring
+// via SetRing before the first Put to restrict membership.
+func New(k *vtime.Kernel, topo *topology.Grid, prefs selector.Preferences, fab Fabric, cfg Config) *DataGrid {
+	cfg = cfg.withDefaults()
+	dg := &DataGrid{
+		k: k, topo: topo, prefs: prefs, fab: fab, cfg: cfg,
+		ring:     RingFromTopology(topo, cfg.VNodes),
+		catalog:  make(map[string]*ObjectMeta),
+		stores:   make(map[topology.NodeID]map[string][]byte),
+		circuits: make(map[[2]topology.NodeID]*pairCircuit),
+	}
+	dg.sched = newScheduler(dg, cfg.Workers)
+	return dg
+}
+
+// Ring exposes the placement ring (membership changes go through
+// AddMember/RemoveMember so rebalancing stays coherent).
+func (dg *DataGrid) Ring() *Ring { return dg.ring }
+
+// SetRing replaces the placement ring (call before the first Put).
+func (dg *DataGrid) SetRing(r *Ring) { dg.ring = r }
+
+// Config returns the effective configuration.
+func (dg *DataGrid) Config() Config { return dg.cfg }
+
+// Meta returns the catalog entry for an object.
+func (dg *DataGrid) Meta(name string) (*ObjectMeta, bool) {
+	m, ok := dg.catalog[name]
+	return m, ok
+}
+
+// Objects lists catalogued object names, sorted.
+func (dg *DataGrid) Objects() []string {
+	out := make([]string, 0, len(dg.catalog))
+	for n := range dg.catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Holders returns the nodes currently holding a copy, sorted by id.
+func (dg *DataGrid) Holders(name string) []topology.NodeID {
+	var out []topology.NodeID
+	for n, st := range dg.stores {
+		if _, ok := st[name]; ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObjectOn returns the bytes of a replica as held by one node.
+func (dg *DataGrid) ObjectOn(n topology.NodeID, name string) ([]byte, bool) {
+	st, ok := dg.stores[n]
+	if !ok {
+		return nil, false
+	}
+	b, ok := st[name]
+	return b, ok
+}
+
+func (dg *DataGrid) storePut(n topology.NodeID, name string, data []byte) {
+	st, ok := dg.stores[n]
+	if !ok {
+		st = make(map[string][]byte)
+		dg.stores[n] = st
+	}
+	st[name] = data
+}
+
+// Put writes an object from a client node: the payload travels to the
+// nearest placement target first (one durable copy before Put
+// returns), then replication jobs fan out to the remaining targets in
+// the background. WaitSettled blocks until the object is fully
+// replicated.
+func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data []byte) error {
+	targets := dg.ring.Place(name, dg.cfg.Replicas)
+	if len(targets) == 0 {
+		return ErrEmptyRing
+	}
+	entry := dg.nearest(client, targets)
+	meta := &ObjectMeta{
+		Name: name, Size: len(data), Sum: sha256.Sum256(data),
+		Targets: targets,
+	}
+	if old, ok := dg.catalog[name]; ok {
+		meta.Version = old.Version + 1
+	}
+	dg.Stats.Puts++
+	// Ingest: client -> entry, synchronously in the caller's proc.
+	got, err := dg.runTransfer(p, client, entry, name, data)
+	if err != nil {
+		return err
+	}
+	dg.storePut(entry, name, got)
+	dg.catalog[name] = meta
+	// Fan out: entry -> remaining targets, via the scheduler.
+	for _, t := range targets {
+		if t != entry {
+			dg.sched.submit(&job{name: name, src: entry, dst: t})
+		}
+	}
+	return nil
+}
+
+// Get reads an object back to a client node from the best-placed
+// replica (local copy, then SAN neighbour, then LAN, then WAN), with
+// checksum verification; corrupt or unreachable replicas are skipped.
+func (dg *DataGrid) Get(p *vtime.Proc, client topology.NodeID, name string) ([]byte, error) {
+	meta, ok := dg.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoObject, name)
+	}
+	holders := dg.Holders(name)
+	if len(holders) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoReplica, name)
+	}
+	dg.Stats.Gets++
+	for _, h := range dg.rankByProximity(client, holders) {
+		data, _ := dg.ObjectOn(h, name)
+		got, err := dg.runTransfer(p, h, client, name, data)
+		if err != nil {
+			continue
+		}
+		if sha256.Sum256(got) != meta.Sum {
+			continue
+		}
+		return got, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoReplica, name)
+}
+
+// Replicate (re)schedules copies of an object to every placement
+// target that lacks one; it reports how many jobs were submitted.
+func (dg *DataGrid) Replicate(name string) int {
+	meta, ok := dg.catalog[name]
+	if !ok {
+		return 0
+	}
+	holders := dg.Holders(name)
+	if len(holders) == 0 {
+		return 0
+	}
+	has := make(map[topology.NodeID]bool, len(holders))
+	for _, h := range holders {
+		has[h] = true
+	}
+	n := 0
+	for _, t := range meta.Targets {
+		if !has[t] {
+			src := dg.nearest(t, holders)
+			dg.sched.submit(&job{name: name, src: src, dst: t})
+			n++
+		}
+	}
+	return n
+}
+
+// AddMember grows the ring by one node and reschedules replication for
+// every object whose placement changed; it reports the number of
+// transfer jobs submitted. Copies left on nodes that fell out of a
+// placement are removed by TrimExcess after the moves settle.
+func (dg *DataGrid) AddMember(n topology.NodeID, zone string) int {
+	dg.ring.Add(n, zone)
+	return dg.rebalance()
+}
+
+// RemoveMember shrinks the ring (the node's stored copies survive as
+// sources until TrimExcess) and reschedules replication.
+func (dg *DataGrid) RemoveMember(n topology.NodeID) int {
+	dg.ring.Remove(n)
+	return dg.rebalance()
+}
+
+func (dg *DataGrid) rebalance() int {
+	n := 0
+	for _, name := range dg.Objects() {
+		meta := dg.catalog[name]
+		meta.Targets = dg.ring.Place(name, dg.cfg.Replicas)
+		n += dg.Replicate(name)
+	}
+	return n
+}
+
+// TrimExcess drops copies held by nodes outside an object's current
+// placement (run after WaitSettled to finish a rebalance).
+func (dg *DataGrid) TrimExcess() int {
+	n := 0
+	for _, name := range dg.Objects() {
+		meta := dg.catalog[name]
+		target := make(map[topology.NodeID]bool, len(meta.Targets))
+		for _, t := range meta.Targets {
+			target[t] = true
+		}
+		for _, h := range dg.Holders(name) {
+			if !target[h] {
+				delete(dg.stores[h], name)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WaitSettled blocks until every scheduled replication job finished.
+// Background failures do not unblock it early: check JobErrors (or
+// Stats.Failures) afterwards to learn whether an object is still
+// under-replicated.
+func (dg *DataGrid) WaitSettled(p *vtime.Proc) { dg.sched.waitSettled(p) }
+
+// JobErrors returns the errors of background replication jobs that
+// exhausted their retries (in completion order).
+func (dg *DataGrid) JobErrors() []error { return dg.sched.errs }
+
+// freshCopy returns node n's copy of an object if it matches the
+// catalogued checksum.
+func (dg *DataGrid) freshCopy(meta *ObjectMeta, n topology.NodeID) ([]byte, bool) {
+	data, ok := dg.ObjectOn(n, meta.Name)
+	if !ok || len(data) != meta.Size || sha256.Sum256(data) != meta.Sum {
+		return nil, false
+	}
+	return data, true
+}
+
+// freshHolder picks the up-to-date holder nearest to dst, excluding
+// dst itself.
+func (dg *DataGrid) freshHolder(meta *ObjectMeta, dst topology.NodeID) (topology.NodeID, bool) {
+	var fresh []topology.NodeID
+	for _, h := range dg.Holders(meta.Name) {
+		if h == dst {
+			continue
+		}
+		if _, ok := dg.freshCopy(meta, h); ok {
+			fresh = append(fresh, h)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0, false
+	}
+	return dg.nearest(dst, fresh), true
+}
+
+// VerifyReplicas checks that every placement target holds a copy and
+// that all copies are byte-identical to the catalogued checksum.
+func (dg *DataGrid) VerifyReplicas(name string) error {
+	meta, ok := dg.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoObject, name)
+	}
+	for _, t := range meta.Targets {
+		data, ok := dg.ObjectOn(t, name)
+		if !ok {
+			return fmt.Errorf("%w: %s missing on node %d", ErrNoReplica, name, t)
+		}
+		if len(data) != meta.Size || sha256.Sum256(data) != meta.Sum {
+			return fmt.Errorf("%w: %s on node %d", ErrBadPayload, name, t)
+		}
+	}
+	return nil
+}
+
+// runTransfer performs one logical transfer with retries, charging
+// checksum CPU on the sender side.
+func (dg *DataGrid) runTransfer(p *vtime.Proc, src, dst topology.NodeID, name string, data []byte) ([]byte, error) {
+	dg.Stats.Jobs++
+	p.Consume(model.MemcpyPerByte.Cost(len(data))) // checksum pass over the payload
+	var lastErr error
+	for attempt := 1; attempt <= dg.cfg.MaxRetries; attempt++ {
+		got, err := dg.transferOnce(p, src, dst, name, data, attempt)
+		if err == nil {
+			dg.Stats.BytesMoved += int64(len(got))
+			return got, nil
+		}
+		lastErr = err
+		dg.Stats.Retries++
+	}
+	dg.Stats.Retries-- // the final attempt was a failure, not a retry
+	dg.Stats.Failures++
+	return nil, fmt.Errorf("%w: %v", ErrJobFailed, lastErr)
+}
+
+// nearest returns the candidate with the cheapest path class from n
+// (ties broken by candidate order, which is placement order).
+func (dg *DataGrid) nearest(n topology.NodeID, cands []topology.NodeID) topology.NodeID {
+	best := cands[0]
+	bestCls := selector.PathLossy + 1
+	for _, c := range cands {
+		cls, err := selector.Classify(dg.topo, n, c)
+		if err != nil {
+			continue
+		}
+		if cls < bestCls {
+			bestCls = cls
+			best = c
+		}
+	}
+	return best
+}
+
+// rankByProximity orders candidates by path class from n, stable in
+// node-id order within a class.
+func (dg *DataGrid) rankByProximity(n topology.NodeID, cands []topology.NodeID) []topology.NodeID {
+	out := append([]topology.NodeID(nil), cands...)
+	cls := make(map[topology.NodeID]selector.PathClass, len(out))
+	for _, c := range out {
+		k, err := selector.Classify(dg.topo, n, c)
+		if err != nil {
+			k = selector.PathLossy + 1
+		}
+		cls[c] = k
+	}
+	sort.SliceStable(out, func(i, j int) bool { return cls[out[i]] < cls[out[j]] })
+	return out
+}

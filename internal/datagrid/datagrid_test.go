@@ -1,0 +1,355 @@
+package datagrid_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"padico/internal/datagrid"
+	"padico/internal/grid"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// payload returns size deterministic pseudo-random (incompressible)
+// bytes.
+func payload(seed int64, size int) []byte {
+	b := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// TestPutGetOnCluster exercises the SAN path: every transfer inside a
+// Myrinet cluster rides a Circuit, and reads come back byte-identical.
+func TestPutGetOnCluster(t *testing.T) {
+	g := grid.Cluster(4)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
+	data := payload(1, 1<<20)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "alpha", data); err != nil {
+			t.Fatal(err)
+		}
+		dg.WaitSettled(p)
+		if err := dg.VerifyReplicas("alpha"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dg.Get(p, 3, "alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("GET returned different bytes")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.CircuitTransfers == 0 {
+		t.Fatalf("no circuit transfers on a SAN cluster: %+v", dg.Stats)
+	}
+	if dg.Stats.VLinkTransfers != 0 {
+		t.Fatalf("vlink transfers inside a single cluster: %+v", dg.Stats)
+	}
+	if len(dg.Holders("alpha")) != 2 {
+		t.Fatalf("holders = %v", dg.Holders("alpha"))
+	}
+}
+
+// TestReplicasSpanSites checks zone-aware placement end to end: with
+// replica factor 2 on a two-site grid, the copies land in different
+// sites and cross-site replication uses the distributed paradigm.
+func TestReplicasSpanSites(t *testing.T) {
+	g := grid.TwoClusterWAN(2, 2)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
+	if err := g.K.Run(func(p *vtime.Proc) {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("obj-%d", i)
+			if err := dg.Put(p, 0, name, payload(int64(i), 256<<10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dg.WaitSettled(p)
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("obj-%d", i)
+			if err := dg.VerifyReplicas(name); err != nil {
+				t.Fatal(err)
+			}
+			meta, _ := dg.Meta(name)
+			if g.Topo.SameSite(meta.Targets[0], meta.Targets[1]) {
+				t.Fatalf("%s: both replicas in one site: %v", name, meta.Targets)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.VLinkTransfers == 0 {
+		t.Fatalf("no cross-site vlink transfers: %+v", dg.Stats)
+	}
+}
+
+// wanPutThroughput PUTs one size-byte object from a rennes client to a
+// grenoble-only ring over the lossy WAN and returns bytes per second
+// of virtual time.
+func wanPutThroughput(t *testing.T, streams, size int, loss float64) float64 {
+	g := grid.TwoClusterWANLoss(1, 1, loss)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 1, Streams: streams})
+	ring := datagrid.NewRing(0)
+	ring.Add(1, "grenoble") // force a cross-WAN ingest path
+	dg.SetRing(ring)
+	data := payload(7, size)
+	var rate float64
+	if err := g.K.Run(func(p *vtime.Proc) {
+		start := p.Now()
+		if err := dg.Put(p, 0, "bulk", data); err != nil {
+			t.Fatal(err)
+		}
+		rate = float64(size) / p.Now().Sub(start).Seconds()
+		got, ok := dg.ObjectOn(1, "bulk")
+		if !ok || !bytes.Equal(got, data) {
+			t.Fatal("replica differs from the original")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rate
+}
+
+// TestStripedPutBeatsSingleStream is the acceptance experiment: a
+// 64 MiB PUT across the WAN with 4 stripes must at least double the
+// single-stream virtual-time throughput. With isolated loss on the
+// wide area, each drop stalls only one stripe — the paper's parallel
+// streams argument applied to bulk data.
+func TestStripedPutBeatsSingleStream(t *testing.T) {
+	const size = 64 << 20
+	const loss = 0.01
+	single := wanPutThroughput(t, 1, size, loss)
+	striped := wanPutThroughput(t, 4, size, loss)
+	if striped < 2*single {
+		t.Fatalf("striped %.2f MB/s < 2x single %.2f MB/s", striped/1e6, single/1e6)
+	}
+	if striped > 12.6e6 {
+		t.Fatalf("striped %.2f MB/s exceeds the access-link cap", striped/1e6)
+	}
+	t.Logf("single %.2f MB/s, striped x4 %.2f MB/s (%.1fx)",
+		single/1e6, striped/1e6, striped/single)
+}
+
+// TestReplicationConvergesUnderLoss is the other acceptance
+// experiment: with loss configured on the WAN, replication still
+// converges and every replica is byte-identical (checksummed end to
+// end).
+func TestReplicationConvergesUnderLoss(t *testing.T) {
+	g := grid.TwoClusterWANLoss(2, 2, 0.02)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 3})
+	objects := map[string][]byte{}
+	if err := g.K.Run(func(p *vtime.Proc) {
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("lossy-%d", i)
+			data := payload(int64(100+i), 2<<20)
+			objects[name] = data
+			if err := dg.Put(p, topology.NodeID(i%4), name, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dg.WaitSettled(p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range objects {
+		if err := dg.VerifyReplicas(name); err != nil {
+			t.Fatal(err)
+		}
+		meta, _ := dg.Meta(name)
+		if len(meta.Targets) != 3 {
+			t.Fatalf("%s: %d targets", name, len(meta.Targets))
+		}
+		for _, tgt := range meta.Targets {
+			got, _ := dg.ObjectOn(tgt, name)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s: replica on %d differs", name, tgt)
+			}
+		}
+	}
+	if dg.Stats.Failures != 0 {
+		t.Fatalf("failures under loss: %+v", dg.Stats)
+	}
+	if errs := dg.JobErrors(); len(errs) != 0 {
+		t.Fatalf("background job errors: %v", errs)
+	}
+}
+
+// TestRetryOnInjectedFault proves the retry path on both paradigms: a
+// receiver-side fault on the first attempt forces a second, successful
+// attempt.
+func TestRetryOnInjectedFault(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *grid.Grid
+	}{
+		{"circuit", func() *grid.Grid { return grid.Cluster(3) }},
+		{"vlink", func() *grid.Grid { return grid.TwoClusterWAN(1, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build()
+			dg := g.NewDataGrid(datagrid.Config{
+				Replicas: 2,
+				InjectFault: func(name string, attempt int) bool {
+					return attempt == 1 // every transfer fails once
+				},
+			})
+			data := payload(5, 512<<10)
+			if err := g.K.Run(func(p *vtime.Proc) {
+				if err := dg.Put(p, 0, "flaky", data); err != nil {
+					t.Fatal(err)
+				}
+				dg.WaitSettled(p)
+				if err := dg.VerifyReplicas("flaky"); err != nil {
+					t.Fatal(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if dg.Stats.Retries == 0 {
+				t.Fatalf("fault injected but no retries recorded: %+v", dg.Stats)
+			}
+			if dg.Stats.Failures != 0 {
+				t.Fatalf("retries did not recover: %+v", dg.Stats)
+			}
+		})
+	}
+}
+
+// TestFaultExhaustsRetries pins the failure path: a permanent fault
+// surfaces as ErrJobFailed from Put.
+func TestFaultExhaustsRetries(t *testing.T) {
+	g := grid.Cluster(2)
+	dg := g.NewDataGrid(datagrid.Config{
+		Replicas:    1,
+		MaxRetries:  2,
+		InjectFault: func(string, int) bool { return true },
+	})
+	ring := datagrid.NewRing(0)
+	ring.Add(1, "rennes") // force a real (non-local) transfer
+	dg.SetRing(ring)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "doomed", payload(9, 64<<10)); err == nil {
+			t.Fatal("Put succeeded under a permanent fault")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.Failures != 1 {
+		t.Fatalf("failures = %d", dg.Stats.Failures)
+	}
+}
+
+// TestManyTransfersReuseCircuits runs far more same-pair SAN
+// transfers than a per-job circuit scheme could sustain (MadIO
+// logical channels are finite): the pair's cached circuit must be
+// reused across jobs and retries.
+func TestManyTransfersReuseCircuits(t *testing.T) {
+	g := grid.Cluster(2)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 1})
+	ring := datagrid.NewRing(0)
+	ring.Add(1, "rennes")
+	dg.SetRing(ring)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		for i := 0; i < 64; i++ {
+			name := fmt.Sprintf("many-%d", i)
+			if err := dg.Put(p, 0, name, payload(int64(i), 8<<10)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dg.Get(p, 0, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dg.Stats.CircuitTransfers != 128 {
+		t.Fatalf("circuit transfers = %d", dg.Stats.CircuitTransfers)
+	}
+}
+
+// TestRebalanceAfterMembershipChange grows the ring by one node and
+// checks the catalog converges to the new placement with old copies
+// trimmed.
+func TestRebalanceAfterMembershipChange(t *testing.T) {
+	g := grid.Cluster(4)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
+	ring := datagrid.NewRing(0)
+	for i := 0; i < 3; i++ { // node 3 joins later
+		ring.Add(topology.NodeID(i), "rennes")
+	}
+	dg.SetRing(ring)
+	const objects = 16
+	if err := g.K.Run(func(p *vtime.Proc) {
+		for i := 0; i < objects; i++ {
+			if err := dg.Put(p, 0, fmt.Sprintf("o%d", i), payload(int64(i), 64<<10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dg.WaitSettled(p)
+		moved := dg.AddMember(3, "rennes")
+		if moved == 0 {
+			t.Fatal("no placements moved when a member joined")
+		}
+		if moved > objects {
+			t.Fatalf("rebalance moved %d placements for %d objects", moved, objects)
+		}
+		dg.WaitSettled(p)
+		if n := dg.TrimExcess(); n == 0 {
+			t.Fatal("nothing trimmed after rebalance")
+		}
+		for i := 0; i < objects; i++ {
+			name := fmt.Sprintf("o%d", i)
+			if err := dg.VerifyReplicas(name); err != nil {
+				t.Fatal(err)
+			}
+			meta, _ := dg.Meta(name)
+			if got := dg.Holders(name); len(got) != len(meta.Targets) {
+				t.Fatalf("%s: holders %v vs targets %v", name, got, meta.Targets)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetPrefersNearReplica: with one replica in each site, a client
+// reads from its own site — no WAN transfer happens for the read.
+func TestGetPrefersNearReplica(t *testing.T) {
+	g := grid.TwoClusterWAN(2, 2)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "near", payload(11, 128<<10)); err != nil {
+			t.Fatal(err)
+		}
+		dg.WaitSettled(p)
+		before := dg.Stats.VLinkTransfers
+		meta, _ := dg.Meta("near")
+		// Read from a non-holder node co-sited with a replica.
+		client := topology.NodeID(-1)
+		for _, tgt := range meta.Targets {
+			for _, n := range g.Topo.Nodes() {
+				if n.ID != tgt && g.Topo.SameSite(n.ID, tgt) {
+					client = n.ID
+				}
+			}
+		}
+		if client < 0 {
+			t.Fatalf("no node co-sited with any replica of %v", meta.Targets)
+		}
+		if _, err := dg.Get(p, client, "near"); err != nil {
+			t.Fatal(err)
+		}
+		// The read must not have crossed the WAN: any new transfer is
+		// circuit (SAN) or local.
+		if dg.Stats.VLinkTransfers != before {
+			t.Fatalf("read crossed the WAN: %+v", dg.Stats)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package datagrid
+
+import (
+	"fmt"
+	"testing"
+
+	"padico/internal/topology"
+)
+
+// twoZoneRing builds a ring with n members split between zones A and B.
+func twoZoneRing(n int) *Ring {
+	r := NewRing(0)
+	for i := 0; i < n; i++ {
+		zone := "A"
+		if i >= (n+1)/2 {
+			zone = "B"
+		}
+		r.Add(topology.NodeID(i), zone)
+	}
+	return r
+}
+
+func TestPlaceDeterministicAndDistinct(t *testing.T) {
+	r := twoZoneRing(6)
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		a := r.Place(name, 3)
+		b := r.Place(name, 3)
+		if len(a) != 3 {
+			t.Fatalf("%s: %d replicas", name, len(a))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%s: placement not deterministic: %v vs %v", name, a, b)
+			}
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, n := range a {
+			if seen[n] {
+				t.Fatalf("%s: duplicate replica node in %v", name, a)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestPlaceSpansZones(t *testing.T) {
+	r := twoZoneRing(8)
+	for i := 0; i < 200; i++ {
+		repl := r.Place(fmt.Sprintf("obj-%d", i), 2)
+		za, _ := r.Zone(repl[0])
+		zb, _ := r.Zone(repl[1])
+		if za == zb {
+			t.Fatalf("obj-%d: both replicas in zone %s (%v)", i, za, repl)
+		}
+	}
+}
+
+func TestPlaceCapsAtMembership(t *testing.T) {
+	r := twoZoneRing(3)
+	if got := r.Place("x", 5); len(got) != 3 {
+		t.Fatalf("want 3 replicas on a 3-node ring, got %v", got)
+	}
+	if got := r.Place("x", 0); got != nil {
+		t.Fatalf("0 replicas: %v", got)
+	}
+	if got := NewRing(0).Place("x", 2); got != nil {
+		t.Fatalf("empty ring placed: %v", got)
+	}
+}
+
+// TestRebalanceMovesOneNth is the acceptance property: adding one
+// member to an n-node ring relocates only ~1/(n+1) of the primary
+// placements, not a wholesale reshuffle.
+func TestRebalanceMovesOneNth(t *testing.T) {
+	const n, objects = 8, 4000
+	r := twoZoneRing(n)
+	before := make(map[string]topology.NodeID, objects)
+	for i := 0; i < objects; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		before[name] = r.Place(name, 3)[0]
+	}
+	r.Add(topology.NodeID(n), "A")
+	moved := 0
+	movedElsewhere := 0
+	for name, prev := range before {
+		now := r.Place(name, 3)[0]
+		if now != prev {
+			moved++
+			if now != topology.NodeID(n) {
+				movedElsewhere++
+			}
+		}
+	}
+	frac := float64(moved) / objects
+	ideal := 1.0 / (n + 1)
+	if frac < ideal/3 || frac > ideal*2 {
+		t.Fatalf("moved fraction %.3f, want ~%.3f", frac, ideal)
+	}
+	// Movement should flow to the new member, not shuffle among the old.
+	if float64(movedElsewhere) > 0.1*float64(moved) {
+		t.Fatalf("%d of %d moved placements went to an old member", movedElsewhere, moved)
+	}
+}
+
+func TestRemoveMember(t *testing.T) {
+	r := twoZoneRing(5)
+	victim := topology.NodeID(2)
+	r.Remove(victim)
+	if r.Size() != 4 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	for i := 0; i < 200; i++ {
+		for _, n := range r.Place(fmt.Sprintf("obj-%d", i), 3) {
+			if n == victim {
+				t.Fatalf("removed member still placed for obj-%d", i)
+			}
+		}
+	}
+	r.Remove(victim) // idempotent
+}
+
+func TestRingFromTopology(t *testing.T) {
+	g := topology.New()
+	g.AddNode("a", "rennes")
+	g.AddNode("b", "rennes")
+	g.AddNode("c", "grenoble")
+	r := RingFromTopology(g, 16)
+	if r.Size() != 3 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if z, _ := r.Zone(2); z != "grenoble" {
+		t.Fatalf("zone of node 2 = %q", z)
+	}
+}

@@ -1,0 +1,96 @@
+package datagrid
+
+import (
+	"fmt"
+
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// job is one replication transfer: copy name from src's store to dst.
+type job struct {
+	name     string
+	src, dst topology.NodeID
+}
+
+// scheduler runs replication jobs on a fixed pool of worker Procs, so
+// many PUT/GET/replication transfers proceed concurrently while the
+// per-transfer windows keep each one flow-controlled.
+type scheduler struct {
+	dg      *DataGrid
+	queue   *vtime.Queue[*job]
+	pending int
+	idle    *vtime.Cond
+	errs    []error
+}
+
+func newScheduler(dg *DataGrid, workers int) *scheduler {
+	s := &scheduler{
+		dg:    dg,
+		queue: vtime.NewQueue[*job]("datagrid:jobs"),
+		idle:  vtime.NewCond("datagrid:idle"),
+	}
+	for i := 0; i < workers; i++ {
+		dg.k.GoDaemon(fmt.Sprintf("dg-worker%d", i), s.work)
+	}
+	return s
+}
+
+func (s *scheduler) submit(j *job) {
+	s.pending++
+	s.queue.Push(j)
+}
+
+func (s *scheduler) work(p *vtime.Proc) {
+	for {
+		j := s.queue.Pop(p)
+		s.run(p, j)
+		s.pending--
+		if s.pending == 0 {
+			s.idle.Broadcast()
+		}
+	}
+}
+
+func (s *scheduler) run(p *vtime.Proc, j *job) {
+	dg := s.dg
+	meta, ok := dg.catalog[j.name]
+	if !ok {
+		s.fail(fmt.Errorf("%w: %s dropped from the catalog", ErrNoObject, j.name))
+		dg.Stats.Failures++
+		return
+	}
+	if _, ok := dg.freshCopy(meta, j.dst); ok {
+		return // destination already converged (duplicate submission)
+	}
+	// The job may have queued behind a membership change or a newer
+	// version: replicate only from a source whose bytes match the
+	// catalogued checksum (a stale copy would transfer "successfully"
+	// — the wire verifies the sender's own checksum, not the
+	// catalog's).
+	data, ok := dg.freshCopy(meta, j.src)
+	if !ok {
+		src, found := dg.freshHolder(meta, j.dst)
+		if !found {
+			s.fail(fmt.Errorf("%w: %s has no up-to-date source", ErrNoReplica, j.name))
+			dg.Stats.Failures++
+			return
+		}
+		j.src = src
+		data, _ = dg.freshCopy(meta, src)
+	}
+	got, err := dg.runTransfer(p, j.src, j.dst, j.name, data)
+	if err != nil {
+		s.fail(fmt.Errorf("%s -> node %d: %w", j.name, j.dst, err))
+		return
+	}
+	dg.storePut(j.dst, j.name, got)
+}
+
+func (s *scheduler) fail(err error) { s.errs = append(s.errs, err) }
+
+func (s *scheduler) waitSettled(p *vtime.Proc) {
+	for s.pending > 0 {
+		s.idle.Wait(p)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"padico/internal/adoc"
 	"padico/internal/circuit"
 	"padico/internal/core"
+	"padico/internal/datagrid"
 	"padico/internal/drivers/gm"
 	"padico/internal/gsec"
 	"padico/internal/ipstack"
@@ -74,7 +75,12 @@ func Cluster(n int) *Grid {
 // TwoClusterWAN builds two clusters (n1 and n2 nodes) in different
 // sites, each with its own Myrinet and Ethernet, joined by a VTHD-like
 // WAN reached through each node's Ethernet access link.
-func TwoClusterWAN(n1, n2 int) *Grid {
+func TwoClusterWAN(n1, n2 int) *Grid { return TwoClusterWANLoss(n1, n2, 0) }
+
+// TwoClusterWANLoss is TwoClusterWAN with uniform random loss on the
+// WAN core — the data-grid scenario, where isolated losses across the
+// wide area are exactly what striped parallel transfers amortize.
+func TwoClusterWANLoss(n1, n2 int, loss float64) *Grid {
 	g := newGrid()
 	sites := []string{"rennes", "grenoble"}
 	counts := []int{n1, n2}
@@ -91,7 +97,7 @@ func TwoClusterWAN(n1, n2 int) *Grid {
 			g.Topo.Attach(node, eth)
 		}
 	}
-	wan := g.Topo.AddNetwork("vthd", topology.WAN, false, 12.2e6, model.VTHDWireLat, 0, model.EthernetMTU)
+	wan := g.Topo.AddNetwork("vthd", topology.WAN, false, 12.2e6, model.VTHDWireLat, loss, model.EthernetMTU)
 	for _, node := range g.Topo.Nodes() {
 		g.Topo.Attach(node, wan)
 	}
@@ -161,7 +167,7 @@ func (g *Grid) wireWAN(wan *topology.Network) {
 			Latency: 50 * time.Microsecond, QueueCap: 256}
 	}
 	core := &netsim.Hop{Name: "vthd-core", Rate: model.VTHDCoreRate,
-		Latency: model.VTHDWireLat, QueueCap: 4096}
+		Latency: model.VTHDWireLat, Loss: wan.Loss, QueueCap: 4096}
 	members := wan.Members()
 	seed := int64(100)
 	for i, a := range members {
@@ -222,6 +228,14 @@ func (g *Grid) wireMyrinetGM(myri *topology.Network) {
 
 // Runtime returns node id's runtime.
 func (g *Grid) Runtime(id topology.NodeID) *core.Runtime { return g.RT[id] }
+
+// NewDataGrid layers a replicated data-grid (ring placement, replica
+// catalog, paradigm-aware bulk transfers) over this testbed. The grid
+// itself is the datagrid's Fabric: transfers ride the same selector
+// decisions as every other middleware.
+func (g *Grid) NewDataGrid(cfg datagrid.Config) *datagrid.DataGrid {
+	return datagrid.New(g.K, g.Topo, g.Prefs, g, cfg)
+}
 
 // allocPort hands out distinct rendezvous ports for builder wiring.
 func (g *Grid) allocPort() int {

@@ -9,6 +9,11 @@
 // netsim sits below the drivers (internal/drivers/*) which expose
 // vendor-style APIs, and below internal/ipstack which implements UDP and
 // a Reno TCP over these fabrics.
+//
+// All randomness (loss draws) comes from a per-fabric *rand.Rand seeded
+// at construction — never the global math/rand source — so a simulation
+// is bit-for-bit reproducible: the same seeds yield the same drops at
+// the same virtual instants on every run.
 package netsim
 
 import (

@@ -119,6 +119,44 @@ func TestLANLossIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestPathLossIsDeterministic pins the reproducibility contract: the
+// loss RNG is per-path and seeded, so two runs with the same seed
+// produce identical drop counts and identical delivery instants, while
+// a different seed produces a different drop pattern.
+func TestPathLossIsDeterministic(t *testing.T) {
+	run := func(seed int64) (int64, []vtime.Time) {
+		k := vtime.NewKernel()
+		path := NewPath(k, "lossy", seed,
+			&Hop{Name: "l", Rate: 1e6, Latency: time.Millisecond, Loss: 0.2, QueueCap: 1 << 20})
+		var arrivals []vtime.Time
+		path.SetDeliver(func(*Packet) { arrivals = append(arrivals, k.Now()) })
+		_ = k.Run(func(p *vtime.Proc) {
+			for i := 0; i < 500; i++ {
+				path.Send(&Packet{Wire: 500})
+			}
+			p.Sleep(time.Second)
+		})
+		return path.Drops(), arrivals
+	}
+	d1, a1 := run(7)
+	d2, a2 := run(7)
+	if d1 != d2 || len(a1) != len(a2) {
+		t.Fatalf("same seed diverged: %d/%d drops, %d/%d deliveries", d1, d2, len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	if d1 < 50 || d1 > 150 {
+		t.Fatalf("drops = %d of 500 at p=0.2", d1)
+	}
+	d3, _ := run(8)
+	if d3 == d1 {
+		t.Fatal("different seeds produced identical drop counts (suspicious)")
+	}
+}
+
 func TestPathThroughputMatchesBottleneck(t *testing.T) {
 	k := vtime.NewKernel()
 	// Fast first hop, slow second: throughput set by the bottleneck.

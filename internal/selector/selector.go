@@ -76,6 +76,69 @@ func (d Decision) String() string {
 // sanOrder ranks SAN technologies by preference.
 var sanOrder = []topology.NetworkKind{topology.Myrinet, topology.SCI, topology.VIANet}
 
+// PathClass is the coarse classification of the best path between two
+// nodes. Consumers that pick a communication paradigm rather than a
+// concrete driver (internal/datagrid's transfer engine) branch on it:
+// parallel transfers (Circuit/Madeleine) within a SAN, striped
+// distributed transfers (VLink/pstreams) across the WAN.
+type PathClass int
+
+const (
+	// PathLocal: both endpoints are the same node.
+	PathLocal PathClass = iota
+	// PathSAN: the pair shares a parallel-oriented SAN (same cluster).
+	PathSAN
+	// PathLAN: the pair shares an Ethernet segment (same site).
+	PathLAN
+	// PathWAN: the pair is joined by a high-bandwidth high-latency WAN.
+	PathWAN
+	// PathLossy: only a lossy Internet link joins the pair.
+	PathLossy
+)
+
+var classNames = map[PathClass]string{
+	PathLocal: "local", PathSAN: "san", PathLAN: "lan",
+	PathWAN: "wan", PathLossy: "lossy",
+}
+
+func (c PathClass) String() string { return classNames[c] }
+
+// Classify reports which class of path connects a and b, following the
+// same preference order as Choose (SAN over LAN over WAN over lossy
+// Internet). It errors when the pair shares no network.
+func Classify(g *topology.Grid, a, b topology.NodeID) (PathClass, error) {
+	if a == b {
+		return PathLocal, nil
+	}
+	common := g.Common(a, b)
+	if len(common) == 0 {
+		return 0, fmt.Errorf("selector: no common network between %d and %d", a, b)
+	}
+	best := PathLossy + 1
+	for _, nw := range common {
+		var c PathClass
+		switch {
+		case nw.Kind.Parallel():
+			c = PathSAN
+		case nw.Kind == topology.Ethernet:
+			c = PathLAN
+		case nw.Kind == topology.WAN:
+			c = PathWAN
+		case nw.Kind == topology.Internet:
+			c = PathLossy
+		default:
+			continue
+		}
+		if c < best {
+			best = c
+		}
+	}
+	if best > PathLossy {
+		return 0, fmt.Errorf("selector: no classifiable network between %d and %d", a, b)
+	}
+	return best, nil
+}
+
 // Choose picks the network and method for the pair (a, b).
 func Choose(g *topology.Grid, prefs Preferences, a, b topology.NodeID) (Decision, error) {
 	if a == b {

@@ -117,6 +117,86 @@ func TestDecisionString(t *testing.T) {
 	}
 }
 
+func TestClassify(t *testing.T) {
+	g := testGrid()
+	cases := []struct {
+		a, b topology.NodeID
+		want PathClass
+	}{
+		{0, 0, PathLocal}, // same node
+		{1, 1, PathLocal}, // same node, non-zero id
+		{0, 1, PathSAN},   // same-cluster SAN (myrinet beats sci and eth)
+		{0, 2, PathWAN},   // cross-cluster WAN
+		{2, 0, PathWAN},   // classification is symmetric
+		{2, 3, PathLossy}, // lossy internet only
+	}
+	for _, c := range cases {
+		got, err := Classify(g, c.a, c.b)
+		if err != nil {
+			t.Fatalf("Classify(%d,%d): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Classify(g, 0, 3); err == nil {
+		t.Fatal("disconnected pair classified")
+	}
+}
+
+// TestClassifyLANPreferredOverWAN pins the same-site non-SAN case: two
+// nodes sharing ethernet and wan classify as LAN.
+func TestClassifyLANPreferredOverWAN(t *testing.T) {
+	g := topology.New()
+	eth := g.AddNetwork("eth", topology.Ethernet, true, 12.5e6, 30*time.Microsecond, 0, 1500)
+	wan := g.AddNetwork("wan", topology.WAN, false, 12.2e6, 8*time.Millisecond, 0, 1500)
+	a := g.AddNode("a", "A")
+	b := g.AddNode("b", "A")
+	for _, n := range []*topology.Node{a, b} {
+		g.Attach(n, eth)
+		g.Attach(n, wan)
+	}
+	got, err := Classify(g, a.ID, b.ID)
+	if err != nil || got != PathLAN {
+		t.Fatalf("Classify = %v, %v; want lan", got, err)
+	}
+	if got.String() != "lan" {
+		t.Fatalf("String() = %q", got.String())
+	}
+}
+
+// TestClassifyAgreesWithChoose ensures the paradigm classification and
+// the concrete driver decision never diverge on the canonical cases
+// datagrid relies on.
+func TestClassifyAgreesWithChoose(t *testing.T) {
+	g := testGrid()
+	pairs := [][2]topology.NodeID{{0, 1}, {0, 2}, {2, 3}, {1, 1}}
+	for _, pr := range pairs {
+		cls, err := Classify(g, pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Choose(g, DefaultPreferences(), pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch cls {
+		case PathSAN:
+			if dec.Method != "madio" {
+				t.Errorf("pair %v: class san but method %q", pr, dec.Method)
+			}
+		case PathLocal:
+			if dec.Method != "loopback" {
+				t.Errorf("pair %v: class local but method %q", pr, dec.Method)
+			}
+		case PathWAN:
+			if dec.Method != "pstreams" && dec.Method != "sysio" {
+				t.Errorf("pair %v: class wan but method %q", pr, dec.Method)
+			}
+		}
+	}
+}
+
 func contains(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

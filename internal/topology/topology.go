@@ -170,6 +170,20 @@ func (g *Grid) SameSite(a, b NodeID) bool {
 	return g.Node(a).Site == g.Node(b).Site
 }
 
+// Sites returns the distinct site names in first-declaration order.
+// Data-placement layers use sites as failure/locality zones.
+func (g *Grid) Sites() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, n := range g.nodes {
+		if !seen[n.Site] {
+			seen[n.Site] = true
+			out = append(out, n.Site)
+		}
+	}
+	return out
+}
+
 // String renders a human-readable inventory (used by cmd/padico-info).
 func (g *Grid) String() string {
 	s := ""

@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+// build declares: site A {n0,n1} on myrinet+ethernet, site B {n2} on
+// ethernet2+wan, with the wan also reaching n0 and n1.
+func build() (*Grid, []*Node, []*Network) {
+	g := New()
+	myri := g.AddNetwork("myri", Myrinet, true, 250e6, 2*time.Microsecond, 0, 0)
+	eth := g.AddNetwork("eth", Ethernet, true, 12.5e6, 30*time.Microsecond, 0, 1500)
+	eth2 := g.AddNetwork("eth2", Ethernet, true, 12.5e6, 30*time.Microsecond, 0, 1500)
+	wan := g.AddNetwork("wan", WAN, false, 12.2e6, 8*time.Millisecond, 0, 1500)
+
+	n0 := g.AddNode("n0", "A")
+	n1 := g.AddNode("n1", "A")
+	n2 := g.AddNode("n2", "B")
+	for _, n := range []*Node{n0, n1} {
+		g.Attach(n, myri)
+		g.Attach(n, eth)
+		g.Attach(n, wan)
+	}
+	g.Attach(n2, eth2)
+	g.Attach(n2, wan)
+	return g, []*Node{n0, n1, n2}, []*Network{myri, eth, eth2, wan}
+}
+
+func TestCommonNetworks(t *testing.T) {
+	g, _, nws := build()
+	myri, wan := nws[0], nws[3]
+
+	// Same-cluster pair shares SAN + LAN + WAN, in declaration order.
+	common := g.Common(0, 1)
+	if len(common) != 3 || common[0] != myri {
+		t.Fatalf("Common(0,1) = %v", common)
+	}
+	// Cross-site pair shares only the WAN.
+	common = g.Common(0, 2)
+	if len(common) != 1 || common[0] != wan {
+		t.Fatalf("Common(0,2) = %v", common)
+	}
+	// Same-node "pair" shares everything the node is attached to.
+	if got := g.Common(0, 0); len(got) != 3 {
+		t.Fatalf("Common(0,0) = %v", got)
+	}
+}
+
+func TestSameSiteAndSites(t *testing.T) {
+	g, _, _ := build()
+	if !g.SameSite(0, 1) || g.SameSite(0, 2) {
+		t.Fatal("site classification wrong")
+	}
+	sites := g.Sites()
+	if len(sites) != 2 || sites[0] != "A" || sites[1] != "B" {
+		t.Fatalf("Sites() = %v", sites)
+	}
+}
+
+func TestMembersAddressOrder(t *testing.T) {
+	g, _, nws := build()
+	wan := nws[3]
+	members := wan.Members()
+	if len(members) != 3 {
+		t.Fatalf("wan members = %v", members)
+	}
+	for i, m := range members {
+		addr, ok := wan.Addr(m)
+		if !ok || addr != i {
+			t.Fatalf("member %d has addr %d (attached=%v)", m, addr, ok)
+		}
+	}
+	if _, ok := nws[0].Addr(2); ok {
+		t.Fatal("n2 reported attached to myrinet")
+	}
+	_ = g
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	g, nodes, nws := build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach did not panic")
+		}
+	}()
+	g.Attach(nodes[0], nws[0])
+}
+
+func TestParallelKinds(t *testing.T) {
+	parallel := []NetworkKind{Myrinet, SCI, VIANet}
+	distributed := []NetworkKind{Loopback, Ethernet, WAN, Internet}
+	for _, k := range parallel {
+		if !k.Parallel() {
+			t.Errorf("%v not classified parallel", k)
+		}
+	}
+	for _, k := range distributed {
+		if k.Parallel() {
+			t.Errorf("%v classified parallel", k)
+		}
+	}
+}

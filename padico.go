@@ -21,9 +21,14 @@
 //
 //   - internal/grid builds complete testbeds (Cluster, TwoClusterWAN,
 //     LossyPair) with a PadicoTM runtime per node;
-//   - internal/bench regenerates every table and figure of the paper;
+//   - internal/datagrid layers a replicated data grid on the stack:
+//     ring placement across clusters and striped parallel bulk
+//     transfers, each path using the paradigm the selector picks
+//     (Grid.NewDataGrid wires it onto a testbed);
+//   - internal/bench regenerates every table and figure of the paper,
+//     plus the data-grid replication experiment;
 //   - examples/ holds runnable scenarios (quickstart, code coupling,
-//     computation monitoring, WAN methods);
+//     computation monitoring, WAN methods, datagrid);
 //   - cmd/padico-bench prints the full evaluation, cmd/padico-info the
 //     topology/selector view, cmd/padico-demo a traced quickstart.
 package padico
