@@ -20,7 +20,7 @@ func main() {
 	g := grid.Cluster(2)
 	fmt.Println("== topology ==")
 	fmt.Print(g.Topo.String())
-	d, _ := selector.Choose(g.Topo, g.Prefs, 0, 1)
+	d, _ := selector.Select(g.Topo, selector.Request{Src: 0, Dst: 1, QoS: g.Prefs})
 	fmt.Printf("selector: node 0 <-> node 1 via %s\n\n", d)
 
 	err := g.K.Run(func(p *vtime.Proc) {

@@ -1,5 +1,6 @@
 // Command padico-info prints a grid topology and the selector's
-// per-pair decisions — the knowledge-base view of §4.2.
+// per-pair decisions — the knowledge-base view of §4.2, queried through
+// the per-request Select API the session layer uses.
 package main
 
 import (
@@ -15,27 +16,53 @@ func main() {
 	fmt.Print(g.Topo.String())
 	fmt.Println()
 
-	fmt.Println("=== Selector decisions (default preferences) ===")
+	fmt.Printf("=== Selector decisions (default QoS, cipher policy %q) ===\n",
+		g.Prefs.Cipher)
 	nodes := g.Topo.Nodes()
 	for i := range nodes {
 		for j := range nodes {
 			if i >= j {
 				continue
 			}
-			d, err := selector.Choose(g.Topo, g.Prefs, nodes[i].ID, nodes[j].ID)
+			d, err := selector.Select(g.Topo, selector.Request{
+				Src: nodes[i].ID, Dst: nodes[j].ID, QoS: g.Prefs})
 			if err != nil {
 				fmt.Printf("%s <-> %s: %v\n", nodes[i].Name, nodes[j].Name, err)
 				continue
 			}
-			fmt.Printf("%-4s <-> %-4s : %s\n", nodes[i].Name, nodes[j].Name, d)
+			cls, _ := selector.Classify(g.Topo, nodes[i].ID, nodes[j].ID)
+			fmt.Printf("%-4s <-> %-4s : %-5s : %s\n", nodes[i].Name, nodes[j].Name, cls, d)
 		}
+	}
+
+	fmt.Println()
+	fmt.Println("=== Per-channel QoS variations (node 0 <-> node 2) ===")
+	a, b := nodes[0].ID, nodes[2].ID
+	variations := []struct {
+		label string
+		tune  func(*selector.QoS)
+	}{
+		{"default (bulk)", func(*selector.QoS) {}},
+		{"latency-sensitive", func(q *selector.QoS) { q.LatencySensitive = true }},
+		{"cipher never", func(q *selector.QoS) { q.Cipher = selector.CipherNever }},
+		{"single stream", func(q *selector.QoS) { q.Streams = 1 }},
+	}
+	for _, v := range variations {
+		q := g.Prefs
+		v.tune(&q)
+		d, err := selector.Select(g.Topo, selector.Request{Src: a, Dst: b, QoS: q})
+		if err != nil {
+			fmt.Printf("%-18s : %v\n", v.label, err)
+			continue
+		}
+		fmt.Printf("%-18s : %s\n", v.label, d)
 	}
 
 	fmt.Println()
 	fmt.Println("=== Lossy-pair decisions with loss tolerance ===")
 	lg := grid.LossyPair()
-	prefs := lg.Prefs
-	prefs.LossTolerance = 0.10
-	d, _ := selector.Choose(lg.Topo, prefs, 0, 1)
+	q := lg.Prefs
+	q.LossTolerance = 0.10
+	d, _ := selector.Select(lg.Topo, selector.Request{Src: 0, Dst: 1, QoS: q})
 	fmt.Printf("%s <-> %s : %s\n", lg.Topo.Node(0).Name, lg.Topo.Node(1).Name, d)
 }

@@ -3,6 +3,11 @@
 // (with transparent ciphering between sites), and VRP vs TCP on the
 // lossy trans-continental link, with AdOC compression for compressible
 // streams.
+//
+// Every comparison opens one session channel and steers the selector
+// with per-channel QoS options; nothing here touches drivers, circuits
+// or decisions by hand — the channel's Info reports what the selector
+// actually provisioned.
 package main
 
 import (
@@ -14,26 +19,31 @@ import (
 
 	"padico/internal/grid"
 	"padico/internal/selector"
+	"padico/internal/session"
 	"padico/internal/vrp"
 	"padico/internal/vtime"
 )
 
-func transfer(g *grid.Grid, dec selector.Decision, size int, payload func(int) []byte) float64 {
+// transfer opens a 0->1 session channel under the given QoS options,
+// streams size bytes through it and returns the receiver-observed rate.
+func transfer(g *grid.Grid, size int, payload func(int) []byte, opts ...session.Option) float64 {
 	var rate float64
 	err := g.K.Run(func(p *vtime.Proc) {
-		la, lb, err := g.DialVLinkWith(p, 0, 1, dec)
+		ch, err := g.Open(p, 0, 1, opts...)
 		if err != nil {
 			panic(err)
 		}
+		fmt.Printf("  selector picked: %s\n", ch.Info().Decision)
 		done := vtime.NewWaitGroup("done")
 		done.Add(1)
 		var end vtime.Time
 		g.K.Go("sink", func(q *vtime.Proc) {
 			defer done.Done()
+			rc := ch.Remote()
 			buf := make([]byte, 64<<10)
 			total := 0
 			for total < size {
-				n, err := lb.Read(q, buf)
+				n, err := rc.Read(q, buf)
 				total += n
 				if err != nil && err != io.EOF {
 					panic(err)
@@ -52,10 +62,11 @@ func transfer(g *grid.Grid, dec selector.Decision, size int, payload func(int) [
 			if n > len(chunk) {
 				n = len(chunk)
 			}
-			la.Write(p, chunk[:n])
+			ch.Write(p, chunk[:n])
 			sent += n
 		}
 		done.Wait(p)
+		ch.Close()
 		rate = float64(size) / end.Sub(start).Seconds()
 	})
 	if err != nil {
@@ -76,21 +87,23 @@ func compressible(n int) []byte {
 
 func main() {
 	fmt.Println("=== VTHD-like WAN: one stream vs parallel streams (ciphered inter-site) ===")
-	single := transfer(grid.TwoClusterWAN(1, 1),
-		selector.Decision{Method: "sysio", Streams: 1, Secure: true}, 8<<20, random)
-	striped := transfer(grid.TwoClusterWAN(1, 1),
-		selector.Decision{Method: "pstreams", Streams: 4, Secure: true}, 16<<20, random)
+	single := transfer(grid.TwoClusterWAN(1, 1), 8<<20, random,
+		session.WithStreams(1), session.WithCipher(selector.CipherAlways),
+		session.WithCompression(false))
+	striped := transfer(grid.TwoClusterWAN(1, 1), 16<<20, random,
+		session.WithStreams(4), session.WithCipher(selector.CipherAlways),
+		session.WithCompression(false))
 	fmt.Printf("single TCP stream:      %5.1f MB/s\n", single/1e6)
 	fmt.Printf("4 parallel streams:     %5.1f MB/s (access link caps at ~12)\n", striped/1e6)
 
 	fmt.Println()
 	fmt.Println("=== Lossy trans-continental link ===")
-	tcp := transfer(grid.LossyPair(),
-		selector.Decision{Method: "sysio", Streams: 1}, 512<<10, random)
+	tcp := transfer(grid.LossyPair(), 512<<10, random,
+		session.WithCipher(selector.CipherNever), session.WithCompression(false))
 	fmt.Printf("TCP (full reliability): %6.0f KB/s\n", tcp/1e3)
 
-	adocRate := transfer(grid.LossyPair(),
-		selector.Decision{Method: "sysio", Streams: 1, Compress: true}, 512<<10, compressible)
+	adocRate := transfer(grid.LossyPair(), 512<<10, compressible,
+		session.WithCipher(selector.CipherNever), session.WithCompression(true))
 	fmt.Printf("TCP + AdOC (text data): %6.0f KB/s effective\n", adocRate/1e3)
 
 	// VRP with 10% tolerated loss.

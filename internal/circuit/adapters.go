@@ -22,6 +22,19 @@ type MadIOPort struct {
 	circ     *Circuit
 	madRank  func(circuitRank int) int // circuit rank -> madeleine rank
 	circRank func(madRank int) int
+	closed   bool
+}
+
+// Close releases the port's MadIO logical channel — logical ids are a
+// finite per-node resource, so cached circuits return theirs when the
+// last session over them closes. Idempotent (a 2-rank circuit closes
+// each per-link view of the port).
+func (p *MadIOPort) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.mio.Unregister(p.logical)
 }
 
 // NewMadIOPort registers the circuit on the MadIO logical channel and
@@ -61,6 +74,9 @@ type madioLink struct {
 
 // Name implements LinkAdapter.
 func (l *madioLink) Name() string { return "madio" }
+
+// Close releases the underlying port's logical channel.
+func (l *madioLink) Close() { l.p.Close() }
 
 // Send implements LinkAdapter: header combining packs the plane, the
 // segment count and all segment lengths as express segments of the same
@@ -181,6 +197,9 @@ func NewStreamLink(name string, conn vlink.Conn, circ *Circuit, src int) *Stream
 // Name implements LinkAdapter.
 func (l *StreamLink) Name() string { return l.name }
 
+// Close shuts the underlying driver connection down.
+func (l *StreamLink) Close() { l.conn.Close() }
+
 // Send implements LinkAdapter.
 func (l *StreamLink) Send(plane Plane, segs [][]byte) {
 	l.conn.PostWrite(frameMessage(plane, segs), func(int, error) {})
@@ -216,6 +235,9 @@ func NewVLinkLink(v *vlink.VLink, circ *Circuit, src int) *VLinkLink {
 
 // Name implements LinkAdapter.
 func (l *VLinkLink) Name() string { return "vlink" }
+
+// Close shuts the underlying VLink down.
+func (l *VLinkLink) Close() { l.v.Close() }
 
 // Send implements LinkAdapter.
 func (l *VLinkLink) Send(plane Plane, segs [][]byte) {

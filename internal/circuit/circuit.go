@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"padico/internal/madapi"
 	"padico/internal/model"
@@ -90,6 +91,24 @@ func (c *Circuit) SetLink(dst int, a LinkAdapter) { c.links[dst] = a }
 
 // Link returns the adapter for rank dst (nil if unset).
 func (c *Circuit) Link(dst int) LinkAdapter { return c.links[dst] }
+
+// Close releases every link adapter that holds a closable resource
+// (MadIO logical channels, VLinks), in rank order so teardown event
+// sequences stay deterministic. The session layer calls it when the
+// last channel over a cached circuit is released; closing twice is
+// harmless.
+func (c *Circuit) Close() {
+	ranks := make([]int, 0, len(c.links))
+	for r := range c.links {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if cl, ok := c.links[r].(interface{ Close() }); ok {
+			cl.Close()
+		}
+	}
+}
 
 // SetRxNotify installs a data-plane arrival callback (kernel context).
 func (c *Circuit) SetRxNotify(fn func()) { c.rx.OnPush = fn }
@@ -191,6 +210,11 @@ func (m *inMessage) Src() int { return m.msg.src }
 // NextSegLen returns the size of the next segment to unpack; consumers
 // with self-describing formats (the FastMessage personality) use it.
 func (m *inMessage) NextSegLen() int { return len(m.msg.segs[m.next]) }
+
+// NumSegs returns how many segments the message was packed with;
+// paradigm-agnostic consumers (the session layer) use it to unpack a
+// message whose shape they did not dictate.
+func (m *inMessage) NumSegs() int { return len(m.msg.segs) }
 
 // Unpack implements madapi.InMessage.
 func (m *inMessage) Unpack(n int, mode madapi.UnpackMode) []byte {

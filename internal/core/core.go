@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"padico/internal/ipstack"
 	"padico/internal/netaccess"
@@ -126,12 +127,15 @@ func (rt *Runtime) ModuleByName(name string) (Module, error) {
 	return m, nil
 }
 
-// Modules lists loaded module names.
+// Modules lists loaded module names, sorted — map iteration order must
+// never leak into observable output (repo determinism rule; padico-demo
+// prints this list).
 func (rt *Runtime) Modules() []string {
 	out := make([]string, 0, len(rt.modules))
 	for n := range rt.modules {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"padico/internal/model"
 	"padico/internal/selector"
+	"padico/internal/session"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -97,41 +98,48 @@ type Stats struct {
 	LocalTransfers   int64
 }
 
+// countTransfer attributes one transfer to the paradigm the session
+// layer provisioned for it.
+func (s *Stats) countTransfer(cls selector.PathClass) {
+	if cls == selector.PathLocal {
+		s.LocalTransfers++
+	} else if cls == selector.PathSAN {
+		s.CircuitTransfers++
+	} else {
+		s.VLinkTransfers++
+	}
+}
+
 // DataGrid is the replicated object store of one testbed: a placement
 // ring, a replica catalog, per-node object stores, and a scheduler
-// running transfer jobs on the virtual-time kernel.
+// running transfer jobs on the virtual-time kernel. Every transfer
+// opens a channel through the session manager — the datagrid never
+// touches drivers, circuits or the selector's dispatch itself.
 type DataGrid struct {
-	k     *vtime.Kernel
-	topo  *topology.Grid
-	prefs selector.Preferences
-	fab   Fabric
-	cfg   Config
+	k    *vtime.Kernel
+	topo *topology.Grid
+	mgr  *session.Manager
+	cfg  Config
 
 	ring    *Ring
 	catalog map[string]*ObjectMeta
 	stores  map[topology.NodeID]map[string][]byte
 	sched   *scheduler
 
-	// circuits caches one parallel-paradigm circuit per node pair:
-	// MadIO logical channels are a finite per-node resource, so SAN
-	// transfers reuse a pair's circuit (serialized by its semaphore)
-	// instead of wiring a fresh one per job.
-	circuits map[[2]topology.NodeID]*pairCircuit
-
 	Stats Stats
 }
 
-// New builds a DataGrid over an existing testbed. The ring initially
-// holds every node of the topology, zoned by site; use a custom ring
-// via SetRing before the first Put to restrict membership.
-func New(k *vtime.Kernel, topo *topology.Grid, prefs selector.Preferences, fab Fabric, cfg Config) *DataGrid {
+// New builds a DataGrid over an existing testbed's session manager.
+// The ring initially holds every node of the topology, zoned by site;
+// use a custom ring via SetRing before the first Put to restrict
+// membership.
+func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, cfg Config) *DataGrid {
 	cfg = cfg.withDefaults()
 	dg := &DataGrid{
-		k: k, topo: topo, prefs: prefs, fab: fab, cfg: cfg,
-		ring:     RingFromTopology(topo, cfg.VNodes),
-		catalog:  make(map[string]*ObjectMeta),
-		stores:   make(map[topology.NodeID]map[string][]byte),
-		circuits: make(map[[2]topology.NodeID]*pairCircuit),
+		k: k, topo: topo, mgr: mgr, cfg: cfg,
+		ring:    RingFromTopology(topo, cfg.VNodes),
+		catalog: make(map[string]*ObjectMeta),
+		stores:  make(map[topology.NodeID]map[string][]byte),
 	}
 	dg.sched = newScheduler(dg, cfg.Workers)
 	return dg

@@ -245,9 +245,11 @@ func TestFaultExhaustsRetries(t *testing.T) {
 }
 
 // TestManyTransfersReuseCircuits runs far more same-pair SAN
-// transfers than a per-job circuit scheme could sustain (MadIO
-// logical channels are finite): the pair's cached circuit must be
-// reused across jobs and retries.
+// transfers than leaked circuits could sustain (MadIO logical channels
+// are a finite per-node resource): the session manager must either
+// share the pair's live circuit (overlapping jobs) or tear it down and
+// return its logical channel on last release (sequential jobs) — never
+// strand one per transfer.
 func TestManyTransfersReuseCircuits(t *testing.T) {
 	g := grid.Cluster(2)
 	dg := g.NewDataGrid(datagrid.Config{Replicas: 1})
@@ -351,5 +353,84 @@ func TestGetPrefersNearReplica(t *testing.T) {
 		}
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParadigmMatchesPathClass pins that datagrid-over-session picks
+// exactly the paradigm the old inline dispatch chose per path class:
+// local copies on-node, Circuit transfers inside a SAN, VLink transfers
+// across the wide area — now decided by the session manager, with the
+// per-transfer counts agreeing with selector.Classify on every
+// (src, dst) pair the run touched.
+func TestParadigmMatchesPathClass(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *grid.Grid
+		ring    func() *datagrid.Ring // nil keeps the full-topology ring
+		client  topology.NodeID
+		local   bool // expect local transfers
+		circuit bool // expect circuit transfers
+		vlink   bool // expect vlink transfers
+	}{
+		{
+			// Client is its own (only) placement target: pure local.
+			name:  "local",
+			build: func() *grid.Grid { return grid.Cluster(2) },
+			ring: func() *datagrid.Ring {
+				r := datagrid.NewRing(0)
+				r.Add(0, "rennes")
+				return r
+			},
+			client: 0,
+			local:  true,
+		},
+		{
+			// Same-SAN pair: parallel paradigm only.
+			name:  "san",
+			build: func() *grid.Grid { return grid.Cluster(2) },
+			ring: func() *datagrid.Ring {
+				r := datagrid.NewRing(0)
+				r.Add(1, "rennes")
+				return r
+			},
+			client:  0,
+			circuit: true,
+		},
+		{
+			// Cross-site pair: distributed paradigm only.
+			name:  "wan",
+			build: func() *grid.Grid { return grid.TwoClusterWAN(1, 1) },
+			ring: func() *datagrid.Ring {
+				r := datagrid.NewRing(0)
+				r.Add(1, "grenoble")
+				return r
+			},
+			client: 0,
+			vlink:  true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build()
+			dg := g.NewDataGrid(datagrid.Config{Replicas: 1})
+			if c.ring != nil {
+				dg.SetRing(c.ring())
+			}
+			if err := g.K.Run(func(p *vtime.Proc) {
+				if err := dg.Put(p, c.client, "probe", payload(3, 128<<10)); err != nil {
+					t.Fatal(err)
+				}
+				dg.WaitSettled(p)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			st := dg.Stats
+			if c.local != (st.LocalTransfers > 0) ||
+				c.circuit != (st.CircuitTransfers > 0) ||
+				c.vlink != (st.VLinkTransfers > 0) {
+				t.Fatalf("paradigm mix = %+v, want local=%v circuit=%v vlink=%v",
+					st, c.local, c.circuit, c.vlink)
+			}
+		})
 	}
 }

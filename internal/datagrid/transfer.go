@@ -6,29 +6,25 @@ import (
 	"fmt"
 	"time"
 
-	"padico/internal/circuit"
-	"padico/internal/madapi"
 	"padico/internal/model"
-	"padico/internal/selector"
+	"padico/internal/session"
 	"padico/internal/topology"
-	"padico/internal/vlink"
 	"padico/internal/vtime"
 )
 
-// Fabric is what the transfer engine needs from the testbed builder:
-// VLinks with an explicit selector decision (distributed paradigm) and
-// Circuits over a node group (parallel paradigm). *grid.Grid satisfies
-// it; datagrid stays below grid in the import order.
-type Fabric interface {
-	DialVLinkWith(p *vtime.Proc, a, b topology.NodeID, dec selector.Decision) (*vlink.VLink, *vlink.VLink, error)
-	NewCircuits(p *vtime.Proc, name string, nodes []topology.NodeID) ([]*circuit.Circuit, error)
-}
-
-// Transfer wire protocol. Forward direction: a fixed header
-// [2B namelen][8B size][32B sha256] + name, then the payload in chunks.
-// Reverse direction: 9-byte frames [1B type][8B value] — type 0 grants
-// cumulative credit (flow control), type 1 reports final status
+// Transfer wire protocol, identical whatever substrate the session
+// layer provisioned. Forward direction: a header message — a fixed
+// segment [2B namelen][8B size][32B sha256] plus a name segment — then
+// the payload in chunks through the channel's stream view. Reverse
+// direction: 9-byte frames sent as {type, value} segment pairs — type 0
+// grants cumulative credit (flow control), type 1 reports final status
 // (value 0 = checksum verified, 1 = mismatch).
+//
+// On a Circuit these shapes travel as packed segment vectors with
+// incremental (Madeleine) packing; on a VLink they are gather-written
+// raw, and the receiver delimits by size — exactly the bytes the
+// pre-session paradigm-specific engines moved, which is what keeps the
+// bench's virtual-time results bit-identical across the refactor.
 const (
 	hdrFixedLen = 2 + 8 + 32
 	frameLen    = 1 + 8
@@ -41,11 +37,11 @@ const (
 )
 
 func encodeHeader(name string, size int, sum [32]byte) []byte {
-	hdr := make([]byte, hdrFixedLen, hdrFixedLen+len(name))
+	hdr := make([]byte, hdrFixedLen)
 	binary.BigEndian.PutUint16(hdr, uint16(len(name)))
 	binary.BigEndian.PutUint64(hdr[2:], uint64(size))
 	copy(hdr[10:], sum[:])
-	return append(hdr, name...)
+	return hdr
 }
 
 func encodeFrame(typ byte, val uint64) []byte {
@@ -66,55 +62,31 @@ func (e *errTransfer) Error() string {
 	return fmt.Sprintf("datagrid: transfer %d->%d attempt %d: %s", e.src, e.dst, e.attempt, e.cause)
 }
 
-// transferOnce moves data from src to dst over the paradigm the path
-// classification dictates and returns the bytes as received (and
-// verified) on the dst side. attempt is 1-based and feeds the fault
-// hook.
+// transferOnce moves data from src to dst over one session channel and
+// returns the bytes as received (and verified) on the dst side. The
+// session manager picks the substrate — local pipe, SAN circuit,
+// (striped) VLink — so this engine is a pure chunk pump: header, chunks
+// under a credit window, status. attempt is 1-based and feeds the
+// fault hook.
 func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 	name string, data []byte, attempt int) ([]byte, error) {
-	cls, err := selector.Classify(dg.topo, src, dst)
-	if err != nil {
-		return nil, err
-	}
-	switch cls {
-	case selector.PathLocal:
-		dg.Stats.LocalTransfers++
-		p.Consume(model.MemcpyPerByte.Cost(len(data)))
-		return append([]byte(nil), data...), nil
-	case selector.PathSAN:
-		dg.Stats.CircuitTransfers++
-		return dg.circuitTransfer(p, src, dst, name, data, attempt)
-	default:
-		dg.Stats.VLinkTransfers++
-		return dg.vlinkTransfer(p, src, dst, name, data, attempt)
-	}
-}
-
-// ---------------------------------------------------------------------
-// Distributed paradigm: VLink (sysio / striped pstreams per selector).
-
-func (dg *DataGrid) vlinkTransfer(p *vtime.Proc, src, dst topology.NodeID,
-	name string, data []byte, attempt int) ([]byte, error) {
-	prefs := dg.prefs
+	var opts []session.Option
 	if dg.cfg.Streams > 0 {
-		prefs.Streams = dg.cfg.Streams
+		opts = append(opts, session.WithStreams(dg.cfg.Streams))
 	}
-	dec, err := selector.Choose(dg.topo, prefs, src, dst)
+	ch, err := dg.mgr.Open(p, src, dst, opts...)
 	if err != nil {
 		return nil, err
 	}
-	va, vb, err := dg.fab.DialVLinkWith(p, src, dst, dec)
-	if err != nil {
-		return nil, err
-	}
+	dg.Stats.countTransfer(ch.Info().Class)
 
 	result := vtime.NewQueue[[]byte]("dg:result")
 	status := vtime.NewQueue[byte]("dg:status")
 	sum := sha256.Sum256(data)
 
-	// Receiver side (dst).
+	// Receiver side (dst) drives the remote end.
 	dg.k.GoDaemon(fmt.Sprintf("dg-recv:%s", name), func(q *vtime.Proc) {
-		dg.recvVLink(q, vb, attempt, result)
+		dg.recvTransfer(q, ch.Remote(), attempt, result)
 	})
 
 	// Ack reader (src side): turns reverse frames into credit and the
@@ -123,19 +95,18 @@ func (dg *DataGrid) vlinkTransfer(p *vtime.Proc, src, dst topology.NodeID,
 	failed := false
 	credit := vtime.NewCond("dg:credit")
 	dg.k.GoDaemon(fmt.Sprintf("dg-ack:%s", name), func(q *vtime.Proc) {
-		fb := make([]byte, frameLen)
 		for {
-			if _, err := va.ReadFull(q, fb); err != nil {
+			segs, err := ch.Recv(q, 1, frameLen-1)
+			if err != nil {
 				failed = true
 				credit.Broadcast()
 				return
 			}
-			val := binary.BigEndian.Uint64(fb[1:])
-			switch fb[0] {
-			case frameCredit:
+			val := binary.BigEndian.Uint64(segs[1])
+			if segs[0][0] == frameCredit {
 				acked = int(val)
 				credit.Broadcast()
-			case frameStatus:
+			} else {
 				status.Push(byte(val))
 				return
 			}
@@ -143,8 +114,8 @@ func (dg *DataGrid) vlinkTransfer(p *vtime.Proc, src, dst topology.NodeID,
 	})
 
 	// Sender (runs in the worker proc).
-	if _, err := va.Write(p, encodeHeader(name, len(data), sum)); err != nil {
-		va.Close()
+	if err := ch.Send(p, encodeHeader(name, len(data), sum), []byte(name)); err != nil {
+		ch.Close()
 		return nil, &errTransfer{src, dst, attempt, "header: " + err.Error()}
 	}
 	chunk := dg.cfg.ChunkBytes
@@ -160,7 +131,7 @@ func (dg *DataGrid) vlinkTransfer(p *vtime.Proc, src, dst topology.NodeID,
 		if failed {
 			break
 		}
-		if _, err := va.Write(p, data[off:end]); err != nil {
+		if _, err := ch.Write(p, data[off:end]); err != nil {
 			failed = true
 			break
 		}
@@ -173,7 +144,7 @@ func (dg *DataGrid) vlinkTransfer(p *vtime.Proc, src, dst topology.NodeID,
 		tmo = 100 * time.Millisecond
 	}
 	st, ok := status.PopTimeout(p, tmo)
-	va.Close() // receiver unblocks on EOF if it is still draining
+	ch.Close() // receiver unblocks on EOF if it is still draining
 	if !ok {
 		return nil, &errTransfer{src, dst, attempt, "status timeout"}
 	}
@@ -187,197 +158,36 @@ func (dg *DataGrid) vlinkTransfer(p *vtime.Proc, src, dst topology.NodeID,
 	return out, nil
 }
 
-// recvVLink is the dst side of a VLink transfer: reassemble, grant
-// credit, verify the checksum, report status, drain to EOF.
-func (dg *DataGrid) recvVLink(q *vtime.Proc, vb *vlink.VLink, attempt int, result *vtime.Queue[[]byte]) {
-	defer vb.Close()
-	fixed := make([]byte, hdrFixedLen)
-	if _, err := vb.ReadFull(q, fixed); err != nil {
+// recvTransfer is the dst side of a transfer: reassemble, grant credit,
+// verify the checksum, report status, drain to EOF.
+func (dg *DataGrid) recvTransfer(q *vtime.Proc, ch session.Channel, attempt int, result *vtime.Queue[[]byte]) {
+	defer ch.Close()
+	hdr, err := ch.Recv(q, hdrFixedLen)
+	if err != nil {
 		return
 	}
+	fixed := hdr[0]
 	nameLen := int(binary.BigEndian.Uint16(fixed))
 	size := int(binary.BigEndian.Uint64(fixed[2:]))
 	var want [32]byte
 	copy(want[:], fixed[10:])
-	nameBuf := make([]byte, nameLen)
-	if _, err := vb.ReadFull(q, nameBuf); err != nil {
+	nameSeg, err := ch.Recv(q, nameLen)
+	if err != nil {
 		return
 	}
+	name := string(nameSeg[0])
 	buf := make([]byte, size)
 	received := 0
 	for received < size {
-		n, err := vb.Read(q, buf[received:])
+		n, err := ch.Read(q, buf[received:])
 		received += n
 		if err != nil {
 			return // sender gave up; no status to send
 		}
-		if _, err := vb.Write(q, encodeFrame(frameCredit, uint64(received))); err != nil {
+		f := encodeFrame(frameCredit, uint64(received))
+		if err := ch.Send(q, f[:1], f[1:]); err != nil {
 			return
 		}
-	}
-	q.Consume(model.MemcpyPerByte.Cost(size)) // store write
-	ok := sha256.Sum256(buf) == want
-	if ok && dg.cfg.InjectFault != nil && dg.cfg.InjectFault(string(nameBuf), attempt) {
-		ok = false
-	}
-	st := byte(statusBad)
-	if ok {
-		result.Push(buf)
-		st = statusOK
-	}
-	if _, err := vb.Write(q, encodeFrame(frameStatus, uint64(st))); err != nil {
-		return
-	}
-	// Hold the link open until the sender has read the status and
-	// closed; closing first could truncate the reverse stream.
-	small := make([]byte, 16)
-	for {
-		if _, err := vb.Read(q, small); err != nil {
-			return
-		}
-	}
-}
-
-// ---------------------------------------------------------------------
-// Parallel paradigm: a 2-rank Circuit (MadIO/Madeleine links inside
-// the SAN) per node pair, moving chunks with the incremental-packing
-// API. The pair's circuit is built once and reused — MadIO logical
-// channels are finite — so concurrent same-pair transfers serialize
-// on its semaphore.
-
-// pairCircuit is the cached parallel path between two nodes.
-type pairCircuit struct {
-	nodes [2]topology.NodeID // group order: nodes[i] is rank i
-	circs []*circuit.Circuit
-	sem   *vtime.Semaphore
-}
-
-// pairFor returns (building on first use) the circuit pair for a<->b.
-func (dg *DataGrid) pairFor(p *vtime.Proc, a, b topology.NodeID) (*pairCircuit, error) {
-	key := [2]topology.NodeID{a, b}
-	if key[0] > key[1] {
-		key[0], key[1] = key[1], key[0]
-	}
-	pc, ok := dg.circuits[key]
-	if !ok {
-		circs, err := dg.fab.NewCircuits(p, fmt.Sprintf("dg:%d-%d", key[0], key[1]), key[:])
-		if err != nil {
-			return nil, err
-		}
-		pc = &pairCircuit{nodes: key, circs: circs,
-			sem: vtime.NewSemaphore(fmt.Sprintf("dg:pair:%d-%d", key[0], key[1]), 1)}
-		dg.circuits[key] = pc
-	}
-	return pc, nil
-}
-
-func (pc *pairCircuit) rank(n topology.NodeID) int {
-	if pc.nodes[0] == n {
-		return 0
-	}
-	return 1
-}
-
-func (dg *DataGrid) circuitTransfer(p *vtime.Proc, src, dst topology.NodeID,
-	name string, data []byte, attempt int) ([]byte, error) {
-	pc, err := dg.pairFor(p, src, dst)
-	if err != nil {
-		return nil, err
-	}
-	pc.sem.Acquire(p)
-	defer pc.sem.Release()
-	sRank, rRank := pc.rank(src), pc.rank(dst)
-	cs, cr := pc.circs[sRank], pc.circs[rRank]
-	result := vtime.NewQueue[[]byte]("dg:cresult")
-	status := vtime.NewQueue[byte]("dg:cstatus")
-	sum := sha256.Sum256(data)
-
-	// Receiver side (dst).
-	dg.k.GoDaemon(fmt.Sprintf("dg-crecv:%s", name), func(q *vtime.Proc) {
-		dg.recvCircuit(q, cr, sRank, attempt, result)
-	})
-
-	// Ack reader: reverse messages are {type, value} segment pairs.
-	acked := 0
-	credit := vtime.NewCond("dg:ccredit")
-	dg.k.GoDaemon(fmt.Sprintf("dg-cack:%s", name), func(q *vtime.Proc) {
-		for {
-			in := cs.BeginUnpacking(q)
-			typ := in.Unpack(1, madapi.ReceiveExpress)[0]
-			val := binary.BigEndian.Uint64(in.Unpack(8, madapi.ReceiveCheaper))
-			in.EndUnpacking()
-			switch typ {
-			case frameCredit:
-				acked = int(val)
-				credit.Broadcast()
-			case frameStatus:
-				status.Push(byte(val))
-				return
-			}
-		}
-	})
-
-	// Sender: header message, then one message per chunk.
-	out := cs.BeginPacking(rRank)
-	out.Pack(encodeHeader(name, len(data), sum)[:hdrFixedLen], madapi.SendSafer)
-	out.Pack([]byte(name), madapi.SendSafer)
-	out.EndPacking()
-	chunk := dg.cfg.ChunkBytes
-	window := dg.cfg.WindowBytes
-	lenSeg := make([]byte, 4)
-	for off := 0; off < len(data); {
-		end := off + chunk
-		if end > len(data) {
-			end = len(data)
-		}
-		for off-acked > window-chunk {
-			credit.Wait(p)
-		}
-		binary.BigEndian.PutUint32(lenSeg, uint32(end-off))
-		out := cs.BeginPacking(rRank)
-		out.Pack(lenSeg, madapi.SendSafer)
-		out.Pack(data[off:end], madapi.SendSafer)
-		out.EndPacking()
-		off = end
-	}
-	st, ok := status.PopTimeout(p, dg.cfg.RetryTimeout)
-	if !ok {
-		return nil, &errTransfer{src, dst, attempt, "circuit status timeout"}
-	}
-	if st != statusOK {
-		return nil, &errTransfer{src, dst, attempt, "checksum rejected by receiver"}
-	}
-	res, ok := result.TryPop()
-	if !ok {
-		return nil, &errTransfer{src, dst, attempt, "receiver reported ok without data"}
-	}
-	return res, nil
-}
-
-// recvCircuit is the dst side of a Circuit transfer; acks go back to
-// the sender's rank.
-func (dg *DataGrid) recvCircuit(q *vtime.Proc, c *circuit.Circuit, sRank, attempt int, result *vtime.Queue[[]byte]) {
-	in := c.BeginUnpacking(q)
-	fixed := in.Unpack(hdrFixedLen, madapi.ReceiveExpress)
-	nameLen := int(binary.BigEndian.Uint16(fixed))
-	size := int(binary.BigEndian.Uint64(fixed[2:]))
-	var want [32]byte
-	copy(want[:], fixed[10:])
-	name := string(in.Unpack(nameLen, madapi.ReceiveCheaper))
-	in.EndUnpacking()
-
-	buf := make([]byte, size)
-	received := 0
-	for received < size {
-		in := c.BeginUnpacking(q)
-		n := int(binary.BigEndian.Uint32(in.Unpack(4, madapi.ReceiveExpress)))
-		copy(buf[received:], in.Unpack(n, madapi.ReceiveCheaper))
-		in.EndUnpacking()
-		received += n
-		ack := c.BeginPacking(sRank)
-		ack.Pack([]byte{frameCredit}, madapi.SendSafer)
-		ack.Pack(encodeFrame(frameCredit, uint64(received))[1:], madapi.SendSafer)
-		ack.EndPacking()
 	}
 	q.Consume(model.MemcpyPerByte.Cost(size)) // store write
 	ok := sha256.Sum256(buf) == want
@@ -389,8 +199,16 @@ func (dg *DataGrid) recvCircuit(q *vtime.Proc, c *circuit.Circuit, sRank, attemp
 		result.Push(buf)
 		st = statusOK
 	}
-	fin := c.BeginPacking(sRank)
-	fin.Pack([]byte{frameStatus}, madapi.SendSafer)
-	fin.Pack(encodeFrame(frameStatus, uint64(st))[1:], madapi.SendSafer)
-	fin.EndPacking()
+	f := encodeFrame(frameStatus, uint64(st))
+	if err := ch.Send(q, f[:1], f[1:]); err != nil {
+		return
+	}
+	// Hold the channel open until the sender has read the status and
+	// closed; closing first could truncate the reverse stream.
+	small := make([]byte, 16)
+	for {
+		if _, err := ch.Read(q, small); err != nil {
+			return
+		}
+	}
 }

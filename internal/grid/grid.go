@@ -28,6 +28,7 @@ import (
 	"padico/internal/netsim"
 	"padico/internal/pstreams"
 	"padico/internal/selector"
+	"padico/internal/session"
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
@@ -39,13 +40,34 @@ type Grid struct {
 	Topo  *topology.Grid
 	Stack *ipstack.Stack
 	RT    []*core.Runtime
+	// Prefs is the deployment-wide default QoS; per-channel overrides
+	// go through Session().Open options.
 	Prefs selector.Preferences
+
+	sess *session.Manager
 
 	nextPort    int
 	nextLogical uint16
 	nextCirc    int
 
 	madAdapters map[topology.NodeID]*madeleine.Adapter // per node, first SAN
+}
+
+// Session returns the testbed's session manager — the front door
+// middleware calls instead of wiring VLinks and Circuits by hand. The
+// manager reads Prefs lazily, so retuning the testbed's default QoS
+// affects later Opens.
+func (g *Grid) Session() *session.Manager {
+	if g.sess == nil {
+		g.sess = session.NewManager(g.K, g.Topo, func() selector.QoS { return g.Prefs }, g)
+	}
+	return g.sess
+}
+
+// Open is Session().Open: one paradigm-agnostic channel from src to
+// dst, substrate chosen by the selector.
+func (g *Grid) Open(p *vtime.Proc, src, dst topology.NodeID, opts ...session.Option) (session.Channel, error) {
+	return g.Session().Open(p, src, dst, opts...)
 }
 
 // vlinkMadIOChannel is the logical channel the VLink madio driver uses
@@ -230,11 +252,11 @@ func (g *Grid) wireMyrinetGM(myri *topology.Network) {
 func (g *Grid) Runtime(id topology.NodeID) *core.Runtime { return g.RT[id] }
 
 // NewDataGrid layers a replicated data-grid (ring placement, replica
-// catalog, paradigm-aware bulk transfers) over this testbed. The grid
-// itself is the datagrid's Fabric: transfers ride the same selector
-// decisions as every other middleware.
+// catalog, bulk transfers) over this testbed. Its transfers open
+// session channels, so they ride the same selector decisions — and the
+// same per-pair circuit cache — as every other middleware.
 func (g *Grid) NewDataGrid(cfg datagrid.Config) *datagrid.DataGrid {
-	return datagrid.New(g.K, g.Topo, g.Prefs, g, cfg)
+	return datagrid.New(g.K, g.Topo, g.Session(), cfg)
 }
 
 // allocPort hands out distinct rendezvous ports for builder wiring.
@@ -244,13 +266,16 @@ func (g *Grid) allocPort() int {
 }
 
 // ---------------------------------------------------------------------
-// VLink wiring via the selector.
+// VLink wiring via the selector. These are the session Manager's
+// substrate primitives (and the ablation API for benchmarks that need
+// an explicit Decision); middleware should open channels through
+// Session() instead.
 
 // DialVLink opens a VLink from a to b choosing driver and wrappers per
 // the selector; the listener side is set up transparently. It blocks p
 // until established. Both runtimes must exist.
 func (g *Grid) DialVLink(p *vtime.Proc, a, b topology.NodeID) (*vlink.VLink, *vlink.VLink, error) {
-	dec, err := selector.Choose(g.Topo, g.Prefs, a, b)
+	dec, err := selector.Select(g.Topo, selector.Request{Src: a, Dst: b, QoS: g.Prefs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -358,7 +383,7 @@ func (g *Grid) wireCircuitLink(p *vtime.Proc, name string, logical uint16,
 	ports map[string]*circuit.MadIOPort, circs []*circuit.Circuit,
 	nodes []topology.NodeID, i, j int) error {
 	a, b := nodes[i], nodes[j]
-	dec, err := selector.Choose(g.Topo, g.Prefs, a, b)
+	dec, err := selector.Select(g.Topo, selector.Request{Src: a, Dst: b, QoS: g.Prefs})
 	if err != nil {
 		return err
 	}

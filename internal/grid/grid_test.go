@@ -138,7 +138,7 @@ func circuitOpSum() func(a, b float64) float64 {
 
 func TestCircuitSpansSites(t *testing.T) {
 	g := grid.TwoClusterWAN(2, 2)
-	g.Prefs.Cipher = "never" // keep this test focused on adapters
+	g.Prefs.Cipher = selector.CipherNever // keep this test focused on adapters
 	if err := g.K.Run(func(p *vtime.Proc) {
 		nodes := []topology.NodeID{0, 1, 2, 3} // 0,1 rennes; 2,3 grenoble
 		circs, err := g.NewCircuits(p, "span", nodes)

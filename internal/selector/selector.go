@@ -3,12 +3,18 @@
 // knowledge base of the network topology managed by PadicoTM and
 // user-defined preferences."
 //
-// Given two nodes and the grid description, Choose returns a Decision:
-// which shared network to use, which method (driver/adapter) on it, and
-// which optional protocol adapters (compression, security, parallel
-// streams, loss tolerance) to stack — compromises only where required
-// (§3.1), e.g. ciphering only on insecure links ("if the network is
-// secure, it is useless to cipher data", §2.1).
+// The primary entry point is Select: given a Request — a node pair plus
+// the per-channel QoS the caller wants — and the grid description, it
+// returns a Decision: which shared network to use, which method
+// (driver/adapter) on it, and which optional protocol adapters
+// (compression, security, parallel streams, loss tolerance) to stack —
+// compromises only where required (§3.1), e.g. ciphering only on
+// insecure links ("if the network is secure, it is useless to cipher
+// data", §2.1). QoS is per-request: two channels between the same pair
+// may legitimately demand different trade-offs (a latency-sensitive
+// control channel next to a striped bulk channel). A deployment-wide
+// QoS (the old global Preferences) is just the default the session
+// layer applies when a caller does not override it.
 package selector
 
 import (
@@ -17,10 +23,49 @@ import (
 	"padico/internal/topology"
 )
 
-// Preferences are the user-tunable knobs of the knowledge base.
-type Preferences struct {
+// CipherPolicy selects when links are wrapped with authentication and
+// encryption. The zero value is CipherNever; policies outside the
+// declared range are rejected by Select (no silent fallthrough).
+type CipherPolicy int
+
+const (
+	// CipherNever disables the security wrapper everywhere.
+	CipherNever CipherPolicy = iota
+	// CipherAuto ciphers insecure networks only (the paper's default:
+	// machine-room SANs are physically secure, the wide area is not).
+	CipherAuto
+	// CipherAlways ciphers every link, secure or not.
+	CipherAlways
+)
+
+var cipherNames = [...]string{"never", "auto", "always"}
+
+func (c CipherPolicy) String() string {
+	if c.Valid() {
+		return cipherNames[c]
+	}
+	return fmt.Sprintf("CipherPolicy(%d)", int(c))
+}
+
+// Valid reports whether c is one of the declared policies.
+func (c CipherPolicy) Valid() bool { return c >= CipherNever && c <= CipherAlways }
+
+// ParseCipherPolicy converts the configuration-file spelling of a
+// policy ("never", "auto", "always") to the typed value.
+func ParseCipherPolicy(s string) (CipherPolicy, error) {
+	for i, n := range cipherNames {
+		if n == s {
+			return CipherPolicy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("selector: unknown cipher policy %q", s)
+}
+
+// QoS is the per-channel quality-of-service request consulted by the
+// knowledge base.
+type QoS struct {
 	// Streams is the number of parallel sockets per logical link on
-	// high-bandwidth high-latency WANs (1 disables striping).
+	// high-bandwidth high-latency WANs (0 or 1 disables striping).
 	Streams int
 	// Compress enables AdOC adaptive compression on links slower than
 	// CompressBelowBps.
@@ -29,20 +74,55 @@ type Preferences struct {
 	// LossTolerance enables VRP with the given tolerated loss fraction
 	// (0 disables; only applies to lossy links).
 	LossTolerance float64
-	// Cipher selects when to wrap links with authentication/encryption:
-	// "never", "auto" (insecure networks only), "always".
-	Cipher string
+	// Cipher selects when to wrap links with authentication/encryption.
+	Cipher CipherPolicy
+	// LatencySensitive marks channels that refuse adapters trading
+	// latency for bandwidth: no stripe reordering, no compression CPU
+	// in the critical path.
+	LatencySensitive bool
 }
 
-// DefaultPreferences mirror the paper's deployment choices.
-func DefaultPreferences() Preferences {
-	return Preferences{
+// Preferences is the legacy name for a deployment-wide QoS; the session
+// layer uses one as its default and Select treats them identically.
+type Preferences = QoS
+
+// Validate rejects malformed QoS values; Select calls it so an invalid
+// request fails loudly instead of silently selecting a weaker stack.
+func (q QoS) Validate() error {
+	if !q.Cipher.Valid() {
+		return fmt.Errorf("selector: invalid cipher policy %d", int(q.Cipher))
+	}
+	if q.Streams < 0 {
+		return fmt.Errorf("selector: negative stream count %d", q.Streams)
+	}
+	if q.LossTolerance < 0 || q.LossTolerance > 1 {
+		return fmt.Errorf("selector: loss tolerance %g outside [0,1]", q.LossTolerance)
+	}
+	if q.CompressBelowBps < 0 {
+		return fmt.Errorf("selector: negative compression threshold %g", q.CompressBelowBps)
+	}
+	return nil
+}
+
+// DefaultQoS mirrors the paper's deployment choices.
+func DefaultQoS() QoS {
+	return QoS{
 		Streams:          4,
 		Compress:         true,
 		CompressBelowBps: 1e6,
 		LossTolerance:    0,
-		Cipher:           "auto",
+		Cipher:           CipherAuto,
 	}
+}
+
+// DefaultPreferences is DefaultQoS under the legacy name.
+func DefaultPreferences() Preferences { return DefaultQoS() }
+
+// Request is one selection query: a node pair and the QoS the channel
+// between them must honour.
+type Request struct {
+	Src, Dst topology.NodeID
+	QoS      QoS
 }
 
 // Decision is the selector's verdict for one node pair.
@@ -78,7 +158,7 @@ var sanOrder = []topology.NetworkKind{topology.Myrinet, topology.SCI, topology.V
 
 // PathClass is the coarse classification of the best path between two
 // nodes. Consumers that pick a communication paradigm rather than a
-// concrete driver (internal/datagrid's transfer engine) branch on it:
+// concrete driver (the session layer's substrate choice) branch on it:
 // parallel transfers (Circuit/Madeleine) within a SAN, striped
 // distributed transfers (VLink/pstreams) across the WAN.
 type PathClass int
@@ -104,7 +184,7 @@ var classNames = map[PathClass]string{
 func (c PathClass) String() string { return classNames[c] }
 
 // Classify reports which class of path connects a and b, following the
-// same preference order as Choose (SAN over LAN over WAN over lossy
+// same preference order as Select (SAN over LAN over WAN over lossy
 // Internet). It errors when the pair shares no network.
 func Classify(g *topology.Grid, a, b topology.NodeID) (PathClass, error) {
 	if a == b {
@@ -139,8 +219,15 @@ func Classify(g *topology.Grid, a, b topology.NodeID) (PathClass, error) {
 	return best, nil
 }
 
-// Choose picks the network and method for the pair (a, b).
-func Choose(g *topology.Grid, prefs Preferences, a, b topology.NodeID) (Decision, error) {
+// Select picks the network, method and wrappers for one request. The
+// request's QoS is validated first: an out-of-range CipherPolicy or
+// malformed knob is an error, never a silent fallthrough.
+func Select(g *topology.Grid, req Request) (Decision, error) {
+	if err := req.QoS.Validate(); err != nil {
+		return Decision{}, err
+	}
+	qos := req.QoS
+	a, b := req.Src, req.Dst
 	if a == b {
 		return Decision{Method: "loopback"}, nil
 	}
@@ -149,13 +236,13 @@ func Choose(g *topology.Grid, prefs Preferences, a, b topology.NodeID) (Decision
 		return Decision{}, fmt.Errorf("selector: no common network between %d and %d", a, b)
 	}
 	// 1. Prefer parallel-oriented SANs, in technology order. Machine-room
-	// SANs are physically secure; only an explicit "always" policy
+	// SANs are physically secure; only an explicit always policy
 	// ciphers them.
 	for _, kind := range sanOrder {
 		for _, nw := range common {
 			if nw.Kind == kind {
 				return Decision{Network: nw, Method: "madio",
-					Secure: prefs.Cipher == "always"}, nil
+					Secure: qos.Cipher == CipherAlways}, nil
 			}
 		}
 	}
@@ -181,23 +268,32 @@ func Choose(g *topology.Grid, prefs Preferences, a, b topology.NodeID) (Decision
 	d := Decision{Network: best, Method: "sysio", Streams: 1}
 	switch best.Kind {
 	case topology.WAN:
-		if prefs.Streams > 1 {
+		// Striping raises bandwidth at the price of per-chunk
+		// reordering; a latency-sensitive channel keeps one stream.
+		if qos.Streams > 1 && !qos.LatencySensitive {
 			d.Method = "pstreams"
-			d.Streams = prefs.Streams
+			d.Streams = qos.Streams
 		}
 	case topology.Internet:
-		if prefs.LossTolerance > 0 && best.Loss > 0 {
+		if qos.LossTolerance > 0 && best.Loss > 0 {
 			d.Method = "vrp"
 		}
 	}
-	if prefs.Compress && best.RateBps < prefs.CompressBelowBps {
+	if qos.Compress && !qos.LatencySensitive && best.RateBps < qos.CompressBelowBps {
 		d.Compress = true
 	}
-	switch prefs.Cipher {
-	case "always":
+	switch qos.Cipher {
+	case CipherAlways:
 		d.Secure = true
-	case "auto":
+	case CipherAuto:
 		d.Secure = !best.Secure || !g.SameSite(a, b)
 	}
 	return d, nil
+}
+
+// Choose is Select with the pair spelled as two arguments — the
+// pre-session API, kept for callers that carry a deployment-wide
+// Preferences around.
+func Choose(g *topology.Grid, prefs Preferences, a, b topology.NodeID) (Decision, error) {
+	return Select(g, Request{Src: a, Dst: b, QoS: prefs})
 }

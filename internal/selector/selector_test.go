@@ -70,7 +70,7 @@ func TestLossyLinkPolicies(t *testing.T) {
 	if d.Method != "vrp" {
 		t.Fatalf("loss-tolerant decision = %v", d)
 	}
-	prefs.Cipher = "never"
+	prefs.Cipher = CipherNever
 	prefs.Compress = false
 	d, _ = Choose(g, prefs, 2, 3)
 	if d.Secure || d.Compress {
@@ -81,7 +81,7 @@ func TestLossyLinkPolicies(t *testing.T) {
 func TestCipherAlways(t *testing.T) {
 	g := testGrid()
 	prefs := DefaultPreferences()
-	prefs.Cipher = "always"
+	prefs.Cipher = CipherAlways
 	d, _ := Choose(g, prefs, 0, 1)
 	if !d.Secure {
 		t.Fatal("cipher=always ignored on SAN")
@@ -194,6 +194,81 @@ func TestClassifyAgreesWithChoose(t *testing.T) {
 				t.Errorf("pair %v: class wan but method %q", pr, dec.Method)
 			}
 		}
+	}
+}
+
+// TestSelectMatchesChoose pins the new per-request API against the
+// legacy two-argument spelling: same knowledge base, same verdicts.
+func TestSelectMatchesChoose(t *testing.T) {
+	g := testGrid()
+	for _, pr := range [][2]topology.NodeID{{0, 1}, {0, 2}, {2, 3}, {1, 1}} {
+		want, err1 := Choose(g, DefaultPreferences(), pr[0], pr[1])
+		got, err2 := Select(g, Request{Src: pr[0], Dst: pr[1], QoS: DefaultQoS()})
+		if (err1 == nil) != (err2 == nil) || got != want {
+			t.Fatalf("pair %v: Select = %v (%v), Choose = %v (%v)", pr, got, err2, want, err1)
+		}
+	}
+}
+
+// TestSelectValidatesQoS: malformed QoS is an error at selection time,
+// never a silent fallthrough to a weaker stack.
+func TestSelectValidatesQoS(t *testing.T) {
+	g := testGrid()
+	bad := []QoS{
+		func() QoS { q := DefaultQoS(); q.Cipher = CipherPolicy(7); return q }(),
+		func() QoS { q := DefaultQoS(); q.Cipher = CipherPolicy(-1); return q }(),
+		func() QoS { q := DefaultQoS(); q.Streams = -2; return q }(),
+		func() QoS { q := DefaultQoS(); q.LossTolerance = 1.5; return q }(),
+		func() QoS { q := DefaultQoS(); q.CompressBelowBps = -1; return q }(),
+	}
+	for i, q := range bad {
+		if _, err := Select(g, Request{Src: 0, Dst: 2, QoS: q}); err == nil {
+			t.Errorf("case %d: invalid QoS %+v selected without error", i, q)
+		}
+	}
+	if _, err := Select(g, Request{Src: 0, Dst: 2, QoS: DefaultQoS()}); err != nil {
+		t.Fatalf("valid QoS rejected: %v", err)
+	}
+}
+
+func TestCipherPolicyStringAndParse(t *testing.T) {
+	for _, c := range []CipherPolicy{CipherNever, CipherAuto, CipherAlways} {
+		got, err := ParseCipherPolicy(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round-trip %v: got %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseCipherPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy parsed")
+	}
+	if s := CipherPolicy(9).String(); s != "CipherPolicy(9)" {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+}
+
+// TestLatencySensitiveSkipsBandwidthAdapters: a latency-sensitive
+// channel refuses striping (reordering) and compression (CPU in the
+// critical path) but keeps security, which is a correctness property.
+func TestLatencySensitiveSkipsBandwidthAdapters(t *testing.T) {
+	g := testGrid()
+	q := DefaultQoS()
+	q.LatencySensitive = true
+	d, err := Select(g, Request{Src: 0, Dst: 2, QoS: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method != "sysio" || d.Streams != 1 {
+		t.Fatalf("latency-sensitive WAN channel still striped: %v", d)
+	}
+	if !d.Secure {
+		t.Fatalf("latency sensitivity must not drop ciphering: %v", d)
+	}
+	d, err = Select(g, Request{Src: 2, Dst: 3, QoS: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compress {
+		t.Fatalf("latency-sensitive slow link still compressed: %v", d)
 	}
 }
 

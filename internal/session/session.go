@@ -1,0 +1,379 @@
+// Package session is the paradigm-agnostic front door of the
+// communication stack: one Open call per node pair, one Channel
+// interface whatever substrate the Selector picks underneath.
+//
+// The paper's central claim (§4.2) is that middleware must never
+// hand-pick its transport — the Selector chooses network, method and
+// wrappers per pair from the topology knowledge base. Before this
+// layer existed every consumer re-implemented that dispatch by hand
+// (datagrid's paradigm switch, each example's driver wiring). The
+// session Manager hoists it: Open consults selector.Select and
+// transparently provisions
+//
+//   - a zero-cost local pipe when both endpoints are the same node,
+//   - a cached, refcounted 2-rank Circuit moving segments with
+//     Madeleine incremental packing inside a SAN (the parallel
+//     paradigm),
+//   - a VLink driver stack — sysio, striped pstreams, AdOC, gsec, the
+//     VRP-class lossy methods — across LAN/WAN (the distributed
+//     paradigm),
+//
+// behind one Channel exposing a message view (Send/Recv) and a stream
+// view (Read/Write/ReadFull), plus Info reporting the Decision taken
+// and transfer counters.
+//
+// QoS is per-channel: functional options on Open (WithStreams,
+// WithCipher, WithCompression, WithLossTolerance, WithLatencySensitive)
+// override the Manager's default QoS — the deployment-wide Preferences
+// of old — for that channel only.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"padico/internal/circuit"
+	"padico/internal/madapi"
+	"padico/internal/selector"
+	"padico/internal/topology"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// Exported errors.
+var (
+	// ErrClosed reports an operation on a closed channel end.
+	ErrClosed = errors.New("session: channel closed")
+	// ErrProtocol reports a message whose shape does not match what the
+	// receiver asked for (segment sizes, stream framing).
+	ErrProtocol = errors.New("session: protocol violation")
+)
+
+// Channel is one end of an established session. Both ends expose the
+// same two views, whatever the substrate:
+//
+// The message view (Send/Recv) preserves segment boundaries on
+// message-oriented substrates (Circuit packing, the local pipe) and
+// gather-writes with no added framing on stream substrates (VLink) —
+// message delimiting on a stream is the caller's protocol concern,
+// which is why Recv takes the expected segment sizes.
+//
+// The stream view (Read/Write/ReadFull) is a plain byte stream; on
+// message substrates each Write travels as one self-describing message
+// and Read returns payload bytes in order.
+//
+// All methods must run in proc context except Close, which is also
+// callable from kernel context.
+type Channel interface {
+	// Send transmits one logical message as a vector of segments: one
+	// packed message on a Circuit, one gather-write on a stream.
+	Send(p *vtime.Proc, segs ...[]byte) error
+	// Recv receives segments of exactly the given sizes, in order. On a
+	// message substrate the sizes must match the packed segment
+	// boundaries (buffered across calls, so one message may satisfy
+	// several Recvs); on a stream substrate the total is read in one
+	// ReadFull and sliced.
+	Recv(p *vtime.Proc, sizes ...int) ([][]byte, error)
+	// Read delivers the next available payload bytes (up to len(buf)).
+	Read(p *vtime.Proc, buf []byte) (int, error)
+	// ReadFull blocks until len(buf) bytes arrived (or EOF).
+	ReadFull(p *vtime.Proc, buf []byte) (int, error)
+	// Write blocks until data is fully accepted by the substrate.
+	Write(p *vtime.Proc, data []byte) (int, error)
+	// Remote returns the peer end of the session. In this simulated
+	// single-process world the opener hands it to the destination
+	// node's proc — the rendezvous the PadicoTM bootstrap would do.
+	Remote() Channel
+	// Info reports how the channel was provisioned and what it moved.
+	Info() Info
+	// Close releases this end; the session's substrate is released when
+	// both ends are closed. The peer's pending reads complete with EOF
+	// after draining. Closing twice is harmless.
+	Close() error
+}
+
+// Info describes one channel end.
+type Info struct {
+	// Src is the end's own node, Dst its peer.
+	Src, Dst topology.NodeID
+	// Class is the selector's path classification for the pair.
+	Class selector.PathClass
+	// Decision is the concrete verdict the channel was built from.
+	Decision selector.Decision
+	// Transfer counters, from this end's perspective.
+	Sends, Recvs      int64
+	BytesIn, BytesOut int64
+}
+
+// Substrate is what the Manager needs from the testbed builder to
+// provision concrete transports: VLink driver stacks with an explicit
+// decision, and Circuits over a node group. *grid.Grid satisfies it;
+// session stays below grid in the import order.
+type Substrate interface {
+	DialVLinkWith(p *vtime.Proc, a, b topology.NodeID, dec selector.Decision) (*vlink.VLink, *vlink.VLink, error)
+	NewCircuits(p *vtime.Proc, name string, nodes []topology.NodeID) ([]*circuit.Circuit, error)
+}
+
+// Option adjusts the QoS of one Open.
+type Option func(*selector.QoS)
+
+// WithQoS replaces the channel's QoS wholesale.
+func WithQoS(q selector.QoS) Option { return func(dst *selector.QoS) { *dst = q } }
+
+// WithStreams sets the parallel-stream stripe count (1 disables).
+func WithStreams(n int) Option { return func(q *selector.QoS) { q.Streams = n } }
+
+// WithCipher sets the channel's ciphering policy.
+func WithCipher(p selector.CipherPolicy) Option { return func(q *selector.QoS) { q.Cipher = p } }
+
+// WithCompression enables or disables the AdOC wrapper preference.
+func WithCompression(on bool) Option { return func(q *selector.QoS) { q.Compress = on } }
+
+// WithLossTolerance tolerates losing the given fraction on lossy links.
+func WithLossTolerance(frac float64) Option {
+	return func(q *selector.QoS) { q.LossTolerance = frac }
+}
+
+// WithLatencySensitive refuses adapters that trade latency for
+// bandwidth (striping, compression).
+func WithLatencySensitive() Option { return func(q *selector.QoS) { q.LatencySensitive = true } }
+
+// Stats counts Manager activity (for reporting and tests).
+type Stats struct {
+	Opens                                int64
+	LocalOpens, CircuitOpens, VLinkOpens int64
+	// CircuitsBuilt / CircuitReuses / CircuitsClosed trace the per-pair
+	// circuit cache: a build wires a fresh 2-rank circuit, a reuse
+	// shares a live one, a close tears the circuit down after its last
+	// session released it.
+	CircuitsBuilt, CircuitReuses, CircuitsClosed int64
+}
+
+// Manager is the per-grid session service. Middleware calls Open; the
+// Manager consults the selector and owns the arbitration-adjacent
+// caching (per-pair circuit reuse with refcounts — MadIO logical
+// channels are a finite per-node resource, so overlapping SAN sessions
+// share one circuit and the last release returns it).
+type Manager struct {
+	k        *vtime.Kernel
+	topo     *topology.Grid
+	sub      Substrate
+	defaults func() selector.QoS
+
+	pairs   map[[2]topology.NodeID]*pairCircuit
+	circSeq int
+
+	Stats Stats
+}
+
+// pairCircuit is one cached parallel-paradigm substrate: the 2-rank
+// circuit pair, a semaphore serializing sessions on it (one message
+// protocol at a time per pair), and the live-session refcount.
+type pairCircuit struct {
+	key   [2]topology.NodeID
+	circs []*circuit.Circuit
+	sem   *vtime.Semaphore
+	refs  int
+}
+
+// NewManager builds the session service. defaults supplies the QoS
+// applied when Open gets no overriding options — it is read per Open so
+// a testbed may retune its Preferences after construction.
+func NewManager(k *vtime.Kernel, topo *topology.Grid, defaults func() selector.QoS, sub Substrate) *Manager {
+	return &Manager{
+		k: k, topo: topo, sub: sub, defaults: defaults,
+		pairs: make(map[[2]topology.NodeID]*pairCircuit),
+	}
+}
+
+// Default returns the QoS an optionless Open would use.
+func (m *Manager) Default() selector.QoS { return m.defaults() }
+
+// Open establishes a channel from src to dst under the manager's
+// default QoS adjusted by opts, provisioning whatever substrate the
+// selector picks. It blocks p until the channel is usable. The caller
+// owns the returned end; Remote() is the dst-side end.
+func (m *Manager) Open(p *vtime.Proc, src, dst topology.NodeID, opts ...Option) (Channel, error) {
+	qos := m.defaults()
+	for _, o := range opts {
+		o(&qos)
+	}
+	dec, err := selector.Select(m.topo, selector.Request{Src: src, Dst: dst, QoS: qos})
+	if err != nil {
+		return nil, err
+	}
+	cls := classOf(dec)
+	m.Stats.Opens++
+	switch {
+	case cls == selector.PathLocal:
+		m.Stats.LocalOpens++
+		return m.openLocal(src, dst, cls, dec), nil
+	case cls == selector.PathSAN && !dec.Secure && !dec.Compress:
+		m.Stats.CircuitOpens++
+		return m.openCircuit(p, src, dst, cls, dec)
+	default:
+		// Distributed substrate — also taken for SAN decisions that
+		// demand protocol wrappers (CipherAlways, compression): the
+		// bare madio circuit cannot cipher, but the VLink madio driver
+		// composes with gsec/adoc, so the QoS is honoured rather than
+		// silently dropped.
+		m.Stats.VLinkOpens++
+		return m.openVLink(p, src, dst, cls, dec)
+	}
+}
+
+// classOf derives the path class from the decision the selector
+// already took — one dispatch source, no second topology scan, no way
+// for substrate choice and decision to diverge.
+func classOf(dec selector.Decision) selector.PathClass {
+	switch dec.Method {
+	case "loopback":
+		return selector.PathLocal
+	case "madio":
+		return selector.PathSAN
+	}
+	switch dec.Network.Kind {
+	case topology.Ethernet:
+		return selector.PathLAN
+	case topology.WAN:
+		return selector.PathWAN
+	default:
+		return selector.PathLossy
+	}
+}
+
+// openLocal provisions an in-memory pipe: same node, no network, no
+// virtual-time cost beyond what the caller's own protocol charges.
+func (m *Manager) openLocal(src, dst topology.NodeID, cls selector.PathClass, dec selector.Decision) Channel {
+	a := newMsgChannel(Info{Src: src, Dst: dst, Class: cls, Decision: dec})
+	b := newMsgChannel(Info{Src: dst, Dst: src, Class: cls, Decision: dec})
+	a.peer, b.peer = b, a
+	a.sendf = func(segs [][]byte) { b.deliver(copySegs(segs)) }
+	b.sendf = func(segs [][]byte) { a.deliver(copySegs(segs)) }
+	return a
+}
+
+// openCircuit provisions (or shares) the pair's cached 2-rank circuit.
+func (m *Manager) openCircuit(p *vtime.Proc, src, dst topology.NodeID, cls selector.PathClass, dec selector.Decision) (Channel, error) {
+	key := [2]topology.NodeID{src, dst}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	pc, ok := m.pairs[key]
+	if !ok {
+		// Wiring a SAN-only circuit never blocks (madio + loopback
+		// links), so this check-then-build cannot interleave with
+		// another proc's.
+		m.circSeq++
+		circs, err := m.sub.NewCircuits(p,
+			fmt.Sprintf("session:%d-%d.%d", key[0], key[1], m.circSeq), key[:])
+		if err != nil {
+			return nil, err
+		}
+		pc = &pairCircuit{key: key, circs: circs,
+			sem: vtime.NewSemaphore(fmt.Sprintf("session:pair:%d-%d", key[0], key[1]), 1)}
+		m.pairs[key] = pc
+		m.Stats.CircuitsBuilt++
+	} else {
+		m.Stats.CircuitReuses++
+	}
+	// Count the session before queueing on the semaphore so an earlier
+	// session's release cannot tear the circuit down under us.
+	pc.refs++
+	pc.sem.Acquire(p)
+
+	rank := func(n topology.NodeID) int {
+		if key[0] == n {
+			return 0
+		}
+		return 1
+	}
+	cs, cr := pc.circs[rank(src)], pc.circs[rank(dst)]
+	a := newMsgChannel(Info{Src: src, Dst: dst, Class: cls, Decision: dec})
+	b := newMsgChannel(Info{Src: dst, Dst: src, Class: cls, Decision: dec})
+	a.peer, b.peer = b, a
+	a.sendf = circuitSend(cs, rank(dst))
+	b.sendf = circuitSend(cr, rank(src))
+	attachCircuitRx(cs, a)
+	attachCircuitRx(cr, b)
+	// The session ends when both ends closed: release the pair, and
+	// tear the circuit down when no other session holds it.
+	open := 2
+	release := func() {
+		open--
+		if open > 0 {
+			return
+		}
+		pc.sem.Release()
+		pc.refs--
+		if pc.refs == 0 {
+			for _, c := range pc.circs {
+				c.Close()
+			}
+			delete(m.pairs, pc.key)
+			m.Stats.CircuitsClosed++
+		}
+	}
+	a.closef, b.closef = release, release
+	return a, nil
+}
+
+// circuitSend packs one message to the fixed peer rank. The circuit
+// charges the abstraction cost; segments are copied (SendSafer) so
+// callers may reuse their buffers.
+func circuitSend(c *circuit.Circuit, dst int) func([][]byte) {
+	return func(segs [][]byte) {
+		out := c.BeginPacking(dst)
+		for _, s := range segs {
+			out.Pack(s, madapi.SendSafer)
+		}
+		out.EndPacking()
+	}
+}
+
+// attachCircuitRx pumps the circuit's delivered messages into the
+// channel end. Runs in kernel context on arrival; no virtual-time cost
+// beyond what Circuit.Deliver already charged.
+func attachCircuitRx(c *circuit.Circuit, end *msgChannel) {
+	drain := func() {
+		for {
+			in, ok := c.TryBeginUnpacking()
+			if !ok {
+				return
+			}
+			shaped := in.(interface {
+				NumSegs() int
+				NextSegLen() int
+			})
+			segs := make([][]byte, shaped.NumSegs())
+			for i := range segs {
+				segs[i] = in.Unpack(shaped.NextSegLen(), madapi.ReceiveCheaper)
+			}
+			in.EndUnpacking()
+			end.deliver(segs)
+		}
+	}
+	c.SetRxNotify(drain)
+	drain() // anything delivered before the notify hook was installed
+}
+
+// openVLink provisions a per-session VLink driver stack (the
+// distributed paradigm, alternate methods included).
+func (m *Manager) openVLink(p *vtime.Proc, src, dst topology.NodeID, cls selector.PathClass, dec selector.Decision) (Channel, error) {
+	va, vb, err := m.sub.DialVLinkWith(p, src, dst, dec)
+	if err != nil {
+		return nil, err
+	}
+	a := &vlinkChannel{v: va, info: Info{Src: src, Dst: dst, Class: cls, Decision: dec}}
+	b := &vlinkChannel{v: vb, info: Info{Src: dst, Dst: src, Class: cls, Decision: dec}}
+	a.remote, b.remote = b, a
+	return a, nil
+}
+
+func copySegs(segs [][]byte) [][]byte {
+	out := make([][]byte, len(segs))
+	for i, s := range segs {
+		out[i] = append([]byte(nil), s...)
+	}
+	return out
+}

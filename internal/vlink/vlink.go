@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"padico/internal/model"
 	"padico/internal/topology"
@@ -134,13 +135,14 @@ func (ep *Endpoint) Driver(name string) (Driver, error) {
 	return d, nil
 }
 
-// Drivers lists registered driver names (registration order not
-// guaranteed).
+// Drivers lists registered driver names, sorted — map iteration order
+// must never leak into observable output (repo determinism rule).
 func (ep *Endpoint) Drivers() []string {
 	out := make([]string, 0, len(ep.drivers))
 	for n := range ep.drivers {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

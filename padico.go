@@ -19,11 +19,20 @@
 //
 // Entry points:
 //
+//   - internal/session is the front door: a per-grid session.Manager
+//     whose Open(src, dst, QoS options) consults the selector and
+//     hands back one paradigm-agnostic Channel — local pipe, cached
+//     SAN Circuit or (striped/ciphered/compressed) VLink stack —
+//     with message and stream views plus the Decision taken;
 //   - internal/grid builds complete testbeds (Cluster, TwoClusterWAN,
-//     LossyPair) with a PadicoTM runtime per node;
-//   - internal/datagrid layers a replicated data grid on the stack:
-//     ring placement across clusters and striped parallel bulk
-//     transfers, each path using the paradigm the selector picks
+//     LossyPair) with a PadicoTM runtime per node; Grid.Session()
+//     returns the testbed's manager and Grid.Open is its shorthand;
+//   - internal/selector is the knowledge base the manager consults:
+//     Select(topo, Request{Src, Dst, QoS}) per channel, Classify for
+//     the coarse path class;
+//   - internal/datagrid layers a replicated data grid on the session
+//     layer: ring placement across clusters and bulk transfers that
+//     are a pure chunk pump over session channels
 //     (Grid.NewDataGrid wires it onto a testbed);
 //   - internal/bench regenerates every table and figure of the paper,
 //     plus the data-grid replication experiment;
