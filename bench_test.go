@@ -95,3 +95,20 @@ func BenchmarkAblationHeaderCombining(b *testing.B) {
 		b.ReportMetric(o.MadIOSeparateUS-o.MadIOCombinedUS, "v-us-saved")
 	}
 }
+
+// BenchmarkGroupFanout runs the flat-vs-hierarchical replication
+// fan-out experiment (replica factor 3 on the lossy two-cluster WAN):
+// the spanning tree must move fewer WAN bytes and converge sooner.
+func BenchmarkGroupFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.GroupBench()
+		for _, r := range rows {
+			mode := "flat"
+			if r.Hierarchical {
+				mode = "hier"
+			}
+			b.ReportMetric(r.WANMB, metric("vWAN_MB", mode))
+			b.ReportMetric(r.ConvergeS, metric("v-s-converge", mode))
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp] [-datagrid]
+//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp] [-datagrid] [-group]
 //
 // With no flags, everything runs.
 package main
@@ -23,8 +23,9 @@ func main() {
 	wan := flag.Bool("wan", false, "§5: VTHD WAN parallel streams")
 	vrpf := flag.Bool("vrp", false, "§5: VRP on the lossy trans-continental link")
 	dgf := flag.Bool("datagrid", false, "data grid: striped replication across the lossy WAN")
+	grp := flag.Bool("group", false, "group: flat vs hierarchical replication fan-out")
 	flag.Parse()
-	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf
+	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf && !*grp
 
 	if all || *fig3 {
 		fmt.Println("=== Figure 3: bandwidth (MB/s) of middleware systems in PadicoTM over Myrinet-2000 ===")
@@ -89,6 +90,24 @@ func main() {
 				r.Streams, r.Replicas, r.IngestMBps, r.ConvergeS, r.CircuitJobs, r.VLinkJobs)
 		}
 		fmt.Println()
+	}
+	if all || *grp {
+		fmt.Printf("=== Group fan-out: replica factor 3, %d objects x %dMB, two clusters, %.0f%% WAN loss ===\n",
+			bench.DataGridObjects, bench.DataGridObjectSize>>20, bench.DataGridWANLoss*100)
+		fmt.Printf("%-13s %10s %14s %14s %12s %12s\n",
+			"fan-out", "WAN MB", "ingest MB/s", "converge (s)", "group jobs", "vlink jobs")
+		rows := bench.GroupBench()
+		for _, r := range rows {
+			mode := "flat"
+			if r.Hierarchical {
+				mode = "hierarchical"
+			}
+			fmt.Printf("%-13s %10.1f %14.1f %14.2f %12d %12d\n",
+				mode, r.WANMB, r.IngestMBps, r.ConvergeS, r.GroupJobs, r.VLinkJobs)
+		}
+		flat, hier := rows[0], rows[1]
+		fmt.Printf("hierarchical fan-out: %.1fx WAN bytes, %.1f%% lower makespan\n\n",
+			hier.WANMB/flat.WANMB, 100*(1-hier.ConvergeS/flat.ConvergeS))
 	}
 	os.Exit(0)
 }

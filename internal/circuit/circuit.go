@@ -330,8 +330,8 @@ func (c *Circuit) AllReduce(p *vtime.Proc, vec []float64, op ReduceOp) []float64
 	if n&(n-1) == 0 {
 		for dist, round := 1, byte(0); dist < n; dist, round = dist*2, round+1 {
 			peer := c.self ^ dist
-			c.collSend(peer, 0x30+round, encodeF64(acc))
-			remote := decodeF64(c.collRecv(p, peer, 0x30+round))
+			c.collSend(peer, 0x30+round, EncodeF64(acc))
+			remote := DecodeF64(c.collRecv(p, peer, 0x30+round))
 			for i := range acc {
 				acc[i] = op(acc[i], remote[i])
 			}
@@ -342,27 +342,29 @@ func (c *Circuit) AllReduce(p *vtime.Proc, vec []float64, op ReduceOp) []float64
 	next := (c.self + 1) % n
 	prev := (c.self - 1 + n) % n
 	if c.self == 0 {
-		c.collSend(next, 0x40, encodeF64(acc))
-		final := decodeF64(c.collRecv(p, prev, 0x40))
+		c.collSend(next, 0x40, EncodeF64(acc))
+		final := DecodeF64(c.collRecv(p, prev, 0x40))
 		return c.bcastF64(p, final)
 	}
-	partial := decodeF64(c.collRecv(p, prev, 0x40))
+	partial := DecodeF64(c.collRecv(p, prev, 0x40))
 	for i := range partial {
 		partial[i] = op(partial[i], acc[i])
 	}
-	c.collSend(next, 0x40, encodeF64(partial))
+	c.collSend(next, 0x40, EncodeF64(partial))
 	return c.bcastF64(p, nil)
 }
 
 func (c *Circuit) bcastF64(p *vtime.Proc, data []float64) []float64 {
 	var raw []byte
 	if c.self == 0 {
-		raw = encodeF64(data)
+		raw = EncodeF64(data)
 	}
-	return decodeF64(c.Bcast(p, 0, raw))
+	return DecodeF64(c.Bcast(p, 0, raw))
 }
 
-func encodeF64(v []float64) []byte {
+// EncodeF64 is the collectives' float64 vector wire format (big-endian
+// IEEE 754); the group layer's Reduce shares it.
+func EncodeF64(v []float64) []byte {
 	out := make([]byte, 8*len(v))
 	for i, f := range v {
 		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(f))
@@ -370,7 +372,8 @@ func encodeF64(v []float64) []byte {
 	return out
 }
 
-func decodeF64(b []byte) []float64 {
+// DecodeF64 inverts EncodeF64.
+func DecodeF64(b []byte) []float64 {
 	out := make([]float64, len(b)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))

@@ -72,7 +72,7 @@ func TestReduceOps(t *testing.T) {
 // Property: float64 codec round-trips.
 func TestQuickF64Codec(t *testing.T) {
 	f := func(v []float64) bool {
-		got := decodeF64(encodeF64(v))
+		got := DecodeF64(EncodeF64(v))
 		if len(got) != len(v) {
 			return false
 		}

@@ -1,0 +1,169 @@
+package circuit
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// pipeLink is an in-memory LinkAdapter for collective edge-case tests:
+// it delivers into the peer circuit after a small fixed latency, with
+// deep-copied segments (the wire would copy too).
+type pipeLink struct {
+	k   *vtime.Kernel
+	dst *Circuit
+	src int // our rank, as seen by dst
+}
+
+func (l *pipeLink) Name() string { return "pipe" }
+
+func (l *pipeLink) Send(plane Plane, segs [][]byte) {
+	copied := make([][]byte, len(segs))
+	for i, s := range segs {
+		copied[i] = append([]byte(nil), s...)
+	}
+	l.k.After(time.Microsecond, func() { l.dst.Deliver(l.src, plane, copied) })
+}
+
+// wireGroup builds n fully connected circuits over pipe links.
+func wireGroup(k *vtime.Kernel, n int) []*Circuit {
+	nodes := make([]topology.NodeID, n)
+	for i := range nodes {
+		nodes[i] = topology.NodeID(i)
+	}
+	circs := make([]*Circuit, n)
+	for r := range circs {
+		circs[r] = New(k, "coll-test", r, nodes)
+	}
+	for i := range circs {
+		for j := range circs {
+			if i == j {
+				circs[i].SetLink(i, NewLoopbackLink(k, circs[i], i))
+			} else {
+				circs[i].SetLink(j, &pipeLink{k: k, dst: circs[j], src: i})
+			}
+		}
+	}
+	return circs
+}
+
+// runRanks runs fn on every rank (rank 0 in the root proc) and waits.
+func runRanks(t *testing.T, k *vtime.Kernel, n int, fn func(q *vtime.Proc, rank int)) {
+	t.Helper()
+	if err := k.Run(func(p *vtime.Proc) {
+		wg := vtime.NewWaitGroup("ranks")
+		for r := 1; r < n; r++ {
+			wg.Add(1)
+			k.Go("rank", func(q *vtime.Proc) {
+				defer wg.Done()
+				fn(q, r)
+			})
+		}
+		fn(p, 0)
+		wg.Wait(p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastTwoRanksEveryRoot pins the smallest non-trivial broadcast:
+// two ranks, each as root.
+func TestBcastTwoRanksEveryRoot(t *testing.T) {
+	for root := 0; root < 2; root++ {
+		k := vtime.NewKernel()
+		circs := wireGroup(k, 2)
+		runRanks(t, k, 2, func(q *vtime.Proc, rank int) {
+			var in []byte
+			if rank == root {
+				in = []byte("two-rank")
+			}
+			out := circs[rank].Bcast(q, root, in)
+			if string(out) != "two-rank" {
+				t.Errorf("root %d rank %d got %q", root, rank, out)
+			}
+		})
+	}
+}
+
+// TestBcastNonZeroRootOddGroup pins root rotation on a non-power-of-two
+// group with a non-zero root.
+func TestBcastNonZeroRootOddGroup(t *testing.T) {
+	const n, root = 5, 3
+	k := vtime.NewKernel()
+	circs := wireGroup(k, n)
+	runRanks(t, k, n, func(q *vtime.Proc, rank int) {
+		var in []byte
+		if rank == root {
+			in = []byte("rotated")
+		}
+		if out := circs[rank].Bcast(q, root, in); string(out) != "rotated" {
+			t.Errorf("rank %d got %q", rank, out)
+		}
+	})
+}
+
+// TestCollectivesSingleRank: a one-rank group must complete every
+// collective without touching any link.
+func TestCollectivesSingleRank(t *testing.T) {
+	k := vtime.NewKernel()
+	circs := wireGroup(k, 1)
+	if err := k.Run(func(p *vtime.Proc) {
+		circs[0].Barrier(p)
+		if out := circs[0].Bcast(p, 0, []byte("solo")); string(out) != "solo" {
+			t.Errorf("bcast got %q", out)
+		}
+		sum := circs[0].AllReduce(p, []float64{3, 4}, OpSum)
+		if sum[0] != 3 || sum[1] != 4 {
+			t.Errorf("allreduce = %v", sum)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if circs[0].MsgsSent != 0 {
+		t.Fatalf("single-rank collectives sent %d messages", circs[0].MsgsSent)
+	}
+}
+
+// TestBarrierRepeatedReuse runs several barriers back to back on a
+// three-rank group (ring sizes exercise the stash path in collRecv):
+// round tags are reused across barriers, so a fast rank's next-barrier
+// message must not satisfy a slow rank's current wait.
+func TestBarrierRepeatedReuse(t *testing.T) {
+	const n, rounds = 3, 4
+	k := vtime.NewKernel()
+	circs := wireGroup(k, n)
+	arrivals := make([]int, n)
+	runRanks(t, k, n, func(q *vtime.Proc, rank int) {
+		for i := 0; i < rounds; i++ {
+			// Skew the ranks so barrier generations overlap in flight.
+			q.Sleep(time.Duration(rank) * 5 * time.Microsecond)
+			circs[rank].Barrier(q)
+			arrivals[rank]++
+			if arrivals[rank] != i+1 {
+				t.Errorf("rank %d finished barrier %d out of order", rank, i)
+			}
+		}
+	})
+	for r, a := range arrivals {
+		if a != rounds {
+			t.Fatalf("rank %d completed %d barriers, want %d", r, a, rounds)
+		}
+	}
+}
+
+// TestAllReduceBothTopologies pins the recursive-doubling (power of
+// two) and ring (otherwise) paths including max/min ops.
+func TestAllReduceBothTopologies(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		k := vtime.NewKernel()
+		circs := wireGroup(k, n)
+		runRanks(t, k, n, func(q *vtime.Proc, rank int) {
+			got := circs[rank].AllReduce(q, []float64{float64(rank), float64(-rank)}, OpMax)
+			if got[0] != float64(n-1) || got[1] != 0 {
+				t.Errorf("n=%d rank %d max = %v", n, rank, got)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"padico/internal/group"
 	"padico/internal/model"
 	"padico/internal/selector"
 	"padico/internal/session"
@@ -42,6 +43,15 @@ type Config struct {
 	Workers int
 	// MaxRetries bounds attempts per transfer job (default 3).
 	MaxRetries int
+	// Hierarchical routes Put replication fan-out through
+	// group.Multicast over a site-aware spanning tree — one WAN
+	// crossing per remote site instead of one per remote replica. The
+	// sha256 end-to-end verification is unchanged; failed members are
+	// retried with a smaller group. Fan-outs the tree cannot improve
+	// (at most one replica per remote site) keep the point-to-point
+	// path: a tree with as many WAN edges as a flat fan-out saves no
+	// bytes and would only serialize on shared substrate.
+	Hierarchical bool
 	// RetryTimeout bounds the wait for a transfer status before the
 	// attempt is declared lost (default 120 s of virtual time).
 	RetryTimeout time.Duration
@@ -96,6 +106,13 @@ type Stats struct {
 	CircuitTransfers int64
 	VLinkTransfers   int64
 	LocalTransfers   int64
+	// GroupFanouts counts replication jobs served by one hierarchical
+	// multicast instead of per-target transfers.
+	GroupFanouts int64
+	// WANBytes counts every byte this datagrid moved across wide-area
+	// links, both directions (payload plus credits/statuses), whatever
+	// the fan-out strategy — the currency hierarchical fan-out saves.
+	WANBytes int64
 }
 
 // countTransfer attributes one transfer to the paradigm the session
@@ -125,6 +142,14 @@ type DataGrid struct {
 	catalog map[string]*ObjectMeta
 	stores  map[topology.NodeID]map[string][]byte
 	sched   *scheduler
+	// groups caches hierarchical fan-out groups by member set, so
+	// repeated placements reuse their spanning trees and cached WAN
+	// edges. groupWAN is the per-group WAN byte count already folded
+	// into Stats.WANBytes — concurrent multicasts on one group
+	// serialize inside it, so a local before/after delta would double
+	// count the earlier operation's bytes.
+	groups   map[string]*group.Group
+	groupWAN map[*group.Group]int64
 
 	Stats Stats
 }
@@ -137,9 +162,11 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, cfg Config)
 	cfg = cfg.withDefaults()
 	dg := &DataGrid{
 		k: k, topo: topo, mgr: mgr, cfg: cfg,
-		ring:    RingFromTopology(topo, cfg.VNodes),
-		catalog: make(map[string]*ObjectMeta),
-		stores:  make(map[topology.NodeID]map[string][]byte),
+		ring:     RingFromTopology(topo, cfg.VNodes),
+		catalog:  make(map[string]*ObjectMeta),
+		stores:   make(map[topology.NodeID]map[string][]byte),
+		groups:   make(map[string]*group.Group),
+		groupWAN: make(map[*group.Group]int64),
 	}
 	dg.sched = newScheduler(dg, cfg.Workers)
 	return dg
@@ -228,13 +255,120 @@ func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data
 	}
 	dg.storePut(entry, name, got)
 	dg.catalog[name] = meta
-	// Fan out: entry -> remaining targets, via the scheduler.
+	// Fan out: entry -> remaining targets, via the scheduler — one
+	// point-to-point job per target, or a single hierarchical multicast
+	// job over all of them.
+	var rest []topology.NodeID
 	for _, t := range targets {
 		if t != entry {
+			rest = append(rest, t)
+		}
+	}
+	if dg.cfg.Hierarchical && dg.treeSavesCrossings(entry, rest) {
+		dg.sched.submit(&job{name: name, src: entry, dsts: rest})
+	} else {
+		for _, t := range rest {
 			dg.sched.submit(&job{name: name, src: entry, dst: t})
 		}
 	}
 	return nil
+}
+
+// treeSavesCrossings reports whether a spanning tree rooted at src
+// strictly beats a flat fan-out to dsts on wide-area crossings. The
+// flat cost is one crossing per WAN-classified target; the tree's cost
+// comes from the tree itself (Tree.WANCrossings), so policy and
+// mechanism cannot disagree — e.g. two named sites joined by a LAN
+// count as zero crossings on both sides.
+func (dg *DataGrid) treeSavesCrossings(src topology.NodeID, dsts []topology.NodeID) bool {
+	flat := 0
+	for _, t := range dsts {
+		if cls, err := selector.Classify(dg.topo, src, t); err == nil && cls >= selector.PathWAN {
+			flat++
+		}
+	}
+	if flat < 2 {
+		return false // a tree can at best match a flat fan-out
+	}
+	grp, err := dg.groupFor(append([]topology.NodeID{src}, dsts...))
+	if err != nil {
+		return false
+	}
+	tr, err := grp.Tree(src)
+	if err != nil {
+		return false
+	}
+	return tr.WANCrossings() < flat
+}
+
+// groupFor returns (building and caching on first use) the fan-out
+// group over the given member set.
+func (dg *DataGrid) groupFor(members []topology.NodeID) (*group.Group, error) {
+	sorted := append([]topology.NodeID(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	key := fmt.Sprint(sorted)
+	if g, ok := dg.groups[key]; ok {
+		return g, nil
+	}
+	g, err := dg.newGroup(sorted)
+	if err != nil {
+		return nil, err
+	}
+	dg.groups[key] = g
+	return g, nil
+}
+
+// newGroup builds an uncached fan-out group; transient retry groups go
+// through dropGroup when superseded so their channels don't accumulate.
+func (dg *DataGrid) newGroup(members []topology.NodeID) (*group.Group, error) {
+	var fault func(tag string, member topology.NodeID, attempt int) bool
+	if dg.cfg.InjectFault != nil {
+		fault = func(tag string, _ topology.NodeID, attempt int) bool {
+			return dg.cfg.InjectFault(tag, attempt)
+		}
+	}
+	return group.New(dg.k, dg.topo, dg.mgr, members, group.Config{
+		ChunkBytes:    dg.cfg.ChunkBytes,
+		Streams:       dg.cfg.Streams,
+		StatusTimeout: dg.cfg.RetryTimeout,
+		InjectFault:   fault,
+	})
+}
+
+// dropGroup folds a transient group's WAN bytes into Stats and closes
+// its cached channels.
+func (dg *DataGrid) dropGroup(g *group.Group) {
+	dg.syncGroupWAN(g)
+	g.Close() // moves live edge counts into the group's closed total; WANBytes() is unchanged
+	delete(dg.groupWAN, g)
+}
+
+// ReleaseGroups closes every cached fan-out group and empties the
+// cache — the release valve for long-running workloads whose object
+// churn accumulates one group (with open WAN channels) per distinct
+// placement set. Accounting is folded into Stats first; later fan-outs
+// re-provision on demand. Do not call it while replication jobs are in
+// flight (WaitSettled first).
+func (dg *DataGrid) ReleaseGroups() int {
+	keys := make([]string, 0, len(dg.groups))
+	for k := range dg.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dg.dropGroup(dg.groups[k])
+		delete(dg.groups, k)
+	}
+	return len(keys)
+}
+
+// syncGroupWAN folds a group's WAN bytes into Stats.WANBytes exactly
+// once (runs to completion in kernel context — no blocking between the
+// read and the update).
+func (dg *DataGrid) syncGroupWAN(g *group.Group) {
+	cur := g.WANBytes()
+	dg.Stats.WANBytes += cur - dg.groupWAN[g]
+	dg.groupWAN[g] = cur
 }
 
 // Get reads an object back to a client node from the best-placed

@@ -434,3 +434,147 @@ func TestParadigmMatchesPathClass(t *testing.T) {
 		})
 	}
 }
+
+// hierRun drives one replica-3 bulk workload (the bench's regime: two
+// remote replicas per object land in one remote site) on the
+// two-cluster WAN testbed and reports WAN bytes and the fan-out
+// (converge) virtual time.
+func hierRun(t *testing.T, hierarchical bool) (int64, vtime.Duration) {
+	t.Helper()
+	g := grid.TwoClusterWANLoss(2, 2, 0.01)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 3, Streams: 4, Hierarchical: hierarchical})
+	data := payload(42, 4<<20)
+	var converge vtime.Duration
+	if err := g.K.Run(func(p *vtime.Proc) {
+		for i := 0; i < 4; i++ {
+			if err := dg.Put(p, topology.NodeID(i%4), fmt.Sprintf("bench-%d", i), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		putDone := p.Now()
+		dg.WaitSettled(p)
+		converge = p.Now().Sub(putDone)
+		for i := 0; i < 4; i++ {
+			if err := dg.VerifyReplicas(fmt.Sprintf("bench-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hierarchical && dg.Stats.GroupFanouts == 0 {
+		t.Fatalf("hierarchical run never used the group: %+v", dg.Stats)
+	}
+	if !hierarchical && dg.Stats.GroupFanouts != 0 {
+		t.Fatalf("flat run used the group: %+v", dg.Stats)
+	}
+	return dg.Stats.WANBytes, converge
+}
+
+// TestHierarchicalFanoutBeatsFlat is the tentpole claim: with replica
+// factor 3 on the two-cluster WAN, routing Put fan-out through
+// group.Multicast moves strictly fewer WAN bytes and settles in
+// strictly less virtual time than the point-to-point fan-out — while
+// every replica still verifies end to end. Both modes are repeatable
+// bit-for-bit.
+func TestHierarchicalFanoutBeatsFlat(t *testing.T) {
+	flatWAN, flatConverge := hierRun(t, false)
+	hierWAN, hierConverge := hierRun(t, true)
+	if hierWAN >= flatWAN {
+		t.Fatalf("hierarchical WAN bytes %d >= flat %d", hierWAN, flatWAN)
+	}
+	if hierConverge >= flatConverge {
+		t.Fatalf("hierarchical converge %v >= flat %v", hierConverge, flatConverge)
+	}
+	// Determinism: repeat runs are bit-identical.
+	w2, c2 := hierRun(t, true)
+	if w2 != hierWAN || c2 != hierConverge {
+		t.Fatalf("hierarchical repeat diverged: %d/%v vs %d/%v", w2, c2, hierWAN, hierConverge)
+	}
+}
+
+// TestHierarchicalFallsBackWhenTreeCannotSave pins the routing policy:
+// with replica factor 2 every fan-out has at most one replica per
+// remote site, a tree saves nothing over flat, and hierarchical mode
+// must keep the point-to-point path — byte-identical WAN traffic.
+func TestHierarchicalFallsBackWhenTreeCannotSave(t *testing.T) {
+	run := func(hierarchical bool) (*datagrid.Stats, error) {
+		g := grid.TwoClusterWAN(2, 2)
+		dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Hierarchical: hierarchical})
+		err := g.K.Run(func(p *vtime.Proc) {
+			for i := 0; i < 2; i++ {
+				if err := dg.Put(p, 0, fmt.Sprintf("pair-%d", i), payload(3, 512<<10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dg.WaitSettled(p)
+		})
+		return &dg.Stats, err
+	}
+	flat, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.GroupFanouts != 0 {
+		t.Fatalf("replica-2 fan-out went through the group: %+v", hier)
+	}
+	if hier.WANBytes != flat.WANBytes {
+		t.Fatalf("fallback WAN bytes %d != flat %d", hier.WANBytes, flat.WANBytes)
+	}
+}
+
+// TestHierarchicalFaultRetryConverges: the chaos hook fails every
+// member's first delivery; the multicast retries over the shrinking
+// failed set and still converges with verified replicas.
+func TestHierarchicalFaultRetryConverges(t *testing.T) {
+	g := grid.TwoClusterWAN(2, 2)
+	dg := g.NewDataGrid(datagrid.Config{
+		Replicas:     3,
+		Hierarchical: true,
+		InjectFault: func(name string, attempt int) bool {
+			return attempt == 1
+		},
+	})
+	data := payload(7, 256<<10)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "flaky-tree", data); err != nil {
+			t.Fatal(err)
+		}
+		dg.WaitSettled(p)
+		if err := dg.VerifyReplicas("flaky-tree"); err != nil {
+			t.Fatal(err)
+		}
+		// The cache release valve drops the settled groups without
+		// touching the WAN accounting; the next fan-out re-provisions
+		// transparently.
+		wanBefore := dg.Stats.WANBytes
+		if n := dg.ReleaseGroups(); n == 0 {
+			t.Fatal("no cached groups to release")
+		}
+		if dg.Stats.WANBytes != wanBefore {
+			t.Fatalf("releasing groups changed WAN accounting: %d -> %d", wanBefore, dg.Stats.WANBytes)
+		}
+		if err := dg.Put(p, 0, "flaky-tree-2", data); err != nil {
+			t.Fatal(err)
+		}
+		dg.WaitSettled(p)
+		if err := dg.VerifyReplicas("flaky-tree-2"); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(dg.JobErrors()) != 0 {
+		t.Fatalf("job errors: %v", dg.JobErrors())
+	}
+	if dg.Stats.Retries == 0 || dg.Stats.Failures != 0 {
+		t.Fatalf("stats: %+v", dg.Stats)
+	}
+	if dg.Stats.GroupFanouts == 0 {
+		t.Fatalf("fan-out never went through the group: %+v", dg.Stats)
+	}
+}

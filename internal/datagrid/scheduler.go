@@ -3,14 +3,19 @@ package datagrid
 import (
 	"fmt"
 
+	"padico/internal/group"
+	"padico/internal/model"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
 
-// job is one replication transfer: copy name from src's store to dst.
+// job is one replication task: copy name from src's store to dst
+// (point-to-point), or — when dsts is set — to every listed target at
+// once through one hierarchical multicast.
 type job struct {
 	name     string
 	src, dst topology.NodeID
+	dsts     []topology.NodeID
 }
 
 // scheduler runs replication jobs on a fixed pool of worker Procs, so
@@ -60,6 +65,10 @@ func (s *scheduler) run(p *vtime.Proc, j *job) {
 		dg.Stats.Failures++
 		return
 	}
+	if len(j.dsts) > 0 {
+		s.runGroup(p, j, meta)
+		return
+	}
 	if _, ok := dg.freshCopy(meta, j.dst); ok {
 		return // destination already converged (duplicate submission)
 	}
@@ -85,6 +94,105 @@ func (s *scheduler) run(p *vtime.Proc, j *job) {
 		return
 	}
 	dg.storePut(j.dst, j.name, got)
+}
+
+// runGroup serves one multi-target replication job with hierarchical
+// multicasts: the whole remaining target set per attempt, shrinking to
+// the members that failed verification. Delivered copies are stored as
+// they verify, so a partially failed attempt still makes progress.
+func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
+	dg := s.dg
+	remaining := make([]topology.NodeID, 0, len(j.dsts))
+	for _, t := range j.dsts {
+		if _, ok := dg.freshCopy(meta, t); !ok {
+			remaining = append(remaining, t)
+		}
+	}
+	if len(remaining) == 0 {
+		return // every destination already converged
+	}
+	data, ok := dg.freshCopy(meta, j.src)
+	if !ok {
+		src, found := dg.freshHolder(meta, remaining[0])
+		if !found {
+			s.fail(fmt.Errorf("%w: %s has no up-to-date source", ErrNoReplica, j.name))
+			dg.Stats.Failures++
+			return
+		}
+		j.src = src
+		data, _ = dg.freshCopy(meta, src)
+	}
+	// Only the submitted full placement set lives in the long-lived
+	// group cache; a fan-out some other worker already partially
+	// converged, and every shrunken retry set, runs on a transient
+	// group released when done — no cache entry (each with its own open
+	// WAN channels) per convergence pattern.
+	var transient *group.Group
+	defer func() {
+		if transient != nil {
+			dg.dropGroup(transient)
+		}
+	}()
+	var grp *group.Group
+	var gerr error
+	if len(remaining) == len(j.dsts) {
+		grp, gerr = dg.groupFor(append([]topology.NodeID{j.src}, remaining...))
+	} else {
+		grp, gerr = dg.newGroup(append([]topology.NodeID{j.src}, remaining...))
+		transient = grp
+	}
+	if gerr != nil {
+		s.fail(gerr)
+		dg.Stats.Failures++
+		return
+	}
+	dg.Stats.Jobs++
+	p.Consume(model.MemcpyPerByte.Cost(len(data))) // checksum pass over the payload
+	var lastErr error
+	for attempt := 1; attempt <= dg.cfg.MaxRetries; attempt++ {
+		got, err := grp.Multicast(p, j.src, j.name, data, attempt)
+		dg.syncGroupWAN(grp)
+		for _, t := range remaining {
+			if copyBytes, ok := got[t]; ok {
+				dg.storePut(t, j.name, copyBytes)
+				dg.Stats.BytesMoved += int64(len(copyBytes))
+			}
+		}
+		if err == nil {
+			dg.Stats.GroupFanouts++
+			return
+		}
+		lastErr = err
+		dg.Stats.Retries++
+		next := remaining[:0]
+		for _, t := range remaining {
+			if _, ok := dg.freshCopy(meta, t); !ok {
+				next = append(next, t)
+			}
+		}
+		remaining = next
+		if len(remaining) == 0 { // partial error but everyone converged
+			dg.Stats.Retries--
+			dg.Stats.GroupFanouts++
+			return
+		}
+		if attempt == dg.cfg.MaxRetries {
+			break
+		}
+		retryGrp, gerr := dg.newGroup(append([]topology.NodeID{j.src}, remaining...))
+		if gerr != nil {
+			s.fail(gerr)
+			dg.Stats.Failures++
+			return
+		}
+		if transient != nil {
+			dg.dropGroup(transient)
+		}
+		transient, grp = retryGrp, retryGrp
+	}
+	dg.Stats.Retries-- // the final attempt was a failure, not a retry
+	dg.Stats.Failures++
+	s.fail(fmt.Errorf("%w: %s fan-out to %v: %v", ErrJobFailed, j.name, remaining, lastErr))
 }
 
 func (s *scheduler) fail(err error) { s.errs = append(s.errs, err) }

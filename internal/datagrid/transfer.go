@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"padico/internal/model"
+	"padico/internal/selector"
 	"padico/internal/session"
 	"padico/internal/topology"
 	"padico/internal/vtime"
@@ -79,6 +80,14 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 		return nil, err
 	}
 	dg.Stats.countTransfer(ch.Info().Class)
+	if ch.Info().Class >= selector.PathWAN {
+		// Count what this attempt moved across the wide area, both
+		// directions (payload down, credits/status back), success or
+		// not — the read happens after both ends went quiet.
+		defer func() {
+			dg.Stats.WANBytes += ch.Info().BytesOut + ch.Remote().Info().BytesOut
+		}()
+	}
 
 	result := vtime.NewQueue[[]byte]("dg:result")
 	status := vtime.NewQueue[byte]("dg:status")

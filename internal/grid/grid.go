@@ -20,6 +20,7 @@ import (
 	"padico/internal/core"
 	"padico/internal/datagrid"
 	"padico/internal/drivers/gm"
+	"padico/internal/group"
 	"padico/internal/gsec"
 	"padico/internal/ipstack"
 	"padico/internal/madeleine"
@@ -103,9 +104,37 @@ func TwoClusterWAN(n1, n2 int) *Grid { return TwoClusterWANLoss(n1, n2, 0) }
 // WAN core — the data-grid scenario, where isolated losses across the
 // wide area are exactly what striped parallel transfers amortize.
 func TwoClusterWANLoss(n1, n2 int, loss float64) *Grid {
+	return multiSite([]string{"rennes", "grenoble"}, []string{"r", "g"}, []int{n1, n2}, loss)
+}
+
+// MultiSite builds a star of clusters: `sites` clusters of nodesPerSite
+// nodes each (own Myrinet + Ethernet per site, like TwoClusterWAN's),
+// every node reaching remote sites through its own WAN access link into
+// one shared VTHD-like core. It is the group-communication testbed:
+// hierarchical experiments are not limited to two clusters.
+func MultiSite(sites, nodesPerSite int) *Grid { return MultiSiteLoss(sites, nodesPerSite, 0) }
+
+// MultiSiteLoss is MultiSite with uniform random loss on the WAN core.
+func MultiSiteLoss(sites, nodesPerSite int, loss float64) *Grid {
+	if sites < 1 || nodesPerSite < 1 {
+		panic(fmt.Sprintf("grid: MultiSite needs at least one site and one node, got %d x %d", sites, nodesPerSite))
+	}
+	names := make([]string, sites)
+	prefixes := make([]string, sites)
+	counts := make([]int, sites)
+	for s := range names {
+		names[s] = fmt.Sprintf("site%d", s)
+		prefixes[s] = fmt.Sprintf("s%d-", s)
+		counts[s] = nodesPerSite
+	}
+	return multiSite(names, prefixes, counts, loss)
+}
+
+// multiSite assembles any star-of-clusters deployment: one Myrinet and
+// one Ethernet per named site, counts[s] nodes with prefixes[s] names,
+// a shared lossy WAN joining the sites.
+func multiSite(sites, prefixes []string, counts []int, loss float64) *Grid {
 	g := newGrid()
-	sites := []string{"rennes", "grenoble"}
-	counts := []int{n1, n2}
 	var myris []*topology.Network
 	var eths []*topology.Network
 	for s := range sites {
@@ -114,7 +143,7 @@ func TwoClusterWANLoss(n1, n2 int, loss float64) *Grid {
 		myris = append(myris, myri)
 		eths = append(eths, eth)
 		for i := 0; i < counts[s]; i++ {
-			node := g.Topo.AddNode(fmt.Sprintf("%s%d", sites[s][:1], i), sites[s])
+			node := g.Topo.AddNode(fmt.Sprintf("%s%d", prefixes[s], i), sites[s])
 			g.Topo.Attach(node, myri)
 			g.Topo.Attach(node, eth)
 		}
@@ -257,6 +286,14 @@ func (g *Grid) Runtime(id topology.NodeID) *core.Runtime { return g.RT[id] }
 // same per-pair circuit cache — as every other middleware.
 func (g *Grid) NewDataGrid(cfg datagrid.Config) *datagrid.DataGrid {
 	return datagrid.New(g.K, g.Topo, g.Session(), cfg)
+}
+
+// NewGroup forms a hierarchical communication group over this
+// testbed's session manager: a two-tier spanning tree (site leaders
+// across the WAN, binomial fan-out inside each cluster) carrying
+// Multicast/Reduce/Barrier/Gather.
+func (g *Grid) NewGroup(members []topology.NodeID, cfg group.Config) (*group.Group, error) {
+	return group.New(g.K, g.Topo, g.Session(), members, cfg)
 }
 
 // allocPort hands out distinct rendezvous ports for builder wiring.

@@ -1,0 +1,115 @@
+package grid_test
+
+import (
+	"bytes"
+	"testing"
+
+	"padico/internal/grid"
+	"padico/internal/selector"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// TestMultiSiteTopology pins the star-of-clusters shape: each site has
+// its own SAN + LAN, every cross-site pair is WAN-class, and the site
+// list is the declared one.
+func TestMultiSiteTopology(t *testing.T) {
+	g := grid.MultiSite(3, 2)
+	if n := len(g.Topo.Nodes()); n != 6 {
+		t.Fatalf("nodes = %d, want 6", n)
+	}
+	sites := g.Topo.Sites()
+	want := []string{"site0", "site1", "site2"}
+	if len(sites) != len(want) {
+		t.Fatalf("sites = %v", sites)
+	}
+	for i, s := range want {
+		if sites[i] != s {
+			t.Fatalf("sites = %v, want %v", sites, want)
+		}
+	}
+	for a := topology.NodeID(0); a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			cls, err := selector.Classify(g.Topo, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Topo.SameSite(a, b) && cls != selector.PathSAN {
+				t.Fatalf("same-site pair %d-%d classified %v", a, b, cls)
+			}
+			if !g.Topo.SameSite(a, b) && cls != selector.PathWAN {
+				t.Fatalf("cross-site pair %d-%d classified %v", a, b, cls)
+			}
+		}
+	}
+}
+
+// TestMultiSiteSessionsSpanSites drives one SAN and one WAN session on
+// a three-site testbed: the selector must pick the parallel paradigm
+// inside a cluster and striped streams across the star.
+func TestMultiSiteSessionsSpanSites(t *testing.T) {
+	g := grid.MultiSite(3, 2)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		san, err := g.Open(p, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if san.Info().Class != selector.PathSAN {
+			t.Fatalf("intra-site session class = %v", san.Info().Class)
+		}
+		wan, err := g.Open(p, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wan.Info().Class != selector.PathWAN || wan.Info().Decision.Method != "pstreams" {
+			t.Fatalf("cross-site session = %+v", wan.Info())
+		}
+		payload := []byte("across the star")
+		done := vtime.NewWaitGroup("recv")
+		done.Add(1)
+		g.K.Go("sink", func(q *vtime.Proc) {
+			defer done.Done()
+			buf := make([]byte, len(payload))
+			if _, err := wan.Remote().ReadFull(q, buf); err != nil {
+				t.Error(err)
+			}
+			if !bytes.Equal(buf, payload) {
+				t.Errorf("got %q", buf)
+			}
+		})
+		if _, err := wan.Write(p, payload); err != nil {
+			t.Fatal(err)
+		}
+		done.Wait(p)
+		san.Close()
+		wan.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiSiteSingleSiteDegenerates: one site is just a cluster — no
+// cross-site pairs, the WAN stays unused.
+func TestMultiSiteSingleSiteDegenerates(t *testing.T) {
+	g := grid.MultiSite(1, 3)
+	if n := len(g.Topo.Sites()); n != 1 {
+		t.Fatalf("sites = %d", n)
+	}
+	cls, err := selector.Classify(g.Topo, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != selector.PathSAN {
+		t.Fatalf("class = %v, want san", cls)
+	}
+}
+
+// TestMultiSiteRejectsEmptyShape pins the constructor's validation.
+func TestMultiSiteRejectsEmptyShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MultiSite(0, 2) did not panic")
+		}
+	}()
+	grid.MultiSite(0, 2)
+}

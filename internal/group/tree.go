@@ -1,0 +1,202 @@
+package group
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"padico/internal/selector"
+	"padico/internal/topology"
+)
+
+// Tree is the deterministic two-tier spanning tree one collective
+// operation runs on: one elected leader per site, binomial inter-leader
+// edges across the wide area, binomial intra-site fan-out below each
+// leader. The same (members, root) pair always yields the same tree —
+// construction sorts sites and members before iterating, never a map.
+type Tree struct {
+	root topology.NodeID
+	// sites lists the member sites, operation root's site first, the
+	// rest in ascending name order — the inter-leader binomial ranks.
+	sites   []string
+	leaders map[string]topology.NodeID
+
+	parent   map[topology.NodeID]topology.NodeID
+	children map[topology.NodeID][]topology.NodeID
+	subtree  map[topology.NodeID]int // members in the subtree rooted at n (incl. n)
+
+	// edges is the preorder edge list; class[i] is the selector's path
+	// classification of edges[i]. WAN-crossing edges of a node come
+	// before its SAN edges, so long-latency hops start first.
+	edges []Edge
+}
+
+// Edge is one parent -> child link of the tree.
+type Edge struct {
+	Parent, Child topology.NodeID
+	Class         selector.PathClass
+}
+
+// buildTree constructs the two-tier tree for the given sorted member
+// list rooted at root. The root acts as its own site's leader (no extra
+// intra-site hop before the payload leaves the root site); every other
+// site elects its lowest-id member.
+func buildTree(topo *topology.Grid, members []topology.NodeID, root topology.NodeID) (*Tree, error) {
+	bySite := make(map[string][]topology.NodeID)
+	var siteNames []string
+	for _, m := range members { // members are sorted, so site lists are too
+		s := topo.Node(m).Site
+		if _, seen := bySite[s]; !seen {
+			siteNames = append(siteNames, s)
+		}
+		bySite[s] = append(bySite[s], m)
+	}
+	sort.Strings(siteNames)
+	rootSite := topo.Node(root).Site
+
+	t := &Tree{
+		root:     root,
+		leaders:  make(map[string]topology.NodeID, len(siteNames)),
+		parent:   make(map[topology.NodeID]topology.NodeID, len(members)),
+		children: make(map[topology.NodeID][]topology.NodeID, len(members)),
+		subtree:  make(map[topology.NodeID]int, len(members)),
+	}
+	t.sites = append(t.sites, rootSite)
+	for _, s := range siteNames {
+		if s != rootSite {
+			t.sites = append(t.sites, s)
+		}
+	}
+	for _, s := range t.sites {
+		t.leaders[s] = bySite[s][0]
+	}
+	t.leaders[rootSite] = root
+
+	link := func(parent, child topology.NodeID) error {
+		cls, err := selector.Classify(topo, parent, child)
+		if err != nil {
+			return fmt.Errorf("group: tree edge %d->%d: %w", parent, child, err)
+		}
+		t.parent[child] = parent
+		t.children[parent] = append(t.children[parent], child)
+		t.edges = append(t.edges, Edge{Parent: parent, Child: child, Class: cls})
+		return nil
+	}
+
+	// Tier 1: binomial tree over the site leaders, in t.sites order.
+	// Leader edges are linked before any intra-site edge so each node's
+	// child list starts with its WAN hops.
+	for v := 1; v < len(t.sites); v++ {
+		pv := v &^ (v & -v) // clear the lowest set bit
+		if err := link(t.leaders[t.sites[pv]], t.leaders[t.sites[v]]); err != nil {
+			return nil, err
+		}
+	}
+	// Tier 2: binomial fan-out inside each site, leader first then the
+	// remaining members in ascending id order.
+	for _, s := range t.sites {
+		order := append([]topology.NodeID{t.leaders[s]}, withoutNode(bySite[s], t.leaders[s])...)
+		for v := 1; v < len(order); v++ {
+			pv := v &^ (v & -v)
+			if err := link(order[pv], order[v]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Subtree sizes, children-before-parent (walk the preorder edge
+	// list backwards).
+	for _, m := range members {
+		t.subtree[m] = 1
+	}
+	for i := len(t.edges) - 1; i >= 0; i-- {
+		t.subtree[t.edges[i].Parent] += t.subtree[t.edges[i].Child]
+	}
+	return t, nil
+}
+
+func withoutNode(sorted []topology.NodeID, drop topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(sorted)-1)
+	for _, n := range sorted {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Root returns the node the tree is rooted at.
+func (t *Tree) Root() topology.NodeID { return t.root }
+
+// Leader returns the elected leader of a site (the operation root for
+// the root's own site).
+func (t *Tree) Leader(site string) (topology.NodeID, bool) {
+	l, ok := t.leaders[site]
+	return l, ok
+}
+
+// Children returns n's children, WAN hops first.
+func (t *Tree) Children(n topology.NodeID) []topology.NodeID { return t.children[n] }
+
+// Parent returns n's parent; ok is false for the root.
+func (t *Tree) Parent(n topology.NodeID) (topology.NodeID, bool) {
+	p, ok := t.parent[n]
+	return p, ok
+}
+
+// Edges returns the preorder edge list with path classes.
+func (t *Tree) Edges() []Edge { return t.edges }
+
+// SubtreeSize returns the number of members in n's subtree, n included.
+func (t *Tree) SubtreeSize(n topology.NodeID) int { return t.subtree[n] }
+
+// WANCrossings counts edges that leave the machine room — the number of
+// wide-area transfers one multicast over this tree costs. A flat
+// fan-out from the root would instead pay one crossing per remote
+// member.
+func (t *Tree) WANCrossings() int {
+	n := 0
+	for _, e := range t.edges {
+		if e.Class >= selector.PathWAN {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the tree, one node per line with box-drawing guides:
+//
+//	n0 [rennes]
+//	├─wan→ g0 [grenoble]
+//	│      └─san→ g1
+//	└─san→ n1
+func (t *Tree) String(topo *topology.Grid) string {
+	var b strings.Builder
+	node := topo.Node(t.root)
+	fmt.Fprintf(&b, "%s [%s]\n", node.Name, node.Site)
+	t.render(&b, topo, t.root, "")
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, topo *topology.Grid, n topology.NodeID, indent string) {
+	kids := t.children[n]
+	for i, c := range kids {
+		guide, next := "├", indent+"│      "
+		if i == len(kids)-1 {
+			guide, next = "└", indent+"       "
+		}
+		var cls selector.PathClass
+		for _, e := range t.edges {
+			if e.Parent == n && e.Child == c {
+				cls = e.Class
+				break
+			}
+		}
+		cn := topo.Node(c)
+		fmt.Fprintf(b, "%s%s─%s→ %s", indent, guide, cls, cn.Name)
+		if cn.Site != topo.Node(n).Site {
+			fmt.Fprintf(b, " [%s]", cn.Site)
+		}
+		b.WriteByte('\n')
+		t.render(b, topo, c, next)
+	}
+}

@@ -80,6 +80,12 @@ type QoS struct {
 	// latency for bandwidth: no stripe reordering, no compression CPU
 	// in the critical path.
 	LatencySensitive bool
+	// Collective marks channels that form edges of a group-communication
+	// spanning tree (hierarchical multicast/reduce). Payload crossing
+	// such an edge is forwarded verbatim to the next tier, so per-hop
+	// compression is pure wasted CPU: the selector never stacks AdOC on
+	// a collective edge. Striping and ciphering still apply per link.
+	Collective bool
 }
 
 // Preferences is the legacy name for a deployment-wide QoS; the session
@@ -279,7 +285,7 @@ func Select(g *topology.Grid, req Request) (Decision, error) {
 			d.Method = "vrp"
 		}
 	}
-	if qos.Compress && !qos.LatencySensitive && best.RateBps < qos.CompressBelowBps {
+	if qos.Compress && !qos.LatencySensitive && !qos.Collective && best.RateBps < qos.CompressBelowBps {
 		d.Compress = true
 	}
 	switch qos.Cipher {

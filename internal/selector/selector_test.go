@@ -272,6 +272,34 @@ func TestLatencySensitiveSkipsBandwidthAdapters(t *testing.T) {
 	}
 }
 
+// TestCollectiveEdgeSkipsCompression pins the collective QoS hint: a
+// spanning-tree edge forwards its payload verbatim to the next tier, so
+// the selector must not stack AdOC on it even on a link slow enough to
+// otherwise warrant compression — while keeping striping and ciphering.
+func TestCollectiveEdgeSkipsCompression(t *testing.T) {
+	g := testGrid()
+	q := DefaultQoS()
+	q.CompressBelowBps = 1e9 // every link qualifies for AdOC
+	q.Collective = true
+	d, err := Select(g, Request{Src: 2, Dst: 3, QoS: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compress {
+		t.Fatalf("collective edge on a slow link still compressed: %v", d)
+	}
+	d, err = Select(g, Request{Src: 0, Dst: 2, QoS: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method != "pstreams" || d.Streams != 4 || !d.Secure {
+		t.Fatalf("collective hint must not drop striping/ciphering: %v", d)
+	}
+	if d.Compress {
+		t.Fatalf("collective WAN edge still compressed: %v", d)
+	}
+}
+
 func contains(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

@@ -138,6 +138,11 @@ func WithLossTolerance(frac float64) Option {
 // bandwidth (striping, compression).
 func WithLatencySensitive() Option { return func(q *selector.QoS) { q.LatencySensitive = true } }
 
+// WithCollective marks the channel as one edge of a group-communication
+// spanning tree: the payload is forwarded verbatim to the next tier, so
+// the selector skips per-hop compression (see selector.QoS.Collective).
+func WithCollective() Option { return func(q *selector.QoS) { q.Collective = true } }
+
 // Stats counts Manager activity (for reporting and tests).
 type Stats struct {
 	Opens                                int64

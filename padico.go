@@ -30,9 +30,15 @@
 //   - internal/selector is the knowledge base the manager consults:
 //     Select(topo, Request{Src, Dst, QoS}) per channel, Classify for
 //     the coarse path class;
+//   - internal/group layers grid-wide hierarchical collectives on the
+//     session layer: a deterministic two-tier spanning tree (elected
+//     site leaders across the WAN, binomial fan-out inside each
+//     cluster) carrying Multicast/Reduce/Barrier/Gather with chunked
+//     pipelining (Grid.NewGroup wires one onto a testbed);
 //   - internal/datagrid layers a replicated data grid on the session
 //     layer: ring placement across clusters and bulk transfers that
-//     are a pure chunk pump over session channels
+//     are a pure chunk pump over session channels; Put fan-out rides
+//     group.Multicast when the tree saves WAN crossings
 //     (Grid.NewDataGrid wires it onto a testbed);
 //   - internal/bench regenerates every table and figure of the paper,
 //     plus the data-grid replication experiment;
