@@ -96,6 +96,26 @@ func BenchmarkAblationHeaderCombining(b *testing.B) {
 	}
 }
 
+// BenchmarkDataGridWallClock is the hot-path allocation benchmark: one
+// flat replica-3 striped datagrid run per iteration. Virtual-time
+// metrics are pinned by determinism_test.go; allocs/op and B/op (run
+// with -benchmem) are the zero-copy segment path's scoreboard.
+func BenchmarkDataGridWallClock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.DataGridWallClock()
+		b.ReportMetric(r.IngestMBps, "vMB_s-ingest")
+		b.ReportMetric(r.ConvergeS, "v-s-converge")
+	}
+}
+
+// BenchmarkTCPBulk isolates the ipstack segment path: 8 MB through one
+// raw TCP connection across the WAN testbed.
+func BenchmarkTCPBulk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(bench.TCPBulk(), "vMB_s")
+	}
+}
+
 // BenchmarkGroupFanout runs the flat-vs-hierarchical replication
 // fan-out experiment (replica factor 3 on the lossy two-cluster WAN):
 // the spanning tree must move fewer WAN bytes and converge sooner.

@@ -1,0 +1,77 @@
+// Determinism regression gate for the zero-copy segment path (PR 4):
+// the buffer-management refactor must not move a single virtual-time
+// event. These tables were captured on the pre-refactor tree (seed of
+// PR 4) and every entry must stay bit-identical — virtual times, byte
+// counts and job splits alike. A failure here means an optimisation
+// changed simulated behaviour, not just memory traffic.
+package padico
+
+import (
+	"fmt"
+	"testing"
+
+	"padico/internal/bench"
+)
+
+// fmtRow renders one datagrid/group table row with full float precision
+// (%v prints the shortest exact representation, so any drift shows).
+func fmtRow(r bench.DataGridResult) string {
+	return fmt.Sprintf("streams=%d replicas=%d hier=%v ingest=%v converge=%v wanMB=%v circ=%d vlink=%d group=%d",
+		r.Streams, r.Replicas, r.Hierarchical, r.IngestMBps, r.ConvergeS, r.WANMB,
+		r.CircuitJobs, r.VLinkJobs, r.GroupJobs)
+}
+
+var seedDataGridTable = []string{
+	"streams=1 replicas=2 hier=false ingest=227.7276362042672 converge=3.355014446 wanMB=16.778024 circ=2 vlink=4 group=0",
+	"streams=4 replicas=2 hier=false ingest=227.7276362042672 converge=1.669431838 wanMB=16.778024 circ=2 vlink=4 group=0",
+	"streams=4 replicas=3 hier=false ingest=227.7276362042672 converge=4.478756114 wanMB=33.556048 circ=2 vlink=8 group=0",
+}
+
+var seedGroupTable = []string{
+	"streams=4 replicas=3 hier=false ingest=227.7276362042672 converge=4.478756114 wanMB=33.556048 circ=2 vlink=8 group=0",
+	"streams=4 replicas=3 hier=true ingest=227.7276362042672 converge=4.09418192 wanMB=16.777432 circ=2 vlink=0 group=4",
+}
+
+func TestDataGridTableBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full datagrid table run")
+	}
+	rows := bench.DataGridBench()
+	if len(rows) != len(seedDataGridTable) {
+		t.Fatalf("table has %d rows, seed had %d", len(rows), len(seedDataGridTable))
+	}
+	for i, r := range rows {
+		if got := fmtRow(r); got != seedDataGridTable[i] {
+			t.Errorf("row %d drifted:\n got  %s\n seed %s", i, got, seedDataGridTable[i])
+		}
+	}
+}
+
+func TestGroupTableBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full group table run")
+	}
+	rows := bench.GroupBench()
+	if len(rows) != len(seedGroupTable) {
+		t.Fatalf("table has %d rows, seed had %d", len(rows), len(seedGroupTable))
+	}
+	for i, r := range rows {
+		if got := fmtRow(r); got != seedGroupTable[i] {
+			t.Errorf("row %d drifted:\n got  %s\n seed %s", i, got, seedGroupTable[i])
+		}
+	}
+}
+
+func TestWANTableBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full WAN run")
+	}
+	w := bench.WAN()
+	const wantSingle, wantStriped = "8.942571519494994", "11.261711269578795"
+	if got := fmt.Sprintf("%v", w.SingleMBps); got != wantSingle {
+		t.Errorf("single-stream WAN rate drifted: got %s, seed %s", got, wantSingle)
+	}
+	if got := fmt.Sprintf("%v", w.StripedMBps); got != wantStriped {
+		t.Errorf("striped WAN rate drifted: got %s, seed %s", got, wantStriped)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"padico/internal/iovec"
 	"padico/internal/model"
 	"padico/internal/topology"
 	"padico/internal/vlink"
@@ -93,8 +94,17 @@ type conn struct {
 	backlog  int        // bytes accepted but not yet flushed to inner
 	wHorizon vtime.Time // serializes frame emission (compressor is one CPU)
 
-	fp   []byte
-	rx   []byte
+	// Per-level cached deflaters and their shared output staging: one
+	// compressor CPU per connection, so reuse is race-free and the
+	// per-chunk flate.NewWriter allocation disappears. The read side
+	// caches the inflater and its source reader the same way.
+	fw   map[int]*flate.Writer
+	cbuf bytes.Buffer
+	fr   io.ReadCloser
+	crd  bytes.Reader
+
+	fp   iovec.Fifo
+	rx   iovec.Fifo
 	eof  bool
 	rbuf []byte
 	rcb  func(int, error)
@@ -143,33 +153,44 @@ func (c *conn) level() int {
 
 // PostWrite implements vlink.Conn.
 func (c *conn) PostWrite(data []byte, cb func(int, error)) {
-	total := len(data)
+	c.PostWritev(iovec.Make(data), cb)
+}
+
+// PostWritev implements vlink.VecConn. Compression transforms bytes,
+// so this wrapper's contract is "copy exactly once into a pooled
+// buffer": each chunk is deflated (or, when incompressible, copied
+// verbatim) straight into the pooled frame that travels down the inner
+// link, and the frame is released when the inner driver accepted it.
+func (c *conn) PostWritev(v iovec.Vec, cb func(int, error)) {
+	total := v.Len()
 	nchunks := (total + ChunkSize - 1) / ChunkSize
 	if nchunks == 0 {
 		cb(0, nil)
 		return
 	}
 	completed := 0
+	var stage *iovec.Buf // contiguous chunk staging when a chunk spans segments
 	for off := 0; off < total; off += ChunkSize {
 		end := off + ChunkSize
 		if end > total {
 			end = total
 		}
-		chunk := data[off:end]
+		chunk := contiguous(v, off, end-off, &stage)
 		lvl := c.level()
-		comp, ok := deflateChunk(chunk, lvl)
+		comp, ok := c.deflateChunk(chunk, lvl)
 		if !ok {
 			lvl = 0
 			comp = chunk
 		}
-		hdr := make([]byte, chunkHdrLen, chunkHdrLen+len(comp))
-		hdr[0] = byte(lvl)
-		binary.BigEndian.PutUint32(hdr[1:], uint32(len(chunk)))
-		binary.BigEndian.PutUint32(hdr[5:], uint32(len(comp)))
-		frame := append(hdr, comp...)
+		frame := iovec.Get(chunkHdrLen + len(comp))
+		fb := frame.Bytes()
+		fb[0] = byte(lvl)
+		binary.BigEndian.PutUint32(fb[1:], uint32(len(chunk)))
+		binary.BigEndian.PutUint32(fb[5:], uint32(len(comp)))
+		copy(fb[chunkHdrLen:], comp)
 		c.d.BytesIn += int64(len(chunk))
-		c.d.BytesWire += int64(len(frame))
-		c.backlog += len(frame)
+		c.d.BytesWire += int64(len(fb))
+		c.backlog += len(fb)
 		// CPU cost of deflate scales with level. Frames must leave in
 		// order, so each is scheduled after the previous one's cost on a
 		// per-connection horizon (one compressor CPU).
@@ -179,9 +200,11 @@ func (c *conn) PostWrite(data []byte, cb func(int, error)) {
 			c.wHorizon = now
 		}
 		c.wHorizon = c.wHorizon.Add(cost)
-		c.d.k.At(c.wHorizon, func() {
-			c.inner.PostWrite(frame, func(n int, err error) {
-				c.backlog -= len(frame)
+		flen := len(fb)
+		c.d.k.ScheduleAt(c.wHorizon, func() {
+			c.inner.PostWrite(frame.Bytes(), func(n int, err error) {
+				frame.Release()
+				c.backlog -= flen
 				completed++
 				if completed == nchunks {
 					cb(total, err)
@@ -189,42 +212,76 @@ func (c *conn) PostWrite(data []byte, cb func(int, error)) {
 			})
 		})
 	}
+	if stage != nil {
+		stage.Release()
+	}
+}
+
+// contiguous returns chunk [off, off+n) of v as one byte slice: a
+// direct view when the range sits inside one segment, otherwise a copy
+// into a reused pooled staging buffer (*stage).
+func contiguous(v iovec.Vec, off, n int, stage **iovec.Buf) []byte {
+	rem := off
+	for _, s := range v.Segs {
+		if rem < len(s.B) {
+			if rem+n <= len(s.B) {
+				return s.B[rem : rem+n]
+			}
+			break
+		}
+		rem -= len(s.B)
+	}
+	if *stage == nil || len((*stage).Bytes()) < n {
+		if *stage != nil {
+			(*stage).Release()
+		}
+		*stage = iovec.Get(ChunkSize)
+	}
+	dst := (*stage).Bytes()[:n]
+	sl := v.Slice(off, n)
+	sl.CopyTo(dst)
+	sl.Release()
+	return dst
 }
 
 // feed parses inbound frames and inflates them.
 func (c *conn) feed(data []byte) {
-	c.fp = append(c.fp, data...)
-	for len(c.fp) >= chunkHdrLen {
-		lvl := int(c.fp[0])
-		orig := int(binary.BigEndian.Uint32(c.fp[1:]))
-		clen := int(binary.BigEndian.Uint32(c.fp[5:]))
-		if len(c.fp) < chunkHdrLen+clen {
+	c.fp.Write(data)
+	for c.fp.Len() >= chunkHdrLen {
+		fb := c.fp.Bytes()
+		lvl := int(fb[0])
+		orig := int(binary.BigEndian.Uint32(fb[1:]))
+		clen := int(binary.BigEndian.Uint32(fb[5:]))
+		if c.fp.Len() < chunkHdrLen+clen {
 			break
 		}
-		comp := c.fp[chunkHdrLen : chunkHdrLen+clen]
-		var out []byte
+		comp := fb[chunkHdrLen : chunkHdrLen+clen]
 		if lvl == 0 {
-			out = append([]byte(nil), comp...)
+			c.rx.Write(comp)
 		} else {
-			r := flate.NewReader(bytes.NewReader(comp))
-			out = make([]byte, orig)
-			if _, err := io.ReadFull(r, out); err != nil {
+			// Inflate straight into the reassembly buffer through the
+			// cached inflater (no intermediate chunk materialization).
+			c.crd.Reset(comp)
+			if c.fr == nil {
+				c.fr = flate.NewReader(&c.crd)
+			} else if err := c.fr.(flate.Resetter).Reset(&c.crd, nil); err != nil {
+				panic(fmt.Sprintf("adoc: inflater reset: %v", err))
+			}
+			if _, err := io.ReadFull(c.fr, c.rx.Grow(orig)); err != nil {
 				panic(fmt.Sprintf("adoc: corrupt frame: %v", err))
 			}
-			r.Close()
 		}
-		c.fp = c.fp[chunkHdrLen+clen:]
-		c.rx = append(c.rx, out...)
+		c.fp.Consume(chunkHdrLen + clen)
 	}
 	c.tryComplete()
 }
 
 func (c *conn) tryComplete() {
-	if c.rcb == nil || (len(c.rx) == 0 && !c.eof) {
+	if c.rcb == nil || (c.rx.Len() == 0 && !c.eof) {
 		return
 	}
-	n := copy(c.rbuf, c.rx)
-	c.rx = c.rx[n:]
+	n := copy(c.rbuf, c.rx.Bytes())
+	c.rx.Consume(n)
 	cb := c.rcb
 	c.rcb, c.rbuf = nil, nil
 	var err error
@@ -246,18 +303,30 @@ func (c *conn) PostRead(buf []byte, cb func(int, error)) {
 // Close implements vlink.Conn.
 func (c *conn) Close() { c.inner.Close() }
 
-// deflateChunk compresses data; ok is false when compression does not
-// pay (incompressible input).
-func deflateChunk(data []byte, level int) ([]byte, bool) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, level)
-	if err != nil {
-		return nil, false
+// deflateChunk compresses data into the connection's reused staging
+// buffer; ok is false when compression does not pay (incompressible
+// input). The returned slice aliases c.cbuf and is consumed (copied
+// into the outgoing frame) before the next chunk resets it.
+func (c *conn) deflateChunk(data []byte, level int) ([]byte, bool) {
+	if c.fw == nil {
+		c.fw = make(map[int]*flate.Writer)
+	}
+	c.cbuf.Reset()
+	w, ok := c.fw[level]
+	if !ok {
+		var err error
+		w, err = flate.NewWriter(&c.cbuf, level)
+		if err != nil {
+			return nil, false
+		}
+		c.fw[level] = w
+	} else {
+		w.Reset(&c.cbuf)
 	}
 	w.Write(data)
 	w.Close()
-	if buf.Len() >= len(data) {
+	if c.cbuf.Len() >= len(data) {
 		return nil, false
 	}
-	return buf.Bytes(), true
+	return c.cbuf.Bytes(), true
 }

@@ -654,6 +654,71 @@ func Measure(r *Runner, size, reps int) (time.Duration, float64) {
 }
 
 // ---------------------------------------------------------------------
+// Hot-path micro-workloads. These are the wall-clock benchmarks of the
+// zero-copy segment path: virtual-time results must stay bit-identical
+// across buffer-management changes (see determinism_test.go), while
+// allocs/op and wall-clock per op are what the optimisation moves.
+
+// TCPBulkSize is the payload of one TCPBulk run.
+const TCPBulkSize = 8 << 20
+
+// TCPBulk pushes TCPBulkSize bytes through one raw TCP connection
+// across the VTHD-like WAN (no VLink on top, so it isolates the
+// ipstack segment path) and returns the virtual bandwidth in MB/s.
+func TCPBulk() float64 {
+	g := grid.TwoClusterWAN(1, 1)
+	var rate float64
+	err := g.K.Run(func(p *vtime.Proc) {
+		ln, _ := g.Stack.Host(1).Listen(80)
+		done := vtime.NewWaitGroup("done")
+		done.Add(1)
+		var end vtime.Time
+		g.K.Go("sink", func(q *vtime.Proc) {
+			defer done.Done()
+			c, _ := ln.Accept(q)
+			buf := make([]byte, 64<<10)
+			total := 0
+			for total < TCPBulkSize {
+				n, err := c.Read(q, buf)
+				total += n
+				if err != nil {
+					return
+				}
+			}
+			end = q.Now()
+		})
+		c, err := g.Stack.Host(0).Dial(p, 1, 80)
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		chunk := make([]byte, 256<<10)
+		sent := 0
+		for sent < TCPBulkSize {
+			n := TCPBulkSize - sent
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			c.Write(p, chunk[:n])
+			sent += n
+		}
+		done.Wait(p)
+		rate = float64(TCPBulkSize) / end.Sub(start).Seconds() / 1e6
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rate
+}
+
+// DataGridWallClock is one flat replica-3 striped datagrid run — the
+// single configuration tracked by BenchmarkDataGridWallClock and
+// BENCH_4.json.
+func DataGridWallClock() DataGridResult {
+	return dataGridRun(4, 3, false)
+}
+
+// ---------------------------------------------------------------------
 // Data grid: striped bulk replication across the WAN (extension; the
 // heavy-traffic workload the paper's crossroads argument points at).
 

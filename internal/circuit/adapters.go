@@ -264,5 +264,5 @@ func (l *LoopbackLink) Name() string { return "loopback" }
 
 // Send implements LinkAdapter.
 func (l *LoopbackLink) Send(plane Plane, segs [][]byte) {
-	l.k.After(500*time.Nanosecond, func() { l.circ.Deliver(l.self, plane, segs) })
+	l.k.Schedule(500*time.Nanosecond, func() { l.circ.Deliver(l.self, plane, segs) })
 }

@@ -121,7 +121,7 @@ func (c *Circuit) Deliver(src int, plane Plane, segs [][]byte) {
 		n += len(s)
 	}
 	cost := model.CircuitCost + model.CircuitPerByte.Cost(n)
-	c.k.After(cost, func() {
+	c.k.Schedule(cost, func() {
 		c.MsgsRecv++
 		if plane == PlaneColl {
 			c.coll.Push(&incoming{src: src, segs: segs})
@@ -143,7 +143,7 @@ func (c *Circuit) send(dst int, plane Plane, segs [][]byte) {
 	}
 	c.MsgsSent++
 	cost := model.CircuitCost + model.CircuitPerByte.Cost(n)
-	c.k.After(cost, func() { link.Send(plane, segs) })
+	c.k.Schedule(cost, func() { link.Send(plane, segs) })
 }
 
 // ---------------------------------------------------------------------

@@ -100,19 +100,24 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 
 	// Ack reader (src side): turns reverse frames into credit and the
 	// final status. failed flips when the reverse channel dies early.
+	// RecvVec keeps the 9-byte frames on pooled buffers — the reverse
+	// channel delivers one frame per chunk, so this loop is per-chunk
+	// hot path.
 	acked := 0
 	failed := false
 	credit := vtime.NewCond("dg:credit")
 	dg.k.GoDaemon(fmt.Sprintf("dg-ack:%s", name), func(q *vtime.Proc) {
 		for {
-			segs, err := ch.Recv(q, 1, frameLen-1)
+			v, err := ch.RecvVec(q, 1, frameLen-1)
 			if err != nil {
 				failed = true
 				credit.Broadcast()
 				return
 			}
-			val := binary.BigEndian.Uint64(segs[1])
-			if segs[0][0] == frameCredit {
+			typ := v.Segs[0].B[0]
+			val := binary.BigEndian.Uint64(v.Segs[1].B)
+			v.Release()
+			if typ == frameCredit {
 				acked = int(val)
 				credit.Broadcast()
 			} else {
@@ -122,7 +127,11 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 		}
 	})
 
-	// Sender (runs in the worker proc).
+	// Sender (runs in the worker proc). The chunk pump below writes
+	// views of the caller's data verbatim: on a vectored VLink stack
+	// the bytes are packed exactly once (into the TCP send queue), on a
+	// Circuit they ride incremental packing — no datagrid-level copy in
+	// either paradigm.
 	if err := ch.Send(p, encodeHeader(name, len(data), sum), []byte(name)); err != nil {
 		ch.Close()
 		return nil, &errTransfer{src, dst, attempt, "header: " + err.Error()}

@@ -99,14 +99,14 @@ func (e *Endpoint) Send(dstAddr int, data []byte) {
 	msgID := e.nextMsg
 	e.nextMsg++
 	if len(data) < model.BIPEagerLimit {
-		e.k.After(model.BIPHostCost, func() {
+		e.k.Schedule(model.BIPHostCost, func() {
 			e.send(dstAddr, &header{kind: kEager, msgID: msgID, size: len(data)}, data)
 		})
 		return
 	}
 	e.Rendezvous++
 	e.pendingR[msgID] = pendingRendezvous{dst: dstAddr, data: data}
-	e.k.After(model.BIPHostCost+model.BIPRendezvousCost, func() {
+	e.k.Schedule(model.BIPHostCost+model.BIPRendezvousCost, func() {
 		e.send(dstAddr, &header{kind: kRTS, msgID: msgID, size: len(data)}, nil)
 	})
 }
@@ -174,7 +174,7 @@ func (e *Endpoint) rtsFrom(src int, msgID int64) {
 func (e *Endpoint) grantCTS(msgID int64) {
 	e.credits--
 	src := e.rtsSrcs[msgID]
-	e.k.After(model.BIPRendezvousCost, func() {
+	e.k.Schedule(model.BIPRendezvousCost, func() {
 		e.send(src, &header{kind: kCTS, msgID: msgID}, nil)
 	})
 }
@@ -199,7 +199,7 @@ func (e *Endpoint) longChunk(src int, h *header, chunk []byte) {
 func (e *Endpoint) complete(src int, data []byte) {
 	e.MsgsRecv++
 	ev := RecvEvent{SrcAddr: src, Data: data}
-	e.k.After(model.BIPHostCost, func() {
+	e.k.Schedule(model.BIPHostCost, func() {
 		if e.handler != nil {
 			e.handler(ev)
 		}

@@ -124,22 +124,30 @@ func (p *Port) Close() { delete(p.nic.ports, p.id) }
 // Send transmits segments as one message to (dstAddr, dstPort). The
 // call is asynchronous: it queues the packets (which serialize on the
 // source link) and returns. Host-side CPU cost is modelled as a fixed
-// delay before the first packet leaves.
+// delay before the first packet leaves. Like real GM, the send "DMAs
+// from pinned buffers": a single segment is transmitted in place, so
+// it must stay untouched until delivery (Madeleine's backends hand
+// over freshly framed messages and never reuse them).
 func (p *Port) Send(dstAddr, dstPort int, segments ...[]byte) {
 	total := 0
 	for _, s := range segments {
 		total += len(s)
 	}
-	data := make([]byte, 0, total)
-	for _, s := range segments {
-		data = append(data, s...)
+	var data []byte
+	if len(segments) == 1 {
+		data = segments[0]
+	} else {
+		data = make([]byte, 0, total)
+		for _, s := range segments {
+			data = append(data, s...)
+		}
 	}
 	p.nic.MsgsSent++
 	msgID := p.nextMsg
 	p.nextMsg++
 	k := p.nic.k
 	// Host injection cost, then packets serialize on the crossbar.
-	k.After(model.GMHostCost, func() {
+	k.Schedule(model.GMHostCost, func() {
 		if total == 0 {
 			p.sendPkt(dstAddr, dstPort, msgID, 0, total, nil)
 			return
@@ -179,7 +187,7 @@ func (p *Port) packet(src int, h *pktHeader, chunk []byte) {
 	delete(p.asm, key)
 	p.nic.MsgsRecv++
 	ev := RecvEvent{SrcAddr: src, SrcPort: h.srcPort, Data: a.data}
-	p.nic.k.After(model.GMHostCost, func() {
+	p.nic.k.Schedule(model.GMHostCost, func() {
 		if p.handler == nil {
 			panic(fmt.Sprintf("gm: message arrived on port %d/%d with no handler", p.nic.addr, p.id))
 		}

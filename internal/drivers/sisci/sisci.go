@@ -106,7 +106,7 @@ func (n *Node) deliver(pkt *netsim.Packet) {
 		if fn, ok := n.intrs[o.intrNo]; ok {
 			// Interrupt dispatch costs host CPU.
 			src := pkt.Src
-			n.k.After(model.SISCIHostCost, func() { fn(src) })
+			n.k.Schedule(model.SISCIHostCost, func() { fn(src) })
 		}
 	}
 }

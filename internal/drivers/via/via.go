@@ -116,7 +116,7 @@ func (vi *VI) PollCQ() (Completion, error) {
 func (vi *VI) PostSend(dstAddr, dstVI int, data []byte) {
 	vi.nic.MsgsSent++
 	n := vi.nic
-	n.k.After(model.VIAHostCost, func() {
+	n.k.Schedule(model.VIAHostCost, func() {
 		for off := 0; off < len(data) || off == 0; off += model.MyrinetPacket {
 			end := off + model.MyrinetPacket
 			if end > len(data) {
@@ -165,7 +165,7 @@ func (vi *VI) receive(src, srcVI int, chunk []byte, last bool) {
 	n := copy(buf, data)
 	vi.nic.MsgsRecv++
 	comp := Completion{SrcAddr: cur.src, SrcVI: cur.srcVI, Data: buf[:n]}
-	vi.nic.k.After(model.VIAHostCost, func() {
+	vi.nic.k.Schedule(model.VIAHostCost, func() {
 		if vi.handler != nil {
 			vi.handler(comp)
 			return

@@ -543,6 +543,10 @@ func (g *Group) relayMulticast(q *vtime.Proc, self topology.NodeID,
 	for received < size {
 		n, err := up.Read(q, buf[received:])
 		if n > 0 {
+			// Relay = retain + forward: the received bytes are written
+			// downstream verbatim as views of this member's single
+			// materialization — no re-framing, and the vectored driver
+			// stacks below add no further copies.
 			for _, ch := range down {
 				if _, werr := ch.Write(q, buf[received:received+n]); werr != nil {
 					return

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"padico/internal/iovec"
 	"padico/internal/model"
 	"padico/internal/topology"
 	"padico/internal/vlink"
@@ -204,11 +205,12 @@ type secConn struct {
 	inner  vlink.Conn
 	encKey []byte
 	macKey []byte
+	block  cipher.Block // cached AES block (stateless, reused per record)
 	wIV    uint64
 	rIV    uint64
 
-	fp   []byte
-	rx   []byte
+	fp   iovec.Fifo
+	rx   iovec.Fifo
 	eof  bool
 	rbuf []byte
 	rcb  func(int, error)
@@ -216,6 +218,11 @@ type secConn struct {
 
 func newSecConn(d *Driver, inner vlink.Conn, session []byte) (*secConn, error) {
 	c := &secConn{d: d, inner: inner, encKey: session[:16], macKey: session[16:]}
+	block, err := aes.NewCipher(c.encKey)
+	if err != nil {
+		return nil, err
+	}
+	c.block = block
 	buf := make([]byte, 64<<10)
 	var pump func(n int, err error)
 	pump = func(n int, err error) {
@@ -237,18 +244,12 @@ func (c *secConn) Kernel() *vtime.Kernel { return c.d.k }
 // Peer implements vlink.Conn.
 func (c *secConn) Peer() topology.NodeID { return c.inner.Peer() }
 
-// xcrypt runs AES-CTR with a per-record IV derived from the record
-// counter.
-func (c *secConn) xcrypt(ctr uint64, data []byte) []byte {
-	block, err := aes.NewCipher(c.encKey)
-	if err != nil {
-		panic(err)
-	}
-	iv := make([]byte, aes.BlockSize)
+// ctrStream builds the AES-CTR keystream for one record (IV derived
+// from the record counter).
+func (c *secConn) ctrStream(ctr uint64) cipher.Stream {
+	var iv [aes.BlockSize]byte
 	binary.BigEndian.PutUint64(iv[8:], ctr)
-	out := make([]byte, len(data))
-	cipher.NewCTR(block, iv).XORKeyStream(out, data)
-	return out
+	return cipher.NewCTR(c.block, iv[:])
 }
 
 func (c *secConn) mac(ctr uint64, ct []byte) []byte {
@@ -262,47 +263,66 @@ func (c *secConn) mac(ctr uint64, ct []byte) []byte {
 
 // PostWrite implements vlink.Conn: record = [4B len][ciphertext][mac].
 func (c *secConn) PostWrite(data []byte, cb func(int, error)) {
+	c.PostWritev(iovec.Make(data), cb)
+}
+
+// PostWritev implements vlink.VecConn. Encryption transforms bytes, so
+// this wrapper copies exactly once: AES-CTR runs segment by segment
+// (the keystream is positional, so the ciphertext equals that of the
+// flattened plaintext) straight into the pooled record buffer, which
+// is released once the inner driver accepted it.
+func (c *secConn) PostWritev(v iovec.Vec, cb func(int, error)) {
 	ctr := c.wIV
 	c.wIV++
-	ct := c.xcrypt(ctr, data)
-	rec := make([]byte, recHdrLen, recHdrLen+len(ct)+macLen)
-	binary.BigEndian.PutUint32(rec, uint32(len(ct)))
-	rec = append(rec, ct...)
-	rec = append(rec, c.mac(ctr, ct)...)
-	total := len(data)
-	cost := model.EncryptPerByte.Cost(len(data))
-	c.d.k.After(cost, func() {
-		c.inner.PostWrite(rec, func(int, error) { cb(total, nil) })
+	total := v.Len()
+	rec := iovec.Get(recHdrLen + total + macLen)
+	rb := rec.Bytes()
+	binary.BigEndian.PutUint32(rb, uint32(total))
+	stream := c.ctrStream(ctr)
+	off := recHdrLen
+	for _, s := range v.Segs {
+		stream.XORKeyStream(rb[off:off+len(s.B)], s.B)
+		off += len(s.B)
+	}
+	ct := rb[recHdrLen : recHdrLen+total]
+	copy(rb[recHdrLen+total:], c.mac(ctr, ct))
+	cost := model.EncryptPerByte.Cost(total)
+	c.d.k.Schedule(cost, func() {
+		c.inner.PostWrite(rec.Bytes(), func(int, error) {
+			rec.Release()
+			cb(total, nil)
+		})
 	})
 }
 
 func (c *secConn) feed(data []byte) {
-	c.fp = append(c.fp, data...)
-	for len(c.fp) >= recHdrLen {
-		n := int(binary.BigEndian.Uint32(c.fp))
-		if len(c.fp) < recHdrLen+n+macLen {
+	c.fp.Write(data)
+	for c.fp.Len() >= recHdrLen {
+		fb := c.fp.Bytes()
+		n := int(binary.BigEndian.Uint32(fb))
+		if c.fp.Len() < recHdrLen+n+macLen {
 			break
 		}
-		ct := c.fp[recHdrLen : recHdrLen+n]
-		mac := c.fp[recHdrLen+n : recHdrLen+n+macLen]
+		ct := fb[recHdrLen : recHdrLen+n]
+		mac := fb[recHdrLen+n : recHdrLen+n+macLen]
 		ctr := c.rIV
 		c.rIV++
 		if !hmac.Equal(mac, c.mac(ctr, ct)) {
 			panic("gsec: record integrity failure")
 		}
-		pt := c.xcrypt(ctr, ct)
-		c.fp = c.fp[recHdrLen+n+macLen:]
-		c.rx = append(c.rx, pt...)
+		// Decrypt straight into the reassembly buffer (single copy).
+		c.ctrStream(ctr).XORKeyStream(c.rx.Grow(len(ct)), ct)
+		c.fp.Consume(recHdrLen + n + macLen)
 	}
 	c.tryComplete()
 }
 
 func (c *secConn) tryComplete() {
-	if c.rcb == nil || (len(c.rx) == 0 && !c.eof) {
+	if c.rcb == nil || (c.rx.Len() == 0 && !c.eof) {
 		return
 	}
-	n := copy(c.rbuf, c.rx)
-	c.rx = c.rx[n:]
+	n := copy(c.rbuf, c.rx.Bytes())
+	c.rx.Consume(n)
 	cb := c.rcb
 	c.rcb, c.rbuf = nil, nil
 	var err error

@@ -19,6 +19,7 @@ import (
 	"slices"
 	"time"
 
+	"padico/internal/iovec"
 	"padico/internal/netsim"
 	"padico/internal/topology"
 	"padico/internal/vtime"
@@ -57,7 +58,8 @@ type ipHeader struct {
 	src, dst topology.NodeID
 	srcPort  int
 	dstPort  int
-	seg      *tcpSeg // TCP only
+	seg      *tcpSeg    // TCP only
+	tp       *tcpPacket // TCP only: owning pooled packet (payload + recycling)
 }
 
 // tcpSeg is the TCP-specific part of a packet.
@@ -78,8 +80,9 @@ type route struct {
 
 // Stack owns all hosts of a simulation.
 type Stack struct {
-	k     *vtime.Kernel
-	hosts map[topology.NodeID]*Host
+	k      *vtime.Kernel
+	hosts  map[topology.NodeID]*Host
+	tpFree []*tcpPacket // pooled TCP packets (single-threaded kernel)
 }
 
 // New creates an empty stack on the kernel.
@@ -182,18 +185,19 @@ func (h *Host) input(pkt *netsim.Packet) {
 			u.deliver(hdr, pkt.Payload)
 		}
 	case protoTCP:
+		tp := hdr.tp
 		key := connKey{remote: hdr.src, remotePort: hdr.srcPort, localPort: hdr.dstPort}
 		if c, ok := h.conns[key]; ok {
-			c.segment(hdr.seg, pkt.Payload)
-			return
-		}
-		if hdr.seg.syn && !hdr.seg.ack {
+			c.segment(hdr.seg, tp.pl)
+		} else if hdr.seg.syn && !hdr.seg.ack {
 			if ln, ok := h.listeners[hdr.dstPort]; ok {
 				ln.handleSYN(hdr)
-				return
 			}
 			// No listener: refuse by dropping; the dialer times out.
 		}
+		// The receiver copied (in-order) or cloned (out-of-order) what it
+		// keeps; the transmission's own payload references end here.
+		tp.release()
 	}
 }
 
@@ -237,7 +241,7 @@ func (ln *Listener) handleSYN(hdr *ipHeader) {
 	c := newTCPConn(h, hdr.src, ln.port, hdr.srcPort, rt)
 	c.established = true
 	h.conns[connKey{remote: hdr.src, remotePort: hdr.srcPort, localPort: ln.port}] = c
-	c.sendSeg(&tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(), ts: h.stack.k.Now(), ets: hdr.seg.ts}, nil)
+	c.sendSeg(tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(), ts: h.stack.k.Now(), ets: hdr.seg.ts}, 0, 0)
 	ln.backlog.Push(c)
 }
 
@@ -390,7 +394,7 @@ type TCPConn struct {
 	connCond    *vtime.Cond
 
 	// Sender state.
-	sndBuf     []byte // bytes [sndUna, sndEnd) not yet acked
+	sndq       sendQueue // bytes [sndUna, sndEnd) not yet acked, in pooled blocks
 	sndUna     int64
 	sndNxt     int64
 	sndEnd     int64 // total bytes written so far
@@ -401,21 +405,33 @@ type TCPConn struct {
 	inRecovery bool  // NewReno fast recovery in progress
 	recover    int64 // sndNxt when recovery was entered
 	peerWnd    int
-	rtoTimer   *vtime.Timer
-	rto        time.Duration
-	srtt       time.Duration
-	rttvar     time.Duration
-	finQueued  bool
-	finSeq     int64 // == sndEnd when finQueued
-	writeCond  *vtime.Cond
-	writableCB func()
-	wasFull    bool
+	// RTO scheduling uses pooled fire-and-forget events instead of a
+	// cancellable Timer: re-arming on every ACK round is the hottest
+	// timer path in the stack. rtoArmed + rtoDeadline identify the
+	// current arm; a fired event that does not match is stale (its arm
+	// was superseded) and ignores itself, which is exactly what the old
+	// Timer.Stop tombstone achieved.
+	rtoArmed    bool
+	rtoDeadline vtime.Time
+	rtoFn       func()
+	rto         time.Duration
+	srtt        time.Duration
+	rttvar      time.Duration
+	finQueued   bool
+	finSeq      int64 // == sndEnd when finQueued
+	writeCond   *vtime.Cond
+	writableCB  func()
+	wasFull     bool
 
 	// Receiver state.
-	rcvNxt   int64
-	rcvBuf   []byte
+	rcvNxt int64
+	// rcvBuf is a head-indexed FIFO: the backing array is recycled once
+	// the reader drains it and compacted on growth, so a long-lived
+	// flow whose reader never catches it exactly empty (a multicast
+	// relay) stays O(window), not O(bytes streamed).
+	rcvBuf   iovec.Fifo
 	rcvCap   int
-	ooo      map[int64][]byte
+	ooo      map[int64]iovec.Vec // cloned (refcounted) out-of-order payloads
 	oooBytes int
 	peerFin  int64      // -1 until FIN received; then stream length
 	lastTS   vtime.Time // timestamp of latest in-order segment, echoed in ACKs
@@ -438,12 +454,13 @@ func newTCPConn(h *Host, remote topology.NodeID, localPort, remotePort int, rt *
 		sndCap: DefaultSndBuf, rcvCap: DefaultRcvBuf,
 		ssthresh: 1 << 30, peerWnd: DefaultRcvBuf,
 		rto: time.Second, peerFin: -1,
-		ooo:       make(map[int64][]byte),
+		ooo:       make(map[int64]iovec.Vec),
 		connCond:  vtime.NewCond(name + ":conn"),
 		writeCond: vtime.NewCond(name + ":write"),
 		readCond:  vtime.NewCond(name + ":read"),
 	}
 	c.cwnd = float64(2 * c.mss)
+	c.rtoFn = c.onRTOEvent
 	return c
 }
 
@@ -459,7 +476,7 @@ func (h *Host) Dial(p *vtime.Proc, dst topology.NodeID, port int) (*TCPConn, err
 	h.conns[key] = c
 	deadline := p.Now().Add(synTimeout)
 	for try := 0; try < 3 && !c.established; try++ {
-		c.sendSeg(&tcpSeg{syn: true, wnd: c.rcvWnd(), ts: p.Now()}, nil)
+		c.sendSeg(tcpSeg{syn: true, wnd: c.rcvWnd(), ts: p.Now()}, 0, 0)
 		c.connCond.WaitTimeout(p, time.Second)
 		if p.Now() >= deadline {
 			break
@@ -506,25 +523,36 @@ func (c *TCPConn) PokeReady() {
 
 // Readable reports whether Read would return without blocking.
 func (c *TCPConn) Readable() bool {
-	return len(c.rcvBuf) > 0 || (c.peerFin >= 0 && c.rcvNxt >= c.peerFin)
+	return c.rcvLen() > 0 || (c.peerFin >= 0 && c.rcvNxt >= c.peerFin)
 }
 
+// rcvLen returns the number of unconsumed received bytes.
+func (c *TCPConn) rcvLen() int { return c.rcvBuf.Len() }
+
 func (c *TCPConn) rcvWnd() int {
-	w := c.rcvCap - len(c.rcvBuf) - c.oooBytes
+	w := c.rcvCap - c.rcvLen() - c.oooBytes
 	if w < 0 {
 		w = 0
 	}
 	return w
 }
 
-// sendSeg emits one segment with the given payload.
-func (c *TCPConn) sendSeg(seg *tcpSeg, payload []byte) {
+// sendSeg emits one segment whose payload is the send-queue byte range
+// [off, off+n) — taken as retained views of the pooled blocks, not
+// copied. n == 0 sends a bare control segment (SYN/ACK/FIN). off is
+// relative to sndUna (the queue head). The pooled packet is recycled
+// by the receiving host after processing, or by the fabric on a drop.
+func (c *TCPConn) sendSeg(sg tcpSeg, off, n int64) {
 	c.SegsSent++
-	c.rt.send(&netsim.Packet{
-		Payload: payload, Wire: len(payload) + tcpHeader,
-		Meta: &ipHeader{proto: protoTCP, src: c.host.id, dst: c.remote,
-			srcPort: c.localPort, dstPort: c.remotePort, seg: seg},
-	})
+	tp := c.host.stack.getTP()
+	if n > 0 {
+		c.sndq.view(int(off), int(n), &tp.pl)
+	}
+	tp.seg = sg
+	tp.hdr = ipHeader{proto: protoTCP, src: c.host.id, dst: c.remote,
+		srcPort: c.localPort, dstPort: c.remotePort, seg: &tp.seg, tp: tp}
+	tp.pkt = netsim.Packet{Wire: int(n) + tcpHeader, Meta: &tp.hdr, Drop: tp.drop}
+	c.rt.send(&tp.pkt)
 }
 
 // TryWrite queues as much of b as fits in the send buffer without
@@ -532,21 +560,29 @@ func (c *TCPConn) sendSeg(seg *tcpSeg, payload []byte) {
 // callback-driven layers (SysIO/VLink) that must never block the I/O
 // manager.
 func (c *TCPConn) TryWrite(b []byte) int {
+	return c.TryWriteVec(iovec.Make(b), 0)
+}
+
+// TryWriteVec is TryWrite over a segment vector, starting at byte
+// offset from: the vector's bytes are copied once into the pooled send
+// queue (the socket's single pack point), exactly as a flattened
+// TryWrite of the same bytes would be — same acceptance, same pump.
+func (c *TCPConn) TryWriteVec(v iovec.Vec, from int) int {
 	if c.closed || c.finQueued {
 		return 0
 	}
-	free := c.sndCap - len(c.sndBuf)
+	free := c.sndCap - c.sndq.size()
 	if free <= 0 {
 		c.wasFull = true
 		return 0
 	}
-	n := len(b)
+	n := v.Len() - from
 	if n > free {
 		n = free
 	}
-	c.sndBuf = append(c.sndBuf, b[:n]...)
+	c.sndq.growVec(v, from, n)
 	c.sndEnd += int64(n)
-	if len(c.sndBuf) == c.sndCap {
+	if c.sndq.size() == c.sndCap {
 		c.wasFull = true
 	}
 	c.pump()
@@ -555,7 +591,7 @@ func (c *TCPConn) TryWrite(b []byte) int {
 
 // Writable reports whether TryWrite would accept at least one byte.
 func (c *TCPConn) Writable() bool {
-	return !c.closed && !c.finQueued && len(c.sndBuf) < c.sndCap
+	return !c.closed && !c.finQueued && c.sndq.size() < c.sndCap
 }
 
 // SetWritableHandler installs a callback fired in kernel context when
@@ -569,7 +605,7 @@ func (c *TCPConn) Write(p *vtime.Proc, b []byte) error {
 		if c.closed || c.finQueued {
 			return ErrClosed
 		}
-		free := c.sndCap - len(c.sndBuf)
+		free := c.sndCap - c.sndq.size()
 		if free == 0 {
 			c.writeCond.Wait(p)
 			continue
@@ -578,7 +614,7 @@ func (c *TCPConn) Write(p *vtime.Proc, b []byte) error {
 		if n > free {
 			n = free
 		}
-		c.sndBuf = append(c.sndBuf, b[:n]...)
+		c.sndq.grow(b[:n])
 		c.sndEnd += int64(n)
 		b = b[n:]
 		c.pump()
@@ -590,9 +626,9 @@ func (c *TCPConn) Write(p *vtime.Proc, b []byte) error {
 // one byte (or EOF) is available.
 func (c *TCPConn) Read(p *vtime.Proc, buf []byte) (int, error) {
 	for {
-		if len(c.rcvBuf) > 0 {
-			n := copy(buf, c.rcvBuf)
-			c.rcvBuf = c.rcvBuf[n:]
+		if c.rcvLen() > 0 {
+			n := copy(buf, c.rcvBuf.Bytes())
+			c.rcvBuf.Consume(n)
 			// Window may have reopened; let the peer know if it was shut.
 			if c.rcvWnd() >= c.mss && c.rcvWnd()-n < c.mss {
 				c.sendAck()
@@ -637,9 +673,9 @@ func (c *TCPConn) Close() {
 // Abort tears the connection down immediately (no FIN exchange).
 func (c *TCPConn) Abort() {
 	c.closed = true
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoArmed = false
+	c.sndq.reset()
+	c.releaseOOO()
 	delete(c.host.conns, connKey{remote: c.remote, remotePort: c.remotePort, localPort: c.localPort})
 	c.readCond.Broadcast()
 	c.writeCond.Broadcast()
@@ -674,8 +710,8 @@ func (c *TCPConn) pump() {
 			break
 		}
 		if c.finQueued && c.sndNxt == c.finSeq {
-			c.sendSeg(&tcpSeg{fin: true, ack: true, seq: c.sndNxt,
-				ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, nil)
+			c.sendSeg(tcpSeg{fin: true, ack: true, seq: c.sndNxt,
+				ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, 0, 0)
 			c.sndNxt++
 			break
 		}
@@ -693,11 +729,10 @@ func (c *TCPConn) pump() {
 		if n > int64(c.mss) {
 			n = int64(c.mss)
 		}
-		off := c.sndNxt - c.sndUna
-		payload := make([]byte, n)
-		copy(payload, c.sndBuf[off:off+n])
-		c.sendSeg(&tcpSeg{ack: true, seq: c.sndNxt, ackNo: c.rcvNxt,
-			wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, payload)
+		// Zero-copy transmit: the segment rides retained views of the
+		// send-queue blocks instead of a per-segment make+copy.
+		c.sendSeg(tcpSeg{ack: true, seq: c.sndNxt, ackNo: c.rcvNxt,
+			wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, c.sndNxt-c.sndUna, n)
 		c.sndNxt += n
 	}
 	c.armRTO()
@@ -705,20 +740,28 @@ func (c *TCPConn) pump() {
 
 func (c *TCPConn) armRTO() {
 	if c.sndUna == c.sndNxt { // nothing outstanding
-		if c.rtoTimer != nil {
-			c.rtoTimer.Stop()
-			c.rtoTimer = nil
-		}
+		c.rtoArmed = false
 		return
 	}
-	if c.rtoTimer != nil {
+	if c.rtoArmed {
 		return // already armed
 	}
-	c.rtoTimer = c.host.stack.k.After(c.rto, c.onRTO)
+	c.rtoArmed = true
+	c.rtoDeadline = c.host.stack.k.Now().Add(c.rto)
+	c.host.stack.k.Schedule(c.rto, c.rtoFn)
+}
+
+// onRTOEvent filters stale RTO firings: only the event matching the
+// current arm's deadline acts, every superseded one is a no-op.
+func (c *TCPConn) onRTOEvent() {
+	if !c.rtoArmed || c.host.stack.k.Now() != c.rtoDeadline {
+		return
+	}
+	c.rtoArmed = false
+	c.onRTO()
 }
 
 func (c *TCPConn) onRTO() {
-	c.rtoTimer = nil
 	if c.closed || c.sndUna == c.sndNxt {
 		return
 	}
@@ -747,8 +790,8 @@ func (c *TCPConn) onRTO() {
 func (c *TCPConn) retransmitFirst() {
 	c.Retransmits++
 	if c.finQueued && c.sndUna == c.finSeq {
-		c.sendSeg(&tcpSeg{fin: true, ack: true, seq: c.sndUna,
-			ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, nil)
+		c.sendSeg(tcpSeg{fin: true, ack: true, seq: c.sndUna,
+			ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, 0, 0)
 		return
 	}
 	n := c.sndNxt - c.sndUna
@@ -761,19 +804,21 @@ func (c *TCPConn) retransmitFirst() {
 	if n <= 0 {
 		return
 	}
-	payload := make([]byte, n)
-	copy(payload, c.sndBuf[:n])
-	c.sendSeg(&tcpSeg{ack: true, seq: c.sndUna, ackNo: c.rcvNxt,
-		wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, payload)
+	c.sendSeg(tcpSeg{ack: true, seq: c.sndUna, ackNo: c.rcvNxt,
+		wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, 0, n)
 }
 
 func (c *TCPConn) sendAck() {
-	c.sendSeg(&tcpSeg{ack: true, ackNo: c.rcvNxt, wnd: c.rcvWnd(),
-		ts: c.host.stack.k.Now(), ets: c.lastTS}, nil)
+	c.sendSeg(tcpSeg{ack: true, ackNo: c.rcvNxt, wnd: c.rcvWnd(),
+		ts: c.host.stack.k.Now(), ets: c.lastTS}, 0, 0)
 }
 
-// segment processes one arriving segment. Runs in kernel context.
-func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
+// segment processes one arriving segment. Runs in kernel context. The
+// payload vector is borrowed for the duration of the call (the caller
+// recycles the transmission afterwards): in-order bytes are copied into
+// the receive buffer, out-of-order payloads are cloned (which retains
+// the sender's pooled blocks instead of copying).
+func (c *TCPConn) segment(seg *tcpSeg, payload iovec.Vec) {
 	if c.closed {
 		return
 	}
@@ -789,10 +834,11 @@ func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
 	}
 	if seg.syn && !seg.ack {
 		// Duplicate SYN: our SYN|ACK was lost; resend it.
-		c.sendSeg(&tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(),
-			ts: c.host.stack.k.Now(), ets: seg.ts}, nil)
+		c.sendSeg(tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(),
+			ts: c.host.stack.k.Now(), ets: seg.ts}, 0, 0)
 		return
 	}
+	plen := payload.Len()
 
 	// ACK processing (sender side).
 	if seg.ack {
@@ -805,7 +851,7 @@ func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
 				dataAcked = c.finSeq - c.sndUna
 			}
 			if dataAcked > 0 {
-				c.sndBuf = c.sndBuf[dataAcked:]
+				c.sndq.drop(int(dataAcked))
 			}
 			c.sndUna = seg.ackNo
 			if c.sndNxt < c.sndUna {
@@ -837,10 +883,7 @@ func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
 				c.cwnd += float64(c.mss) * float64(acked) / c.cwnd // CA
 			}
 			// Fresh RTO for the remaining flight.
-			if c.rtoTimer != nil {
-				c.rtoTimer.Stop()
-				c.rtoTimer = nil
-			}
+			c.rtoArmed = false
 			c.writeCond.Broadcast()
 			if c.wasFull && c.Writable() {
 				c.wasFull = false
@@ -849,7 +892,7 @@ func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
 				}
 			}
 			c.pump()
-		case seg.ackNo == c.sndUna && c.sndNxt > c.sndUna && len(payload) == 0 && !seg.fin:
+		case seg.ackNo == c.sndUna && c.sndNxt > c.sndUna && plen == 0 && !seg.fin:
 			c.dupAcks++
 			switch {
 			case c.dupAcks == 3 && !c.inRecovery:
@@ -877,21 +920,24 @@ func (c *TCPConn) segment(seg *tcpSeg, payload []byte) {
 	// not match the original transmission), so both the in-order path
 	// and the out-of-order drain trim duplicates by stream offset.
 	advanced := false
-	if len(payload) > 0 {
-		end := seg.seq + int64(len(payload))
+	if plen > 0 {
+		end := seg.seq + int64(plen)
 		switch {
 		case end <= c.rcvNxt:
 			// Complete duplicate: ack only.
 		case seg.seq <= c.rcvNxt:
-			c.rcvBuf = append(c.rcvBuf, payload[c.rcvNxt-seg.seq:]...)
+			skip := int(c.rcvNxt - seg.seq)
+			payload.CopyToFrom(c.rcvBuf.Grow(plen-skip), skip)
 			c.rcvNxt = end
 			c.lastTS = seg.ts
 			c.drainOOO()
 			advanced = true
 		default: // a hole precedes this segment
-			if _, dup := c.ooo[seg.seq]; !dup && c.oooBytes+len(payload) <= c.rcvCap {
-				c.ooo[seg.seq] = payload
-				c.oooBytes += len(payload)
+			if _, dup := c.ooo[seg.seq]; !dup && c.oooBytes+plen <= c.rcvCap {
+				// Clone retains the sender's pooled blocks — the bytes are
+				// parked by reference until the hole fills.
+				c.ooo[seg.seq] = payload.Clone()
+				c.oooBytes += plen
 			}
 		}
 		// Ack everything (including duplicates — that's what generates
@@ -927,16 +973,20 @@ func (c *TCPConn) drainOOO() {
 		slices.Sort(keys)
 		for _, seq := range keys {
 			pl := c.ooo[seq]
-			end := seq + int64(len(pl))
+			n := pl.Len()
+			end := seq + int64(n)
 			switch {
 			case end <= c.rcvNxt: // fully duplicate now
 				delete(c.ooo, seq)
-				c.oooBytes -= len(pl)
+				c.oooBytes -= n
+				pl.Release()
 			case seq <= c.rcvNxt: // extends the contiguous stream
 				delete(c.ooo, seq)
-				c.oooBytes -= len(pl)
-				c.rcvBuf = append(c.rcvBuf, pl[c.rcvNxt-seq:]...)
+				c.oooBytes -= n
+				skip := int(c.rcvNxt - seq)
+				pl.CopyToFrom(c.rcvBuf.Grow(n-skip), skip)
 				c.rcvNxt = end
+				pl.Release()
 				progressed = true
 			}
 		}
@@ -944,6 +994,15 @@ func (c *TCPConn) drainOOO() {
 			return
 		}
 	}
+}
+
+// releaseOOO drops every parked out-of-order payload (abort path).
+func (c *TCPConn) releaseOOO() {
+	for seq, pl := range c.ooo {
+		pl.Release()
+		delete(c.ooo, seq)
+	}
+	c.oooBytes = 0
 }
 
 func (c *TCPConn) rttSample(ets vtime.Time) {

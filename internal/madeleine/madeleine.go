@@ -120,7 +120,7 @@ func (ch *Channel) Pending() int { return ch.rx.Len() }
 // deliver runs in kernel context when the backend completes a message;
 // the receive-side per-message cost is charged here.
 func (ch *Channel) deliver(src int, segs [][]byte) {
-	ch.a.k.After(model.MadeleineCost, func() {
+	ch.a.k.Schedule(model.MadeleineCost, func() {
 		ch.MsgsRecv++
 		ch.rx.Push(&incoming{src: src, segs: segs})
 	})
@@ -180,7 +180,7 @@ func (m *outMessage) EndPacking() {
 	segs := m.segs
 	dst := m.dst
 	ch := m.ch
-	ch.a.k.After(model.MadeleineCost, func() { ch.bc.Send(dst, segs) })
+	ch.a.k.Schedule(model.MadeleineCost, func() { ch.bc.Send(dst, segs) })
 }
 
 // inMessage walks the received segment list.

@@ -155,7 +155,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	c.MsgsSent++
 	c.BytesOut += int64(len(data))
 	cost := model.MPICost + model.MPIPerByte.Cost(len(data))
-	c.k.After(cost, func() {
+	c.k.Schedule(cost, func() {
 		out := c.ch.BeginPacking(dst)
 		out.Pack(hdr, madapi.SendSafer)
 		if len(data) > 0 {

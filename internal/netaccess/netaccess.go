@@ -205,7 +205,7 @@ func (m *MadIO) Send(dst int, logical uint16, segs ...[]byte) {
 	if !m.combining {
 		cost = model.MadIOSeparateCost
 	}
-	m.na.k.After(cost, func() {
+	m.na.k.Schedule(cost, func() {
 		if m.combining {
 			out := m.ch.BeginPacking(dst)
 			out.Pack(hdr[:], madapi.SendSafer)

@@ -34,6 +34,52 @@ type Packet struct {
 	Payload  []byte
 	Wire     int // bytes on the wire; >= len(Payload)
 	Meta     any // driver/protocol data (seq numbers, flags, ...)
+	// Drop, when set, is invoked (in kernel context) if a fabric drops
+	// the packet — loss draw or queue overflow — instead of delivering
+	// it. Protocols that attach pooled or refcounted resources to a
+	// packet use it to release them; exactly one of delivery or Drop
+	// happens per send.
+	Drop func()
+}
+
+// dropped invokes the drop hook, if any.
+func (pkt *Packet) dropped() {
+	if pkt.Drop != nil {
+		pkt.Drop()
+	}
+}
+
+// deliverStep is a pooled one-shot "hand pkt to deliver" event: fabrics
+// fire one per packet, so allocating a fresh closure each time would
+// dominate the simulation's allocation profile. Each step carries a
+// pre-bound run closure; recycling happens just before delivery.
+type deliverStep struct {
+	pool    *stepPool
+	deliver DeliverFunc
+	pkt     *Packet
+	run     func()
+}
+
+// stepPool is a per-fabric free list (the kernel is single-threaded, so
+// a plain slice is correct and deterministic).
+type stepPool struct{ free []*deliverStep }
+
+func (sp *stepPool) get(deliver DeliverFunc, pkt *Packet) *deliverStep {
+	var st *deliverStep
+	if n := len(sp.free); n > 0 {
+		st = sp.free[n-1]
+		sp.free = sp.free[:n-1]
+	} else {
+		st = &deliverStep{pool: sp}
+		st.run = func() {
+			d, p := st.deliver, st.pkt
+			st.deliver, st.pkt = nil, nil
+			st.pool.free = append(st.pool.free, st)
+			d(p)
+		}
+	}
+	st.deliver, st.pkt = deliver, pkt
+	return st
 }
 
 // DeliverFunc receives a packet in kernel (event handler) context. It
@@ -68,6 +114,7 @@ type Crossbar struct {
 	wireLat  time.Duration
 	ports    map[int]DeliverFunc
 	txFree   map[int]vtime.Time // per-source serialization horizon
+	steps    stepPool
 
 	// Stats
 	Packets int64
@@ -113,7 +160,7 @@ func (c *Crossbar) Send(pkt *Packet) {
 	c.txFree[pkt.Src] = end
 	c.Packets++
 	c.Bytes += int64(pkt.Wire)
-	c.k.At(end.Add(c.wireLat), func() { deliver(pkt) })
+	c.k.ScheduleAt(end.Add(c.wireLat), c.steps.get(deliver, pkt).run)
 }
 
 // ---------------------------------------------------------------------
@@ -132,10 +179,55 @@ type SwitchedLAN struct {
 	ports   map[int]DeliverFunc
 	inFree  map[int]vtime.Time
 	outFree map[int]vtime.Time
+	steps   lanStepPool
 
 	Packets int64
 	Drops   int64
 	Bytes   int64
+}
+
+// lanStep is the switched-LAN counterpart of deliverStep: store-and-
+// forward needs two stages (egress scheduling after full ingress
+// reception, then delivery), so the pooled object carries both
+// pre-bound closures and the per-packet transmit time.
+type lanStep struct {
+	pool    *lanStepPool
+	s       *SwitchedLAN
+	pkt     *Packet
+	deliver DeliverFunc
+	txTime  time.Duration
+	egress  func()
+	final   func()
+}
+
+type lanStepPool struct{ free []*lanStep }
+
+func (sp *lanStepPool) get(s *SwitchedLAN, deliver DeliverFunc, pkt *Packet, txTime time.Duration) *lanStep {
+	var st *lanStep
+	if n := len(sp.free); n > 0 {
+		st = sp.free[n-1]
+		sp.free = sp.free[:n-1]
+	} else {
+		st = &lanStep{pool: sp}
+		st.egress = func() {
+			lan := st.s
+			es := lan.outFree[st.pkt.Dst]
+			if n := lan.k.Now(); es < n {
+				es = n
+			}
+			outEnd := es.Add(st.txTime)
+			lan.outFree[st.pkt.Dst] = outEnd
+			lan.k.ScheduleAt(outEnd.Add(lan.wireLat), st.final)
+		}
+		st.final = func() {
+			d, p := st.deliver, st.pkt
+			st.s, st.deliver, st.pkt = nil, nil, nil
+			st.pool.free = append(st.pool.free, st)
+			d(p)
+		}
+	}
+	st.s, st.deliver, st.pkt, st.txTime = s, deliver, pkt, txTime
+	return st
 }
 
 // NewSwitchedLAN builds an Ethernet-like fabric.
@@ -182,20 +274,13 @@ func (s *SwitchedLAN) Send(pkt *Packet) {
 	s.Bytes += int64(frame)
 	if s.loss > 0 && s.rng.Float64() < s.loss {
 		s.Drops++
+		pkt.dropped()
 		return // consumed ingress wire time, then vanished
 	}
 
 	// Egress link (switch -> host): store-and-forward, so egress starts
 	// after full ingress reception.
-	s.k.At(inEnd, func() {
-		es := s.outFree[pkt.Dst]
-		if n := s.k.Now(); es < n {
-			es = n
-		}
-		outEnd := es.Add(txTime)
-		s.outFree[pkt.Dst] = outEnd
-		s.k.At(outEnd.Add(s.wireLat), func() { deliver(pkt) })
-	})
+	s.k.ScheduleAt(inEnd, s.steps.get(s, deliver, pkt, txTime).egress)
 }
 
 // ---------------------------------------------------------------------
@@ -211,8 +296,9 @@ type Hop struct {
 	Loss     float64 // random loss probability
 	QueueCap int     // max packets queued waiting for the link (0 = 64)
 
-	free   vtime.Time
-	queued int
+	free    vtime.Time
+	queued  int
+	dequeue func() // pre-bound "queued--", scheduled once per packet
 
 	Packets int64
 	Drops   int64
@@ -221,11 +307,20 @@ type Hop struct {
 // Path is a unidirectional multi-hop route between two fabrics'
 // endpoints — used by ipstack for inter-site traffic.
 type Path struct {
-	k    *vtime.Kernel
-	name string
-	hops []*Hop
-	rng  *rand.Rand
-	dst  DeliverFunc
+	k     *vtime.Kernel
+	name  string
+	hops  []*Hop
+	rng   *rand.Rand
+	dst   DeliverFunc
+	steps []*hopStep // free list of pooled per-packet hop steps
+}
+
+// hopStep is one pooled "packet advances to hop i" event.
+type hopStep struct {
+	p   *Path
+	i   int
+	pkt *Packet
+	run func()
 }
 
 // NewPath builds a path delivering to dst through the given hops.
@@ -234,6 +329,8 @@ func NewPath(k *vtime.Kernel, name string, seed int64, hops ...*Hop) *Path {
 		if h.QueueCap == 0 {
 			h.QueueCap = 64
 		}
+		h := h
+		h.dequeue = func() { h.queued-- }
 	}
 	return &Path{k: k, name: name, hops: hops, rng: rand.New(rand.NewSource(seed))}
 }
@@ -259,6 +356,7 @@ func (p *Path) sendHop(i int, pkt *Packet) {
 	h.Packets++
 	if h.Loss > 0 && p.rng.Float64() < h.Loss {
 		h.Drops++
+		pkt.dropped()
 		return
 	}
 	now := p.k.Now()
@@ -269,6 +367,7 @@ func (p *Path) sendHop(i int, pkt *Packet) {
 	// Tail-drop if too many packets are already waiting for this link.
 	if h.queued >= h.QueueCap {
 		h.Drops++
+		pkt.dropped()
 		return
 	}
 	txTime := time.Duration(float64(pkt.Wire) / h.Rate * 1e9)
@@ -277,8 +376,22 @@ func (p *Path) sendHop(i int, pkt *Packet) {
 	// The queue drains when the packet finishes serializing; packets in
 	// propagation (latency) flight do not occupy buffer space.
 	h.queued++
-	p.k.At(end, func() { h.queued-- })
-	p.k.At(end.Add(h.Latency), func() { p.sendHop(i+1, pkt) })
+	p.k.ScheduleAt(end, h.dequeue)
+	var st *hopStep
+	if n := len(p.steps); n > 0 {
+		st = p.steps[n-1]
+		p.steps = p.steps[:n-1]
+	} else {
+		st = &hopStep{p: p}
+		st.run = func() {
+			i, pkt := st.i, st.pkt
+			st.pkt = nil
+			st.p.steps = append(st.p.steps, st)
+			st.p.sendHop(i, pkt)
+		}
+	}
+	st.i, st.pkt = i+1, pkt
+	p.k.ScheduleAt(end.Add(h.Latency), st.run)
 }
 
 // Drops sums drops over all hops (loss + queue overflow).
@@ -298,6 +411,7 @@ type Loopback struct {
 	k     *vtime.Kernel
 	lat   time.Duration
 	ports map[int]DeliverFunc
+	steps stepPool
 }
 
 // NewLoopback builds a loopback fabric with the given (tiny) latency.
@@ -317,5 +431,5 @@ func (l *Loopback) Send(pkt *Packet) {
 	if !ok {
 		panic(fmt.Sprintf("netsim: loopback send to unattached address %d", pkt.Dst))
 	}
-	l.k.After(l.lat, func() { deliver(pkt) })
+	l.k.Schedule(l.lat, l.steps.get(deliver, pkt).run)
 }

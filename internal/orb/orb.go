@@ -276,7 +276,7 @@ func (o *ORB) dispatch(v *vlink.VLink, kind msgKind, reqID uint32, body []byte) 
 	}
 	// Unmarshal/dispatch cost, then servant execution on a fresh proc.
 	cost := o.profile.RequestCost + o.profile.PerByte.Cost(len(body))
-	o.k.After(cost, func() {
+	o.k.Schedule(cost, func() {
 		o.k.Go("orb-dispatch", func(p *vtime.Proc) {
 			dec := NewDecoder(body)
 			key := dec.String()

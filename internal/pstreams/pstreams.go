@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"padico/internal/iovec"
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
@@ -158,8 +159,8 @@ type conn struct {
 
 	// Reassembly.
 	nextSeq uint64
-	stash   map[uint64][]byte
-	rx      []byte
+	stash   map[uint64]*iovec.Buf
+	rx      iovec.Fifo
 	eofs    int
 	rbuf    []byte
 	rcb     func(int, error)
@@ -169,7 +170,7 @@ type conn struct {
 const chunkHdrLen = 12
 
 func newConn(d *Driver, streams []vlink.Conn) *conn {
-	c := &conn{d: d, streams: streams, stash: make(map[uint64][]byte)}
+	c := &conn{d: d, streams: streams, stash: make(map[uint64]*iovec.Buf)}
 	// Size per-stripe socket windows so the aggregate slightly exceeds
 	// the path BDP instead of multiplying the default window by the
 	// stripe count (which would just fill bottleneck queues and drop).
@@ -195,19 +196,22 @@ func (c *conn) Peer() topology.NodeID { return c.streams[0].Peer() }
 
 // startReader pumps one stripe into the reassembler.
 func (c *conn) startReader(s vlink.Conn) {
-	var fp []byte
+	var fp iovec.Fifo
 	buf := make([]byte, ChunkSize+chunkHdrLen)
 	var pump func(n int, err error)
 	pump = func(n int, err error) {
-		fp = append(fp, buf[:n]...)
-		for len(fp) >= chunkHdrLen {
-			seq := binary.BigEndian.Uint64(fp)
-			ln := int(binary.BigEndian.Uint32(fp[8:]))
-			if len(fp) < chunkHdrLen+ln {
+		fp.Write(buf[:n])
+		for fp.Len() >= chunkHdrLen {
+			fb := fp.Bytes()
+			seq := binary.BigEndian.Uint64(fb)
+			ln := int(binary.BigEndian.Uint32(fb[8:]))
+			if fp.Len() < chunkHdrLen+ln {
 				break
 			}
-			c.stash[seq] = append([]byte(nil), fp[chunkHdrLen:chunkHdrLen+ln]...)
-			fp = fp[chunkHdrLen+ln:]
+			stashed := iovec.Get(ln)
+			copy(stashed.Bytes(), fb[chunkHdrLen:chunkHdrLen+ln])
+			c.stash[seq] = stashed
+			fp.Consume(chunkHdrLen + ln)
 		}
 		c.drain()
 		if err != nil {
@@ -231,12 +235,13 @@ func (c *conn) drain() {
 		}
 		delete(c.stash, c.nextSeq)
 		c.nextSeq++
-		c.rx = append(c.rx, chunk...)
+		c.rx.Write(chunk.Bytes())
+		chunk.Release()
 	}
 	if c.rcb == nil {
 		return
 	}
-	if len(c.rx) == 0 {
+	if c.rx.Len() == 0 {
 		if c.eofs == len(c.streams) {
 			cb := c.rcb
 			c.rcb, c.rbuf = nil, nil
@@ -244,8 +249,8 @@ func (c *conn) drain() {
 		}
 		return
 	}
-	n := copy(c.rbuf, c.rx)
-	c.rx = c.rx[n:]
+	n := copy(c.rbuf, c.rx.Bytes())
+	c.rx.Consume(n)
 	cb := c.rcb
 	c.rcb, c.rbuf = nil, nil
 	cb(n, nil)
@@ -260,11 +265,19 @@ func (c *conn) PostRead(buf []byte, cb func(int, error)) {
 	c.drain()
 }
 
-// PostWrite implements vlink.Conn: stripe data round-robin in ChunkSize
-// units with sequence headers. The completion fires once every stripe
-// accepted its chunks.
+// PostWrite implements vlink.Conn.
 func (c *conn) PostWrite(data []byte, cb func(int, error)) {
-	total := len(data)
+	c.PostWritev(iovec.Make(data), cb)
+}
+
+// PostWritev implements vlink.VecConn: stripe the vector round-robin in
+// ChunkSize units with sequence headers. Striping transforms no bytes,
+// so it adds zero copies — each chunk frame is a pooled 12-byte header
+// segment plus retained views of the caller's vector, released when the
+// stripe's driver accepted (copied or owned) the frame. The completion
+// fires once every stripe accepted its chunks.
+func (c *conn) PostWritev(v iovec.Vec, cb func(int, error)) {
+	total := v.Len()
 	nchunks := (total + ChunkSize - 1) / ChunkSize
 	if nchunks == 0 {
 		cb(0, nil)
@@ -276,20 +289,36 @@ func (c *conn) PostWrite(data []byte, cb func(int, error)) {
 		if end > total {
 			end = total
 		}
-		hdr := make([]byte, chunkHdrLen, chunkHdrLen+end-off)
-		binary.BigEndian.PutUint64(hdr, c.seqW)
-		binary.BigEndian.PutUint32(hdr[8:], uint32(end-off))
+		hdr := iovec.Get(chunkHdrLen)
+		binary.BigEndian.PutUint64(hdr.Bytes(), c.seqW)
+		binary.BigEndian.PutUint32(hdr.Bytes()[8:], uint32(end-off))
 		c.seqW++
-		frame := append(hdr, data[off:end]...)
+		frame := iovec.Owned(hdr)
+		v.SliceInto(&frame, off, end-off)
 		s := c.streams[c.nextW]
 		c.nextW = (c.nextW + 1) % len(c.streams)
-		s.PostWrite(frame, func(int, error) {
+		postv(s, frame, func(int, error) {
+			frame.Release()
 			completed++
 			if completed == nchunks {
 				cb(total, nil)
 			}
 		})
 	}
+}
+
+// postv writes a vector through a stripe, flattening once if the inner
+// driver has no vector support.
+func postv(s vlink.Conn, frame iovec.Vec, cb func(int, error)) {
+	if vc, ok := s.(vlink.VecConn); ok {
+		vc.PostWritev(frame, cb)
+		return
+	}
+	flat := frame.Flatten()
+	s.PostWrite(flat.Bytes(), func(n int, err error) {
+		flat.Release()
+		cb(n, err)
+	})
 }
 
 // Close implements vlink.Conn.

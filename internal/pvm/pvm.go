@@ -138,7 +138,7 @@ func (t *Task) Send(dst TID, tag int, b *Buffer) {
 	binary.BigEndian.PutUint32(hdr, uint32(int32(tag)))
 	binary.BigEndian.PutUint32(hdr[4:], uint32(len(b.buf)))
 	data := append([]byte(nil), b.buf...)
-	t.k.After(model.PVMRequestCost, func() {
+	t.k.Schedule(model.PVMRequestCost, func() {
 		out := t.ch.BeginPacking(int(dst))
 		out.Pack(hdr, madapi.SendSafer)
 		if len(data) > 0 {

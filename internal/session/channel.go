@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"padico/internal/iovec"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
 )
@@ -86,6 +87,28 @@ func (c *msgChannel) Send(p *vtime.Proc, segs ...[]byte) error {
 	c.sent++
 	c.sendf(segs)
 	return nil
+}
+
+// SendVec implements Channel: the vector's segments become the packed
+// message's segments — iovec views and Circuit incremental packing are
+// the same shape, so no flattening happens. The substrate copies
+// (SendSafer / pipe clone), which ends the borrow before return.
+func (c *msgChannel) SendVec(p *vtime.Proc, v iovec.Vec) error {
+	segs := make([][]byte, len(v.Segs))
+	for i, s := range v.Segs {
+		segs[i] = s.B
+	}
+	return c.Send(p, segs...)
+}
+
+// RecvVec implements Channel: borrowed views of the delivered message
+// (Release is a no-op).
+func (c *msgChannel) RecvVec(p *vtime.Proc, sizes ...int) (iovec.Vec, error) {
+	segs, err := c.Recv(p, sizes...)
+	if err != nil {
+		return iovec.Vec{}, err
+	}
+	return iovec.Make(segs...), nil
 }
 
 // Recv implements Channel: segment-granular consumption with exact
@@ -207,21 +230,17 @@ type vlinkChannel struct {
 	remote Channel
 }
 
-// Send implements Channel: one gather-write, no added framing.
+// Send implements Channel: one gather-write, no added framing. The
+// segments ride the driver stack's vectored path by reference; a
+// non-vector driver flattens once into a pooled buffer inside VLink.
 func (c *vlinkChannel) Send(p *vtime.Proc, segs ...[]byte) error {
-	buf := segs[0]
-	if len(segs) > 1 {
-		n := 0
-		for _, s := range segs {
-			n += len(s)
-		}
-		buf = make([]byte, 0, n)
-		for _, s := range segs {
-			buf = append(buf, s...)
-		}
-	}
+	return c.SendVec(p, iovec.Make(segs...))
+}
+
+// SendVec implements Channel.
+func (c *vlinkChannel) SendVec(p *vtime.Proc, v iovec.Vec) error {
 	c.info.Sends++
-	n, err := c.v.Write(p, buf)
+	n, err := c.v.WriteVec(p, v)
 	c.info.BytesOut += int64(n)
 	return err
 }
@@ -244,6 +263,37 @@ func (c *vlinkChannel) Recv(p *vtime.Proc, sizes ...int) ([][]byte, error) {
 	off := 0
 	for _, n := range sizes {
 		out = append(out, buf[off:off+n])
+		off += n
+	}
+	return out, nil
+}
+
+// RecvVec implements Channel: one ReadFull of the total into a pooled
+// buffer, handed out as one owned segment per requested size (the
+// caller's Release returns the buffer to the pool).
+func (c *vlinkChannel) RecvVec(p *vtime.Proc, sizes ...int) (iovec.Vec, error) {
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if len(sizes) == 0 {
+		return iovec.Vec{}, nil
+	}
+	buf := iovec.Get(total)
+	n, err := c.v.ReadFull(p, buf.Bytes())
+	c.info.Recvs++
+	c.info.BytesIn += int64(n)
+	if err != nil {
+		buf.Release()
+		return iovec.Vec{}, err
+	}
+	out := iovec.Vec{Segs: make([]iovec.Seg, 0, len(sizes))}
+	off := 0
+	for i, n := range sizes {
+		if i > 0 {
+			buf.Retain() // one reference per handed-out segment
+		}
+		out.Append(buf, buf.Bytes()[off:off+n])
 		off += n
 	}
 	return out, nil

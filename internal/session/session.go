@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"padico/internal/circuit"
+	"padico/internal/iovec"
 	"padico/internal/madapi"
 	"padico/internal/selector"
 	"padico/internal/topology"
@@ -68,12 +69,24 @@ type Channel interface {
 	// Send transmits one logical message as a vector of segments: one
 	// packed message on a Circuit, one gather-write on a stream.
 	Send(p *vtime.Proc, segs ...[]byte) error
+	// SendVec is Send over an iovec segment vector — the shared
+	// representation of Circuit incremental packing and the stream
+	// view's gather-write. The vector is borrowed until SendVec
+	// returns; on a vector-capable VLink stack the payload travels by
+	// reference down to the socket send queue (zero copies in
+	// non-transforming wrappers).
+	SendVec(p *vtime.Proc, v iovec.Vec) error
 	// Recv receives segments of exactly the given sizes, in order. On a
 	// message substrate the sizes must match the packed segment
 	// boundaries (buffered across calls, so one message may satisfy
 	// several Recvs); on a stream substrate the total is read in one
 	// ReadFull and sliced.
 	Recv(p *vtime.Proc, sizes ...int) ([][]byte, error)
+	// RecvVec is Recv returning the segments as one vector. The caller
+	// must Release it (a no-op on message substrates, which hand out
+	// borrowed views; an actual pool return on stream substrates, which
+	// read into a pooled buffer).
+	RecvVec(p *vtime.Proc, sizes ...int) (iovec.Vec, error)
 	// Read delivers the next available payload bytes (up to len(buf)).
 	Read(p *vtime.Proc, buf []byte) (int, error)
 	// ReadFull blocks until len(buf) bytes arrived (or EOF).

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"padico/internal/iovec"
 	"padico/internal/ipstack"
 	"padico/internal/madapi"
 	"padico/internal/netaccess"
@@ -87,7 +88,7 @@ type sysConn struct {
 }
 
 type pendingWrite struct {
-	data []byte
+	vec  iovec.Vec // borrowed until cb fires
 	done int
 	cb   func(int, error)
 }
@@ -123,8 +124,8 @@ func (sc *sysConn) onReadable(p *vtime.Proc) {
 func (sc *sysConn) onWritable() {
 	for len(sc.wq) > 0 {
 		w := &sc.wq[0]
-		w.done += sc.c.TryWrite(w.data[w.done:])
-		if w.done < len(w.data) {
+		w.done += sc.c.TryWriteVec(w.vec, w.done)
+		if w.done < w.vec.Len() {
 			return // buffer full again; wait for next writable event
 		}
 		cb, n := w.cb, w.done
@@ -146,7 +147,14 @@ func (sc *sysConn) PostRead(buf []byte, cb func(int, error)) {
 
 // PostWrite implements Conn.
 func (sc *sysConn) PostWrite(data []byte, cb func(int, error)) {
-	sc.wq = append(sc.wq, pendingWrite{data: data, cb: cb})
+	sc.PostWritev(iovec.Make(data), cb)
+}
+
+// PostWritev implements VecConn: the vector's bytes are copied exactly
+// once, into the TCP socket's pooled send queue, as space opens up —
+// the stack's single pack point on the distributed path.
+func (sc *sysConn) PostWritev(v iovec.Vec, cb func(int, error)) {
+	sc.wq = append(sc.wq, pendingWrite{vec: v, cb: cb})
 	if len(sc.wq) == 1 {
 		sc.onWritable()
 	}
@@ -368,6 +376,17 @@ func (c *madConn) PostRead(buf []byte, cb func(int, error)) {
 	c.tryComplete()
 }
 
+// PostWritev implements VecConn. MadIO's Madeleine packing aliases the
+// message until the send-side cost event fires, after the caller's
+// borrow ended — so the vector is flattened here, once, into a fresh
+// buffer the message can own (exactly the copy the session layer used
+// to make above this driver).
+func (c *madConn) PostWritev(v iovec.Vec, cb func(int, error)) {
+	data := make([]byte, v.Len())
+	v.CopyTo(data)
+	c.PostWrite(data, cb)
+}
+
 // PostWrite implements Conn: data rides one MadIO message. SAN links
 // are far faster than any producer here, so the driver accepts
 // immediately (no flow control, as on a well-provisioned SAN).
@@ -449,7 +468,7 @@ func (d *LoopbackDriver) Dial(addr Addr, cb func(Conn, error)) {
 		return
 	}
 	a, b := newLoopPair(d)
-	d.k.After(500*time.Nanosecond, func() {
+	d.k.Schedule(500*time.Nanosecond, func() {
 		l.accept(b)
 		cb(a, nil)
 	})
@@ -504,18 +523,27 @@ func (c *loopConn) tryComplete() {
 
 // PostWrite implements Conn.
 func (c *loopConn) PostWrite(data []byte, cb func(int, error)) {
+	c.PostWritev(iovec.Make(data), cb)
+}
+
+// PostWritev implements VecConn: the bytes are captured into a pooled
+// buffer at post time (the borrow ends when cb fires, which is
+// immediately here) and delivered after the memcpy-scale latency.
+func (c *loopConn) PostWritev(v iovec.Vec, cb func(int, error)) {
 	peer := c.peer
-	c.d.k.After(200*time.Nanosecond, func() { // memcpy-scale latency
-		peer.rx = append(peer.rx, data...)
+	buf := v.Flatten()
+	c.d.k.Schedule(200*time.Nanosecond, func() { // memcpy-scale latency
+		peer.rx = append(peer.rx, buf.Bytes()...)
+		buf.Release()
 		peer.tryComplete()
 	})
-	cb(len(data), nil)
+	cb(v.Len(), nil)
 }
 
 // Close implements Conn.
 func (c *loopConn) Close() {
 	peer := c.peer
-	c.d.k.After(200*time.Nanosecond, func() {
+	c.d.k.Schedule(200*time.Nanosecond, func() {
 		peer.eof = true
 		peer.tryComplete()
 	})

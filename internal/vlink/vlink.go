@@ -18,6 +18,7 @@ import (
 	"io"
 	"sort"
 
+	"padico/internal/iovec"
 	"padico/internal/model"
 	"padico/internal/topology"
 	"padico/internal/vtime"
@@ -92,6 +93,18 @@ type Conn interface {
 	Close()
 	// Peer returns the remote node.
 	Peer() topology.NodeID
+}
+
+// VecConn is the vectored-write extension of Conn: drivers that can
+// move a segment vector without flattening it implement PostWritev.
+// The vector is borrowed until cb fires — the caller keeps every
+// segment's bytes valid and immutable until then, and the driver takes
+// its own references (iovec retain) for anything it must hold longer.
+// Byte-stream semantics are identical to PostWrite of the flattened
+// vector.
+type VecConn interface {
+	Conn
+	PostWritev(v iovec.Vec, cb func(n int, err error))
 }
 
 // Listener is a driver-level passive endpoint.
@@ -275,7 +288,7 @@ func (v *VLink) PostRead(buf []byte) *Op {
 		v.BytesIn += int64(n)
 		// Abstraction-layer cost: per op + per byte.
 		cost := model.VLinkCost + model.VLinkPerByte.Cost(n)
-		kernelOf(v).After(cost, func() { op.complete(n, err) })
+		kernelOf(v).Schedule(cost, func() { op.complete(n, err) })
 	})
 	return op
 }
@@ -290,13 +303,70 @@ func (v *VLink) PostWrite(data []byte) *Op {
 	v.Writes++
 	n0 := len(data)
 	cost := model.VLinkCost + model.VLinkPerByte.Cost(n0)
-	kernelOf(v).After(cost, func() {
+	kernelOf(v).Schedule(cost, func() {
 		v.c.PostWrite(data, func(n int, err error) {
 			v.BytesOut += int64(n)
 			op.complete(n, err)
 		})
 	})
 	return op
+}
+
+// PostWritev posts an asynchronous gather-write of a segment vector:
+// the same abstraction cost and byte-stream effect as PostWrite of the
+// flattened vector, without materializing it when the driver stack
+// supports vectors. The vector is borrowed until the Op completes.
+func (v *VLink) PostWritev(vec iovec.Vec) *Op {
+	op := newOp("vlink:writev")
+	if v.closed {
+		op.complete(0, ErrClosed)
+		return op
+	}
+	v.Writes++
+	n0 := vec.Len()
+	cost := model.VLinkCost + model.VLinkPerByte.Cost(n0)
+	kernelOf(v).Schedule(cost, func() {
+		done := func(n int, err error) {
+			v.BytesOut += int64(n)
+			op.complete(n, err)
+		}
+		if vc, ok := v.c.(VecConn); ok {
+			vc.PostWritev(vec, done)
+			return
+		}
+		// Driver without vector support: flatten once into a pooled
+		// buffer for the duration of the inner write.
+		buf := vec.Flatten()
+		v.c.PostWrite(buf.Bytes(), func(n int, err error) {
+			buf.Release()
+			done(n, err)
+		})
+	})
+	return op
+}
+
+// WriteVec blocks p until the whole vector is accepted by the driver
+// stack (the synchronous convenience over PostWritev). In practice one
+// PostWritev accepts everything (drivers complete whole writes); the
+// resume loop only slices on a partial acceptance.
+func (v *VLink) WriteVec(p *vtime.Proc, vec iovec.Vec) (int, error) {
+	total := 0
+	size := vec.Len()
+	for total < size {
+		part, retained := vec, false
+		if total > 0 {
+			part, retained = vec.Slice(total, size-total), true
+		}
+		n, err := v.PostWritev(part).Wait(p)
+		if retained {
+			part.Release()
+		}
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Close initiates an orderly shutdown.

@@ -93,8 +93,9 @@ type Proc struct {
 	state  procState
 	reason string // why blocked, for deadlock diagnostics
 
-	resume chan struct{} // kernel -> proc: run
-	daemon bool
+	resume   chan struct{} // kernel -> proc: run
+	daemon   bool
+	unparkFn func() // cached unpark closure for Sleep/Yield scheduling
 }
 
 // Name returns the name given at spawn time.
@@ -110,6 +111,11 @@ type event struct {
 	at  Time
 	seq int64
 	fn  func()
+	// pooled events (Schedule) have no Timer handle outstanding, so the
+	// kernel recycles them after firing; cancellable events (After/At)
+	// must not be recycled — a stale Timer.Stop would tombstone an
+	// unrelated reuse.
+	pooled bool
 }
 
 type eventHeap []*event
@@ -135,16 +141,19 @@ func (h *eventHeap) Pop() any {
 // Kernel is a discrete-event scheduler. Create one with NewKernel, spawn
 // Procs with Go, then call Run.
 type Kernel struct {
-	now      Time
-	seq      int64
-	events   eventHeap
-	runnable []*Proc // FIFO
-	procs    map[int64]*Proc
-	parked   chan struct{} // proc -> kernel: I yielded
-	running  *Proc
-	dead     bool
-	failure  error
-	nprocs   int64
+	now        Time
+	seq        int64
+	events     eventHeap
+	evFree     []*event // recycled pooled events (Schedule fire-and-forget)
+	tombstones int      // Stop-cancelled entries still sitting in the heap
+	runnable   []*Proc  // FIFO, head-indexed so the backing array is reused
+	rhead      int
+	procs      map[int64]*Proc
+	parked     chan struct{} // proc -> kernel: I yielded
+	running    *Proc
+	dead       bool
+	failure    error
+	nprocs     int64
 
 	// Stats, exposed for tests and the bench harness.
 	EventsFired   int64
@@ -181,6 +190,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		state:  stateNew,
 		resume: make(chan struct{}),
 	}
+	p.unparkFn = p.unpark
 	k.procs[p.id] = p
 	k.ProcsSpawned++
 	go func() {
@@ -219,18 +229,25 @@ func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
 
 // Timer is a cancellable scheduled event.
 type Timer struct {
+	k       *Kernel
 	ev      *event
 	stopped bool
 }
 
 // Stop cancels the timer; it is a no-op if the timer already fired.
 // It returns true if the call prevented the timer from firing.
+// Stopped timers leave a tombstone in the event heap; the kernel
+// compacts the heap when tombstones outnumber live entries, so a
+// workload that arms and cancels timers at a high rate (TCP RTO on
+// every ACK round) cannot grow the heap without bound.
 func (t *Timer) Stop() bool {
 	if t.stopped || t.ev.fn == nil {
 		return false
 	}
 	t.stopped = true
 	t.ev.fn = nil // tombstone; heap entry is skipped when popped
+	t.k.tombstones++
+	t.k.maybeCompact()
 	return true
 }
 
@@ -244,13 +261,62 @@ func (k *Kernel) After(d Duration, fn func()) *Timer {
 	k.seq++
 	ev := &event{at: k.now.Add(d), seq: k.seq, fn: fn}
 	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{k: k, ev: ev}
 }
 
 // At schedules fn at absolute virtual time t (clamped to now).
 func (k *Kernel) At(t Time, fn func()) *Timer {
 	d := t.Sub(k.now)
 	return k.After(d, fn)
+}
+
+// Schedule is After for fire-and-forget events: no Timer handle is
+// returned, which lets the kernel recycle the event object after it
+// fires. Hot paths (per-packet fabric steps, per-operation cost
+// charges) schedule millions of these; pooling them removes the
+// dominant allocation of long simulations. Timing and ordering are
+// identical to After.
+func (k *Kernel) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	var ev *event
+	if n := len(k.evFree); n > 0 {
+		ev = k.evFree[n-1]
+		k.evFree = k.evFree[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = k.now.Add(d)
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.pooled = true
+	heap.Push(&k.events, ev)
+}
+
+// ScheduleAt is Schedule at absolute virtual time t (clamped to now).
+func (k *Kernel) ScheduleAt(t Time, fn func()) { k.Schedule(t.Sub(k.now), fn) }
+
+// maybeCompact rebuilds the event heap without tombstones once they
+// outnumber the live entries. Pop order is governed by the total
+// (at, seq) order, so compaction never changes which event fires next.
+func (k *Kernel) maybeCompact() {
+	if k.tombstones <= len(k.events)/2 || len(k.events) < 64 {
+		return
+	}
+	live := k.events[:0]
+	for _, ev := range k.events {
+		if ev.fn != nil {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = live
+	k.tombstones = 0
+	heap.Init(&k.events)
 }
 
 // Run executes the simulation: it spawns root and schedules Procs and
@@ -268,9 +334,14 @@ func (k *Kernel) Run(root func(p *Proc)) error {
 		root(p)
 	})
 	for !done && k.failure == nil {
-		if len(k.runnable) > 0 {
-			p := k.runnable[0]
-			k.runnable = k.runnable[1:]
+		if k.rhead < len(k.runnable) {
+			p := k.runnable[k.rhead]
+			k.runnable[k.rhead] = nil
+			k.rhead++
+			if k.rhead == len(k.runnable) {
+				k.runnable = k.runnable[:0]
+				k.rhead = 0
+			}
 			k.step(p)
 			continue
 		}
@@ -307,14 +378,22 @@ func (k *Kernel) fireNextEvent() bool {
 	for len(k.events) > 0 {
 		ev := heap.Pop(&k.events).(*event)
 		if ev.fn == nil {
-			continue // cancelled
+			k.tombstones-- // cancelled; its tombstone leaves the heap here
+			continue
 		}
 		if ev.at > k.now {
 			k.now = ev.at
 		}
 		fn := ev.fn
 		ev.fn = nil
+		pooled := ev.pooled
 		k.EventsFired++
+		if pooled {
+			// Safe to recycle before running: no Timer references this
+			// event, and fn was captured above.
+			ev.pooled = false
+			k.evFree = append(k.evFree, ev)
+		}
 		fn()
 		return true
 	}
@@ -352,6 +431,7 @@ func (k *Kernel) teardown() {
 		}
 	}
 	k.runnable = nil
+	k.rhead = 0
 	k.events = nil
 }
 
@@ -388,10 +468,7 @@ func (p *Proc) unpark() {
 // Yield gives other runnable Procs and due events a chance to run before
 // p continues, without advancing virtual time.
 func (p *Proc) Yield() {
-	k := p.k
-	k.seq++
-	ev := &event{at: k.now, seq: k.seq, fn: func() { p.unpark() }}
-	heap.Push(&k.events, ev)
+	p.k.Schedule(0, p.unparkFn)
 	p.park("yield")
 }
 
@@ -401,7 +478,7 @@ func (p *Proc) Sleep(d Duration) {
 		p.Yield()
 		return
 	}
-	p.k.After(d, func() { p.unpark() })
+	p.k.Schedule(d, p.unparkFn)
 	p.park("sleep")
 }
 

@@ -442,3 +442,79 @@ func TestNestedSpawnFromHandler(t *testing.T) {
 		t.Fatal("proc spawned from handler never ran")
 	}
 }
+
+// TestTimerTombstoneCompaction is the regression test for the stopped-
+// timer leak: Timers that are armed far in the future and immediately
+// stopped used to sit in the event heap until their (distant) due time
+// was popped. The kernel now compacts once tombstones outnumber live
+// entries, so the heap stays bounded by the live-event count.
+func TestTimerTombstoneCompaction(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(func(p *Proc) {
+		for i := 0; i < 10000; i++ {
+			tm := k.After(time.Hour, func() { t.Error("stopped timer fired") })
+			if !tm.Stop() {
+				t.Fatal("Stop returned false for a pending timer")
+			}
+		}
+		if n := len(k.events); n > 128 {
+			t.Fatalf("event heap holds %d entries after stopping 10000 timers; compaction leaked", n)
+		}
+		p.Sleep(time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleMatchesAfter pins Schedule's contract: identical firing
+// time and ordering as After for the same (d, call-order) sequence, and
+// pooled events must be recycled.
+func TestScheduleMatchesAfter(t *testing.T) {
+	run := func(useSchedule bool) ([]int, Time) {
+		k := NewKernel()
+		var order []int
+		err := k.Run(func(p *Proc) {
+			for i := 0; i < 8; i++ {
+				i := i
+				d := time.Duration(8-i) * time.Millisecond
+				if useSchedule {
+					k.Schedule(d, func() { order = append(order, i) })
+				} else {
+					k.After(d, func() { order = append(order, i) })
+				}
+			}
+			p.Sleep(20 * time.Millisecond)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order, k.Now()
+	}
+	o1, t1 := run(false)
+	o2, t2 := run(true)
+	if t1 != t2 {
+		t.Fatalf("final times differ: %v vs %v", t1, t2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("firing order differs at %d: %v vs %v", i, o1, o2)
+		}
+	}
+}
+
+// TestSchedulePoolRecycles checks that fire-and-forget events are
+// actually reused instead of reallocated.
+func TestSchedulePoolRecycles(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			k.Schedule(time.Microsecond, func() {})
+			p.Sleep(2 * time.Microsecond)
+		}
+		if len(k.evFree) == 0 {
+			t.Fatal("no pooled events on the free list after 1000 Schedules")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

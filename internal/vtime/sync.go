@@ -10,9 +10,15 @@ package vtime
 //
 // with Signal/Broadcast called by whichever Proc or event handler makes
 // the predicate true. Wakeups are FIFO and deterministic.
+// The wait list is a head-indexed slice rather than a re-sliced one:
+// popping from the front with waiters[1:] strands the backing array's
+// capacity, so a busy cond (credit windows, socket readiness) would
+// reallocate on nearly every Wait. With the head index the backing is
+// reused once drained. Wakeup order is unchanged (FIFO).
 type Cond struct {
 	name    string
 	waiters []*Proc
+	head    int
 }
 
 // NewCond returns a condition variable; name appears in deadlock
@@ -34,8 +40,8 @@ func (c *Cond) Wait(p *Proc) {
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 	timedOut := false
 	timer := p.k.After(d, func() {
-		for i, w := range c.waiters {
-			if w == p {
+		for i := c.head; i < len(c.waiters); i++ {
+			if c.waiters[i] == p {
 				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
 				timedOut = true
 				p.unpark()
@@ -51,31 +57,41 @@ func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 
 // Signal wakes the oldest waiter, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.head == len(c.waiters) {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	p := c.waiters[c.head]
+	c.waiters[c.head] = nil
+	c.head++
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
 	p.unpark()
 }
 
 // Broadcast wakes every current waiter.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
+	for i := c.head; i < len(c.waiters); i++ {
+		p := c.waiters[i]
+		c.waiters[i] = nil
 		p.unpark()
 	}
+	c.waiters = c.waiters[:0]
+	c.head = 0
 }
 
 // Waiting returns the number of parked waiters.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return len(c.waiters) - c.head }
 
 // Queue is an unbounded FIFO of values with blocking Pop, the basic
 // conduit between event handlers (producers, e.g. packet arrivals) and
 // Procs (consumers, e.g. polling loops).
+// Like Cond, the item list is head-indexed so the backing array is
+// reused once drained instead of reallocating under steady traffic.
 type Queue[T any] struct {
 	items []T
+	head  int
 	cond  *Cond
 	// OnPush, if non-nil, runs after each Push; used by multiplexers to
 	// kick a shared poller when any of many queues becomes non-empty.
@@ -99,11 +115,16 @@ func (q *Queue[T]) Push(v T) {
 // TryPop removes and returns the head without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return v, true
 }
 
@@ -134,7 +155,7 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (T, bool) {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // WaitGroup mirrors sync.WaitGroup for simulated processes.
 type WaitGroup struct {
