@@ -132,3 +132,20 @@ func BenchmarkGroupFanout(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWeather runs the adaptive-vs-static degrading-WAN workload
+// (see BENCH_5.json): the adaptive run must finish sooner and move
+// fewer bytes over the degraded core.
+func BenchmarkWeather(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.WeatherBench()
+		for _, r := range rows {
+			mode := "static"
+			if r.Adaptive {
+				mode = "adaptive"
+			}
+			b.ReportMetric(r.MakespanS, metric("v-s-makespan", mode))
+			b.ReportMetric(r.DegradedLinkMB, metric("vMB-degraded", mode))
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp] [-datagrid] [-group]
+//	padico-bench [-fig3] [-table1] [-overhead] [-wan] [-vrp] [-datagrid] [-group] [-weather]
 //
 // With no flags, everything runs.
 package main
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"padico/internal/bench"
+	"padico/internal/grid"
 )
 
 func main() {
@@ -24,8 +25,9 @@ func main() {
 	vrpf := flag.Bool("vrp", false, "§5: VRP on the lossy trans-continental link")
 	dgf := flag.Bool("datagrid", false, "data grid: striped replication across the lossy WAN")
 	grp := flag.Bool("group", false, "group: flat vs hierarchical replication fan-out")
+	wthr := flag.Bool("weather", false, "weather: adaptive vs static selection on a degrading WAN")
 	flag.Parse()
-	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf && !*grp
+	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf && !*grp && !*wthr
 
 	if all || *fig3 {
 		fmt.Println("=== Figure 3: bandwidth (MB/s) of middleware systems in PadicoTM over Myrinet-2000 ===")
@@ -108,6 +110,25 @@ func main() {
 		flat, hier := rows[0], rows[1]
 		fmt.Printf("hierarchical fan-out: %.1fx WAN bytes, %.1f%% lower makespan\n\n",
 			hier.WANMB/flat.WANMB, 100*(1-hier.ConvergeS/flat.ConvergeS))
+	}
+	if all || *wthr {
+		fmt.Printf("=== Network weather: adaptive vs static on DegradingWAN (site0-site1 core /%d at t=%v) ===\n",
+			grid.DegradeFactor, grid.DegradeAt)
+		fmt.Printf("%-9s %12s %10s %9s %14s %11s %9s %8s\n",
+			"mode", "makespan (s)", "stream (s)", "gets (s)", "degraded MB", "src-switch", "reselect", "resume")
+		rows := bench.WeatherBench()
+		for _, r := range rows {
+			mode := "static"
+			if r.Adaptive {
+				mode = "adaptive"
+			}
+			fmt.Printf("%-9s %12.2f %10.2f %9.2f %14.1f %11d %9d %8d\n",
+				mode, r.MakespanS, r.StreamS, r.GetS, r.DegradedLinkMB,
+				r.SourceSwitches, r.Reselects, r.Resumes)
+		}
+		st, ad := rows[0], rows[1]
+		fmt.Printf("adaptive: %.1fx lower makespan, %.1fx fewer bytes over the degraded link\n\n",
+			st.MakespanS/ad.MakespanS, st.DegradedLinkMB/ad.DegradedLinkMB)
 	}
 	os.Exit(0)
 }

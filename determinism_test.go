@@ -1,9 +1,18 @@
-// Determinism regression gate for the zero-copy segment path (PR 4):
-// the buffer-management refactor must not move a single virtual-time
-// event. These tables were captured on the pre-refactor tree (seed of
-// PR 4) and every entry must stay bit-identical — virtual times, byte
-// counts and job splits alike. A failure here means an optimisation
-// changed simulated behaviour, not just memory traffic.
+// Determinism regression gate: every pinned table must stay
+// bit-identical — virtual times, byte counts and job splits alike.
+//
+// The DataGrid/Group/WAN tables were captured on the pre-iovec tree
+// (seed of PR 4) and run with weather *disabled*: the monitoring
+// subsystem (PR 5) must be invisible until a testbed enables it, so
+// any drift here means a weather-era change leaked events into static
+// runs. The weather table itself cannot be pinned against constants
+// the same way (it is new), so it is pinned against a double run: two
+// complete WeatherBench executions must agree bit for bit, which is
+// the "no wall-clock reads, no unseeded randomness in probes or
+// schedules" contract.
+//
+// CI runs `go test -run Determinism -count=2 .` so the whole gate is
+// exercised twice per push.
 package padico
 
 import (
@@ -32,7 +41,7 @@ var seedGroupTable = []string{
 	"streams=4 replicas=3 hier=true ingest=227.7276362042672 converge=4.09418192 wanMB=16.777432 circ=2 vlink=0 group=4",
 }
 
-func TestDataGridTableBitIdentical(t *testing.T) {
+func TestDeterminismDataGridTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full datagrid table run")
 	}
@@ -47,7 +56,7 @@ func TestDataGridTableBitIdentical(t *testing.T) {
 	}
 }
 
-func TestGroupTableBitIdentical(t *testing.T) {
+func TestDeterminismGroupTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full group table run")
 	}
@@ -62,7 +71,7 @@ func TestGroupTableBitIdentical(t *testing.T) {
 	}
 }
 
-func TestWANTableBitIdentical(t *testing.T) {
+func TestDeterminismWANTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full WAN run")
 	}
@@ -73,5 +82,51 @@ func TestWANTableBitIdentical(t *testing.T) {
 	}
 	if got := fmt.Sprintf("%v", w.StripedMBps); got != wantStriped {
 		t.Errorf("striped WAN rate drifted: got %s, seed %s", got, wantStriped)
+	}
+}
+
+// fmtWeatherRow renders one weather table row with full float
+// precision.
+func fmtWeatherRow(r bench.WeatherResult) string {
+	return fmt.Sprintf("adaptive=%v makespan=%v stream=%v gets=%v degradedMB=%v switches=%d reselects=%d resumes=%d",
+		r.Adaptive, r.MakespanS, r.StreamS, r.GetS, r.DegradedLinkMB,
+		r.SourceSwitches, r.Reselects, r.Resumes)
+}
+
+// TestDeterminismWeatherTable pins the new adaptive-vs-static table:
+// two complete WeatherBench runs must be bit-identical, the adaptive
+// row must beat the static one on makespan and degraded-link bytes,
+// and the adaptation events the acceptance criteria demand must fire.
+func TestDeterminismWeatherTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full weather table run")
+	}
+	first := bench.WeatherBench()
+	second := bench.WeatherBench()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("table has %d/%d rows, want 2", len(first), len(second))
+	}
+	for i := range first {
+		a, b := fmtWeatherRow(first[i]), fmtWeatherRow(second[i])
+		if a != b {
+			t.Errorf("row %d drifted across reruns:\n run1 %s\n run2 %s", i, a, b)
+		}
+	}
+	static, adaptive := first[0], first[1]
+	if static.Adaptive || !adaptive.Adaptive {
+		t.Fatalf("row order changed: %+v / %+v", static, adaptive)
+	}
+	if adaptive.MakespanS >= static.MakespanS {
+		t.Errorf("adaptive makespan %v not below static %v", adaptive.MakespanS, static.MakespanS)
+	}
+	if adaptive.DegradedLinkMB >= static.DegradedLinkMB {
+		t.Errorf("adaptive moved %v MB over the degraded link, static %v",
+			adaptive.DegradedLinkMB, static.DegradedLinkMB)
+	}
+	if adaptive.SourceSwitches == 0 || adaptive.Reselects == 0 || adaptive.Resumes == 0 {
+		t.Errorf("adaptation events missing: %+v", adaptive)
+	}
+	if static.SourceSwitches != 0 || static.Reselects != 0 || static.Resumes != 0 {
+		t.Errorf("static run adapted: %+v", static)
 	}
 }

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,10 +22,12 @@ import (
 	"padico/internal/personality"
 	"padico/internal/rmi"
 	"padico/internal/selector"
+	"padico/internal/session"
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vrp"
 	"padico/internal/vtime"
+	"padico/internal/weather"
 )
 
 // Fig3Sizes are the message sizes of the figure's x-axis.
@@ -716,6 +719,165 @@ func TCPBulk() float64 {
 // BENCH_4.json.
 func DataGridWallClock() DataGridResult {
 	return dataGridRun(4, 3, false)
+}
+
+// ---------------------------------------------------------------------
+// Network weather: adaptive vs static on a degrading WAN.
+
+// WeatherResult is one row of the adaptive-vs-static table on the
+// grid.DegradingWAN testbed.
+type WeatherResult struct {
+	// Adaptive marks the run with weather monitoring + adaptation on
+	// (weather.Service + selector oracle + adaptive sessions +
+	// forecast-ranked GET sources). The static run sees the *same*
+	// fabric degradation with none of the adaptation.
+	Adaptive bool
+	// MakespanS is the whole workload's virtual time.
+	MakespanS float64
+	// StreamS is the completion time of the bulk stream that crosses
+	// the degrade instant (the re-selection showcase).
+	StreamS float64
+	// GetS is the post-degrade GET phase duration (the source-switch
+	// showcase).
+	GetS float64
+	// DegradedLinkMB counts bytes serialized onto the degraded
+	// site0-site1 core — the currency adaptation saves.
+	DegradedLinkMB float64
+	// Adaptation events.
+	SourceSwitches, Reselects, Resumes int64
+}
+
+// Weather workload shape.
+const (
+	WeatherObjects    = 4
+	WeatherObjectSize = 4 << 20
+	WeatherStreamSize = 6 << 20
+	WeatherGetRounds  = 2
+)
+
+// weatherPayload is compressible (a repeated pseudo-random block):
+// AdOC on a degraded link is one of the adaptations under test.
+func weatherPayload(size int) []byte {
+	block := make([]byte, 512)
+	rand.New(rand.NewSource(97)).Read(block)
+	return bytes.Repeat(block, size/len(block))
+}
+
+// WeatherBench runs the degrading-WAN workload twice — static
+// selection, then full adaptation — and reports both rows.
+func WeatherBench() []WeatherResult {
+	return []WeatherResult{weatherRun(false), weatherRun(true)}
+}
+
+// weatherRun is one degrading-WAN workload: ingest before the degrade,
+// a bulk stream across it, GETs after it. Everything is deterministic;
+// the two runs differ only in whether anything adapts.
+func weatherRun(adaptive bool) WeatherResult {
+	g := grid.DegradingWAN(2) // site0 {0,1}, site1 {2,3}, site2 {4,5}
+	if adaptive {
+		g.EnableWeather(weather.Config{})
+	}
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Streams: 4, Adaptive: adaptive})
+	// Placement on the two remote sites only: every GET from site0 has
+	// a choice of remote source, which is exactly what the forecast
+	// ranking decides.
+	ring := datagrid.NewRing(0)
+	for _, n := range []topology.NodeID{2, 3} {
+		ring.Add(n, "site1")
+	}
+	for _, n := range []topology.NodeID{4, 5} {
+		ring.Add(n, "site2")
+	}
+	dg.SetRing(ring)
+
+	res := WeatherResult{Adaptive: adaptive}
+	data := weatherPayload(WeatherObjectSize)
+	err := g.K.Run(func(p *vtime.Proc) {
+		// Phase 1 (healthy): ingest + replication from site0 clients.
+		for i := 0; i < WeatherObjects; i++ {
+			if err := dg.Put(p, topology.NodeID(i%2), fmt.Sprintf("w-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+
+		// Bulk stream that crosses the degrade instant: start shortly
+		// before, so half of it rides the degraded link (static) or a
+		// re-selected stack (adaptive).
+		streamStart := vtime.Time(0).Add(grid.DegradeAt - 200*time.Millisecond)
+		if p.Now() >= streamStart {
+			panic("bench: weather ingest ran past the degrade instant")
+		}
+		p.Sleep(streamStart.Sub(p.Now()))
+		var opts []session.Option
+		if adaptive {
+			opts = append(opts, session.WithAdaptive())
+		}
+		ch, err := g.Open(p, 0, 2, opts...)
+		if err != nil {
+			panic(err)
+		}
+		payload := weatherPayload(WeatherStreamSize)
+		done := vtime.NewWaitGroup("weather:stream")
+		done.Add(1)
+		g.K.Go("weather:sink", func(q *vtime.Proc) {
+			defer done.Done()
+			buf := make([]byte, len(payload))
+			if _, err := ch.Remote().ReadFull(q, buf); err != nil {
+				panic(err)
+			}
+			if !bytes.Equal(buf, payload) {
+				panic("bench: weather stream corrupted")
+			}
+		})
+		const chunk = 128 << 10
+		for off := 0; off < len(payload); off += chunk {
+			end := off + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := ch.Write(p, payload[off:end]); err != nil {
+				panic(err)
+			}
+		}
+		done.Wait(p)
+		res.StreamS = p.Now().Sub(streamStart).Seconds()
+		ch.Close()
+		ch.Remote().Close()
+
+		// Let the forecasts converge on the new conditions (the static
+		// run sleeps identically — same phase boundaries).
+		settle := vtime.Time(0).Add(grid.DegradeAt + 2*time.Second)
+		if p.Now() < settle {
+			p.Sleep(settle.Sub(p.Now()))
+		}
+
+		// Phase 2 (degraded): GETs from site0; every object has one
+		// replica behind the degraded link and one behind a healthy
+		// one.
+		getStart := p.Now()
+		for r := 0; r < WeatherGetRounds; r++ {
+			for i := 0; i < WeatherObjects; i++ {
+				got, err := dg.Get(p, topology.NodeID(i%2), fmt.Sprintf("w-%d", i))
+				if err != nil {
+					panic(err)
+				}
+				if !bytes.Equal(got, data) {
+					panic("bench: weather GET corrupted")
+				}
+			}
+		}
+		res.GetS = p.Now().Sub(getStart).Seconds()
+		res.MakespanS = p.Now().Seconds()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: weather: %v", err))
+	}
+	res.DegradedLinkMB = float64(g.CoreHop(grid.DegradedCore).Bytes) / 1e6
+	res.SourceSwitches = dg.Stats.SourceSwitches
+	res.Reselects = g.Session().Stats.Reselects
+	res.Resumes = g.Session().Stats.Resumes
+	return res
 }
 
 // ---------------------------------------------------------------------

@@ -55,6 +55,16 @@ type Config struct {
 	// RetryTimeout bounds the wait for a transfer status before the
 	// attempt is declared lost (default 120 s of virtual time).
 	RetryTimeout time.Duration
+	// Adaptive opens every transfer channel with session.WithAdaptive:
+	// a transfer whose path degrades (or dies) mid-flight re-selects
+	// and resumes instead of burning a retry.
+	Adaptive bool
+	// Weather, when set, refines GET source selection: within a
+	// proximity class, replicas are served from the holder with the
+	// best forecast bandwidth (Stats.SourceSwitches counts GETs whose
+	// source differed from the static ranking). grid.NewDataGrid wires
+	// the testbed's weather service automatically.
+	Weather PairOracle
 	// InjectFault, when set, is consulted on the receiver side after a
 	// successful reception (chaos hook for retry testing): returning
 	// true discards the copy and reports a failure to the sender.
@@ -86,6 +96,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// PairOracle is the slice of the weather service the datagrid
+// consults: the best forecast bandwidth between two nodes, whatever
+// network it rides (internal/weather's Service implements it).
+type PairOracle interface {
+	PairBandwidth(a, b topology.NodeID) (float64, bool)
+}
+
 // ObjectMeta is one replica-catalog entry.
 type ObjectMeta struct {
 	Name    string
@@ -113,6 +130,9 @@ type Stats struct {
 	// links, both directions (payload plus credits/statuses), whatever
 	// the fan-out strategy — the currency hierarchical fan-out saves.
 	WANBytes int64
+	// SourceSwitches counts GETs whose replica source was switched
+	// away from the static proximity ranking by forecast bandwidth.
+	SourceSwitches int64
 }
 
 // countTransfer attributes one transfer to the paradigm the session
@@ -384,7 +404,7 @@ func (dg *DataGrid) Get(p *vtime.Proc, client topology.NodeID, name string) ([]b
 		return nil, fmt.Errorf("%w: %s", ErrNoReplica, name)
 	}
 	dg.Stats.Gets++
-	for _, h := range dg.rankByProximity(client, holders) {
+	for _, h := range dg.rankForGet(client, holders) {
 		data, _ := dg.ObjectOn(h, name)
 		got, err := dg.runTransfer(p, h, client, name, data)
 		if err != nil {
@@ -569,14 +589,61 @@ func (dg *DataGrid) nearest(n topology.NodeID, cands []topology.NodeID) topology
 // node-id order within a class.
 func (dg *DataGrid) rankByProximity(n topology.NodeID, cands []topology.NodeID) []topology.NodeID {
 	out := append([]topology.NodeID(nil), cands...)
-	cls := make(map[topology.NodeID]selector.PathClass, len(out))
-	for _, c := range out {
+	cls := dg.classes(n, out)
+	sort.SliceStable(out, func(i, j int) bool { return cls[out[i]] < cls[out[j]] })
+	return out
+}
+
+func (dg *DataGrid) classes(n topology.NodeID, cands []topology.NodeID) map[topology.NodeID]selector.PathClass {
+	cls := make(map[topology.NodeID]selector.PathClass, len(cands))
+	for _, c := range cands {
 		k, err := selector.Classify(dg.topo, n, c)
 		if err != nil {
 			k = selector.PathLossy + 1
 		}
 		cls[c] = k
 	}
+	return cls
+}
+
+// rankForGet is the GET source ranking: proximity class first (a local
+// or machine-room copy always beats the wide area), then — under
+// weather — the holder with the best forecast bandwidth leads its
+// class, but only on a material (hysteresis-factor) advantage over the
+// class's static head, so near-equal forecasts do not flap sources
+// between GETs. The rest of the class keeps the static retry order.
+// Falls back to the static ranking without forecasts.
+func (dg *DataGrid) rankForGet(client topology.NodeID, holders []topology.NodeID) []topology.NodeID {
+	out := append([]topology.NodeID(nil), holders...)
+	cls := dg.classes(client, out)
 	sort.SliceStable(out, func(i, j int) bool { return cls[out[i]] < cls[out[j]] })
+	if dg.cfg.Weather == nil || len(out) < 2 {
+		return out
+	}
+	staticFirst := out[0]
+	for lo := 0; lo < len(out); {
+		hi := lo + 1
+		for hi < len(out) && cls[out[hi]] == cls[out[lo]] {
+			hi++
+		}
+		// Promote the class's best-forecast holder to its head when it
+		// clearly beats the static head's forecast.
+		headBW, headOK := dg.cfg.Weather.PairBandwidth(client, out[lo])
+		best, bestBW := lo, 0.0
+		for i := lo; i < hi; i++ {
+			if bw, ok := dg.cfg.Weather.PairBandwidth(client, out[i]); ok && bw > bestBW {
+				best, bestBW = i, bw
+			}
+		}
+		if best != lo && headOK && bestBW > headBW*selector.DefaultHysteresis {
+			promoted := out[best]
+			copy(out[lo+1:best+1], out[lo:best])
+			out[lo] = promoted
+		}
+		lo = hi
+	}
+	if out[0] != staticFirst {
+		dg.Stats.SourceSwitches++
+	}
 	return out
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"padico/internal/datagrid"
 	"padico/internal/grid"
 	"padico/internal/topology"
 	"padico/internal/vtime"
+	weatherpkg "padico/internal/weather"
 )
 
 // payload returns size deterministic pseudo-random (incompressible)
@@ -576,5 +578,80 @@ func TestHierarchicalFaultRetryConverges(t *testing.T) {
 	}
 	if dg.Stats.GroupFanouts == 0 {
 		t.Fatalf("fan-out never went through the group: %+v", dg.Stats)
+	}
+}
+
+// TestGetSwitchesSourceUnderWeather: a client GETs an object whose two
+// replicas sit in different remote sites; once the link to the
+// statically preferred holder degrades, the forecast ranking serves
+// the GET from the healthy site instead (Stats.SourceSwitches), while
+// the pre-degrade ranking matches the static one.
+func TestGetSwitchesSourceUnderWeather(t *testing.T) {
+	g := grid.DegradingWAN(1) // node 0 = site0, 1 = site1, 2 = site2
+	g.EnableWeather(weatherpkg.Config{})
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
+	ring := datagrid.NewRing(0)
+	ring.Add(1, "site1")
+	ring.Add(2, "site2")
+	dg.SetRing(ring)
+	data := payload(11, 1<<20)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "obj", data); err != nil {
+			t.Fatal(err)
+		}
+		dg.WaitSettled(p)
+		if hs := dg.Holders("obj"); len(hs) != 2 || hs[0] != 1 || hs[1] != 2 {
+			t.Fatalf("holders = %v, want [1 2]", hs)
+		}
+		// Healthy: both remote sites forecast alike; no switch.
+		if _, err := dg.Get(p, 0, "obj"); err != nil {
+			t.Fatal(err)
+		}
+		if dg.Stats.SourceSwitches != 0 {
+			t.Fatalf("healthy GET switched sources: %+v", dg.Stats)
+		}
+		// Past the degrade instant plus a probe cycle: site0-site1 is
+		// degraded, site0-site2 is not.
+		if now := p.Now(); vtime.Time(0).Add(grid.DegradeAt+2*time.Second) > now {
+			p.Sleep(vtime.Time(0).Add(grid.DegradeAt + 2*time.Second).Sub(now))
+		}
+		if _, err := dg.Get(p, 0, "obj"); err != nil {
+			t.Fatal(err)
+		}
+		if dg.Stats.SourceSwitches != 1 {
+			t.Fatalf("degraded GET did not switch: %+v", dg.Stats)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveTransfersConfig: Config.Adaptive routes every transfer
+// over adaptive session channels; the workload still settles and
+// verifies.
+func TestAdaptiveTransfersConfig(t *testing.T) {
+	g := grid.TwoClusterWAN(2, 2)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 3, Adaptive: true})
+	data := payload(13, 2<<20)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "obj", data); err != nil {
+			t.Fatal(err)
+		}
+		dg.WaitSettled(p)
+		if err := dg.VerifyReplicas("obj"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dg.Get(p, 3, "obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("adaptive GET corrupted the payload")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Session().Stats.AdaptiveOpens == 0 {
+		t.Fatal("no adaptive opens despite Config.Adaptive")
 	}
 }

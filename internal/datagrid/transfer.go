@@ -75,6 +75,9 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 	if dg.cfg.Streams > 0 {
 		opts = append(opts, session.WithStreams(dg.cfg.Streams))
 	}
+	if dg.cfg.Adaptive {
+		opts = append(opts, session.WithAdaptive())
+	}
 	ch, err := dg.mgr.Open(p, src, dst, opts...)
 	if err != nil {
 		return nil, err

@@ -33,6 +33,7 @@ import (
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
+	"padico/internal/weather"
 )
 
 // Grid is a fully wired testbed.
@@ -44,8 +45,13 @@ type Grid struct {
 	// Prefs is the deployment-wide default QoS; per-channel overrides
 	// go through Session().Open options.
 	Prefs selector.Preferences
+	// CoreHops indexes the wide-area core hops by name ("core:<wan>"
+	// or "core:<wan>:<siteA>+<siteB>") — the handles condition
+	// schedules and per-link byte accounting hang off.
+	CoreHops map[string]*netsim.Hop
 
 	sess *session.Manager
+	wsvc *weather.Service
 
 	nextPort    int
 	nextLogical uint16
@@ -70,6 +76,25 @@ func (g *Grid) Session() *session.Manager {
 func (g *Grid) Open(p *vtime.Proc, src, dst topology.NodeID, opts ...session.Option) (session.Channel, error) {
 	return g.Session().Open(p, src, dst, opts...)
 }
+
+// EnableWeather attaches (and starts) a network-weather service to the
+// testbed: the session manager consults its forecasts on every Open,
+// closed channels feed its passive tap, and adaptive channels
+// subscribe to its transitions. Idempotent; returns the service.
+func (g *Grid) EnableWeather(cfg weather.Config) *weather.Service {
+	if g.wsvc == nil {
+		g.wsvc = weather.New(g.K, g.Topo, g.Session(), g.Stack, cfg)
+		g.Session().SetWeather(g.wsvc)
+		g.wsvc.Start()
+	}
+	return g.wsvc
+}
+
+// Weather returns the attached weather service (nil without one).
+func (g *Grid) Weather() *weather.Service { return g.wsvc }
+
+// CoreHop returns a named wide-area core hop (nil if absent).
+func (g *Grid) CoreHop(name string) *netsim.Hop { return g.CoreHops[name] }
 
 // vlinkMadIOChannel is the logical channel the VLink madio driver uses
 // on every MadIO instance.
@@ -163,6 +188,108 @@ func multiSite(sites, prefixes []string, counts []int, loss float64) *Grid {
 	return g
 }
 
+// DegradingWAN schedule: at DegradeAt the wide-area core between
+// site0 and site1 collapses to 1/DegradeFactor of its rate — the VTHD
+// suddenly behaving like a congested commodity path between exactly
+// one site pair, while site2 stays pristine.
+const (
+	DegradeAt     = 6 * time.Second
+	DegradeFactor = 16
+	// DegradedCore names the site0–site1 core hop in CoreHops.
+	DegradedCore = "core:vthd:site0+site1"
+)
+
+// DegradingWAN builds the dynamic-fabric testbed: three sites of
+// nodesPerSite nodes (own Myrinet + Ethernet each, like MultiSite's),
+// joined by a VTHD-like WAN with a *separate* core hop per site pair —
+// so conditions can diverge per pair — and per-node access hops. The
+// degrade schedule above is pre-armed on the kernel: it is part of the
+// testbed description and fires in every run, weather or not, which is
+// what makes static-vs-adaptive comparisons apples-to-apples.
+func DegradingWAN(nodesPerSite int) *Grid {
+	if nodesPerSite < 1 {
+		panic(fmt.Sprintf("grid: DegradingWAN needs at least one node per site, got %d", nodesPerSite))
+	}
+	g := newGrid()
+	sites := []string{"site0", "site1", "site2"}
+	var myris []*topology.Network
+	var eths []*topology.Network
+	for s, site := range sites {
+		myri := g.Topo.AddNetwork(fmt.Sprintf("myri%d", s), topology.Myrinet, true, model.MyrinetRate, model.MyrinetWireLat, 0, 0)
+		eth := g.Topo.AddNetwork(fmt.Sprintf("eth%d", s), topology.Ethernet, true, model.EthernetRate, model.EthernetWireLat, 0, model.EthernetMTU)
+		myris = append(myris, myri)
+		eths = append(eths, eth)
+		for i := 0; i < nodesPerSite; i++ {
+			node := g.Topo.AddNode(fmt.Sprintf("s%d-%d", s, i), site)
+			g.Topo.Attach(node, myri)
+			g.Topo.Attach(node, eth)
+		}
+	}
+	wan := g.Topo.AddNetwork("vthd", topology.WAN, false, 12.2e6, model.VTHDWireLat, 0, model.EthernetMTU)
+	for _, node := range g.Topo.Nodes() {
+		g.Topo.Attach(node, wan)
+	}
+	for s := range sites {
+		g.wireEthernet(eths[s], int64(s+1))
+	}
+	g.wireWANPairCores(wan)
+	g.buildRuntimes()
+	for _, myri := range myris {
+		g.wireMyrinetGM(myri)
+	}
+	degraded := g.CoreHops[DegradedCore]
+	netsim.ScheduleRate(g.K, vtime.Time(0).Add(DegradeAt), degraded, wan.RateBps/DegradeFactor)
+	return g
+}
+
+// wireWANPairCores is wireWAN with one core hop per site pair instead
+// of a single shared core: per-node access hops feed pair-specific
+// cores, so a condition schedule can degrade exactly one site pair.
+func (g *Grid) wireWANPairCores(wan *topology.Network) {
+	up := make(map[topology.NodeID]*netsim.Hop)
+	down := make(map[topology.NodeID]*netsim.Hop)
+	for _, n := range wan.Members() {
+		up[n] = &netsim.Hop{Name: fmt.Sprintf("up%d", n), Rate: wan.RateBps,
+			Latency: 50 * time.Microsecond, QueueCap: 256}
+		down[n] = &netsim.Hop{Name: fmt.Sprintf("down%d", n), Rate: wan.RateBps,
+			Latency: 50 * time.Microsecond, QueueCap: 256}
+	}
+	coreFor := func(a, b topology.NodeID) *netsim.Hop {
+		s1, s2 := g.Topo.Node(a).Site, g.Topo.Node(b).Site
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		name := fmt.Sprintf("core:%s:%s+%s", wan.Name, s1, s2)
+		core, ok := g.CoreHops[name]
+		if !ok {
+			// A pair core carries one site pair, not the whole star:
+			// 256 packets (~370 KB) holds the healthy bandwidth-delay
+			// product with room to spare, while bounding the queueing
+			// delay a degraded core can inflict (tail drops push TCP
+			// back instead of growing seconds of bufferbloat).
+			core = &netsim.Hop{Name: name, Rate: model.VTHDCoreRate,
+				Latency: model.VTHDWireLat, Loss: wan.Loss, QueueCap: 256}
+			g.CoreHops[name] = core
+		}
+		return core
+	}
+	members := wan.Members()
+	seed := int64(100)
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			if g.Topo.SameSite(a, b) {
+				continue
+			}
+			core := coreFor(a, b)
+			seed++
+			ab := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", a, b), seed, up[a], core, down[b])
+			seed++
+			ba := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", b, a), seed, up[b], core, down[a])
+			g.Stack.ConnectPath(a, b, ab, ba, model.EthernetMTU)
+		}
+	}
+}
+
 // LossyPair builds two hosts in different sites joined only by the
 // lossy trans-continental Internet link.
 func LossyPair() *Grid {
@@ -187,6 +314,7 @@ func newGrid() *Grid {
 	return &Grid{
 		K: k, Topo: topology.New(), Stack: ipstack.New(k),
 		Prefs:    selector.DefaultPreferences(),
+		CoreHops: make(map[string]*netsim.Hop),
 		nextPort: 20000, nextLogical: 2000,
 	}
 }
@@ -219,6 +347,7 @@ func (g *Grid) wireWAN(wan *topology.Network) {
 	}
 	core := &netsim.Hop{Name: "vthd-core", Rate: model.VTHDCoreRate,
 		Latency: model.VTHDWireLat, Loss: wan.Loss, QueueCap: 4096}
+	g.CoreHops["core:"+wan.Name] = core
 	members := wan.Members()
 	seed := int64(100)
 	for i, a := range members {
@@ -285,6 +414,9 @@ func (g *Grid) Runtime(id topology.NodeID) *core.Runtime { return g.RT[id] }
 // session channels, so they ride the same selector decisions — and the
 // same per-pair circuit cache — as every other middleware.
 func (g *Grid) NewDataGrid(cfg datagrid.Config) *datagrid.DataGrid {
+	if cfg.Weather == nil && g.wsvc != nil {
+		cfg.Weather = g.wsvc
+	}
 	return datagrid.New(g.K, g.Topo, g.Session(), cfg)
 }
 
@@ -372,11 +504,15 @@ func (g *Grid) buildDriverStack(rt *core.Runtime, dec selector.Decision) (vlink.
 	if err != nil {
 		return nil, err
 	}
-	if dec.Compress {
-		d = adoc.New(g.K, d)
-	}
+	// Cipher inside, compression outside: the application's writes must
+	// reach AdOC as plaintext (ciphertext has no redundancy left to
+	// compress), and the wire then carries the encrypted form of the
+	// compressed stream.
 	if dec.Secure {
 		d = gsec.New(g.K, d, gsec.Credential{ID: "grid-ca", Key: []byte("padico-psk-0001")})
+	}
+	if dec.Compress {
+		d = adoc.New(g.K, d)
 	}
 	return d, nil
 }

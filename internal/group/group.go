@@ -99,6 +99,11 @@ type Stats struct {
 	EdgesOpened, EdgeReuses int64
 	// Failures counts operations that returned an error.
 	Failures int64
+	// TreeRebuilds counts cached trees dropped because the weather
+	// declared one of their wide-area edges degraded (or down): the
+	// next operation rebuilds the tree and re-provisions its edges
+	// under fresh selector decisions.
+	TreeRebuilds int64
 }
 
 // Group is one membership: a sorted node list plus the per-root
@@ -122,6 +127,11 @@ type Group struct {
 
 	closedWAN int64                                // WAN bytes of edges already reset
 	sems      map[topology.NodeID]*vtime.Semaphore // per-tree serialization
+	// dirty marks tree roots whose cached tree must be rebuilt (a
+	// wide-area edge's forecast crossed the degraded threshold). The
+	// flag is consumed lazily at the next Tree call — never while an
+	// operation is running on that tree.
+	dirty map[topology.NodeID]bool
 
 	Stats Stats
 }
@@ -141,13 +151,52 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, members []t
 			dedup = append(dedup, m)
 		}
 	}
-	return &Group{
+	g := &Group{
 		k: k, topo: topo, mgr: mgr, cfg: cfg.withDefaults(),
 		members: dedup,
 		trees:   make(map[topology.NodeID]*Tree),
 		edges:   make(map[[3]topology.NodeID]session.Channel),
 		sems:    make(map[topology.NodeID]*vtime.Semaphore),
-	}, nil
+		dirty:   make(map[topology.NodeID]bool),
+	}
+	// Under weather, a degraded-threshold crossing on a wide-area edge
+	// of a cached tree marks it dirty: the next operation rebuilds it
+	// and re-opens its edges under fresh selector decisions.
+	if w := mgr.Weather(); w != nil {
+		w.Subscribe(func(a, b topology.NodeID, nw *topology.Network, f selector.Forecast) {
+			g.noteWeather(a, b)
+		})
+	}
+	return g, nil
+}
+
+// noteWeather marks every cached tree owning a wide-area edge between
+// the two nodes' sites. It only sets flags (kernel-context safe, no
+// virtual-time side effects); resetTree happens at the next Tree call,
+// never under a running operation.
+func (g *Group) noteWeather(a, b topology.NodeID) {
+	s1, s2 := g.topo.Node(a).Site, g.topo.Node(b).Site
+	if s1 > s2 {
+		s1, s2 = s2, s1
+	}
+	for root, t := range g.trees {
+		if g.dirty[root] {
+			continue
+		}
+		for _, e := range t.Edges() {
+			if e.Class < selector.PathWAN {
+				continue
+			}
+			e1, e2 := g.topo.Node(e.Parent).Site, g.topo.Node(e.Child).Site
+			if e1 > e2 {
+				e1, e2 = e2, e1
+			}
+			if e1 == s1 && e2 == s2 {
+				g.dirty[root] = true
+				break
+			}
+		}
+	}
 }
 
 // lockTree serializes operations per tree root; the semaphore is the
@@ -178,10 +227,28 @@ func (g *Group) isMember(n topology.NodeID) bool {
 }
 
 // Tree returns (building and caching on first use) the spanning tree
-// for operations rooted at root.
+// for operations rooted at root. A tree marked dirty by the weather is
+// dropped first — edges closed, so the rebuild re-selects per hop —
+// unless an operation is running on it, in which case the rebuild
+// waits for the next call.
 func (g *Group) Tree(root topology.NodeID) (*Tree, error) {
 	if !g.isMember(root) {
 		return nil, fmt.Errorf("%w: node %d", ErrNotMember, root)
+	}
+	if g.dirty[root] {
+		sem, held := g.sems[root], false
+		if sem != nil && !sem.TryAcquire() {
+			held = true // operation in flight; rebuild later
+		}
+		if !held {
+			g.resetTree(root)
+			delete(g.trees, root)
+			delete(g.dirty, root)
+			g.Stats.TreeRebuilds++
+			if sem != nil {
+				sem.Release()
+			}
+		}
 	}
 	if t, ok := g.trees[root]; ok {
 		return t, nil

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"padico/internal/circuit"
 	"padico/internal/grid"
@@ -12,6 +13,7 @@ import (
 	"padico/internal/selector"
 	"padico/internal/topology"
 	"padico/internal/vtime"
+	"padico/internal/weather"
 )
 
 func allNodes(g *grid.Grid) []topology.NodeID {
@@ -401,4 +403,55 @@ func TestMulticastRepeatRunBitIdentity(t *testing.T) {
 	if m1 <= 0 || w1 <= 0 {
 		t.Fatalf("degenerate run: makespan %v, WAN bytes %d", m1, w1)
 	}
+}
+
+// TestWeatherRebuildsDegradedTree: a multicast caches its tree and WAN
+// edges; when the weather publishes a degraded crossing on a leader
+// edge's site pair, the next operation rebuilds the tree and
+// re-provisions its edges under fresh decisions.
+func TestWeatherRebuildsDegradedTree(t *testing.T) {
+	g := grid.DegradingWAN(2) // site0 {0,1}, site1 {2,3}, site2 {4,5}
+	g.EnableWeather(weather.Config{})
+	grp, err := g.NewGroup(allNodes(g), group.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := payloadBytes(9, 256<<10)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if _, err := grp.Multicast(p, 0, "pre", data, 1); err != nil {
+			t.Fatal(err)
+		}
+		opened := grp.Stats.EdgesOpened
+		if grp.Stats.TreeRebuilds != 0 {
+			t.Fatalf("tree rebuilt before any weather event: %+v", grp.Stats)
+		}
+		// Reuse while healthy: cached WAN edges, no rebuild.
+		if _, err := grp.Multicast(p, 0, "pre2", data, 1); err != nil {
+			t.Fatal(err)
+		}
+		if grp.Stats.EdgeReuses == 0 {
+			t.Fatalf("no cached-edge reuse while healthy: %+v", grp.Stats)
+		}
+		// Ride past the degrade instant and its publication.
+		p.Sleep(grid.DegradeAt + 2*time.Second - p.Now().Sub(0))
+		if _, err := grp.Multicast(p, 0, "post", data, 1); err != nil {
+			t.Fatal(err)
+		}
+		if grp.Stats.TreeRebuilds != 1 {
+			t.Fatalf("TreeRebuilds = %d, want 1 (%+v)", grp.Stats.TreeRebuilds, grp.Stats)
+		}
+		if grp.Stats.EdgesOpened <= opened {
+			t.Fatalf("degraded tree edges not re-provisioned: %+v", grp.Stats)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// payloadBytes returns deterministic pseudo-random bytes (local copy:
+// the file's other helpers build payloads inline).
+func payloadBytes(seed int64, size int) []byte {
+	b := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
 }

@@ -208,6 +208,11 @@ type secConn struct {
 	block  cipher.Block // cached AES block (stateless, reused per record)
 	wIV    uint64
 	rIV    uint64
+	// wHorizon serializes record hand-off to the inner driver on one
+	// virtual encryption CPU: records carry strictly ordered counters,
+	// so a small record's (cheaper) cost event must never overtake a
+	// large one's when an upper wrapper pipelines writes.
+	wHorizon vtime.Time
 
 	fp   iovec.Fifo
 	rx   iovec.Fifo
@@ -287,7 +292,12 @@ func (c *secConn) PostWritev(v iovec.Vec, cb func(int, error)) {
 	ct := rb[recHdrLen : recHdrLen+total]
 	copy(rb[recHdrLen+total:], c.mac(ctr, ct))
 	cost := model.EncryptPerByte.Cost(total)
-	c.d.k.Schedule(cost, func() {
+	now := c.d.k.Now()
+	if c.wHorizon < now {
+		c.wHorizon = now
+	}
+	c.wHorizon = c.wHorizon.Add(cost)
+	c.d.k.ScheduleAt(c.wHorizon, func() {
 		c.inner.PostWrite(rec.Bytes(), func(int, error) {
 			rec.Release()
 			cb(total, nil)

@@ -83,11 +83,26 @@ type Stack struct {
 	k      *vtime.Kernel
 	hosts  map[topology.NodeID]*Host
 	tpFree []*tcpPacket // pooled TCP packets (single-threaded kernel)
+	// srtt holds the latest smoothed RTT estimate per directed host
+	// pair, updated on every TCP RTT sample. Pure bookkeeping (no
+	// events): network-weather monitors read it as a passive latency
+	// observation, free-riding on whatever traffic already flows.
+	srtt map[[2]topology.NodeID]time.Duration
 }
 
 // New creates an empty stack on the kernel.
 func New(k *vtime.Kernel) *Stack {
-	return &Stack{k: k, hosts: make(map[topology.NodeID]*Host)}
+	return &Stack{
+		k: k, hosts: make(map[topology.NodeID]*Host),
+		srtt: make(map[[2]topology.NodeID]time.Duration),
+	}
+}
+
+// SRTT returns the most recent smoothed TCP RTT estimate measured from
+// a to b (by any connection), and whether one exists.
+func (s *Stack) SRTT(a, b topology.NodeID) (time.Duration, bool) {
+	d, ok := s.srtt[[2]topology.NodeID{a, b}]
+	return d, ok
 }
 
 // Host returns (creating it on first use) the protocol endpoint of a
@@ -1028,6 +1043,7 @@ func (c *TCPConn) rttSample(ets vtime.Time) {
 	if c.rto < minRTO {
 		c.rto = minRTO
 	}
+	c.host.stack.srtt[[2]topology.NodeID{c.host.id, c.remote}] = c.srtt
 	if c.rto > maxRTO {
 		c.rto = maxRTO
 	}

@@ -14,6 +14,14 @@
 // at construction — never the global math/rand source — so a simulation
 // is bit-for-bit reproducible: the same seeds yield the same drops at
 // the same virtual instants on every run.
+//
+// Fabric conditions are time-varying: Hop and SwitchedLAN parameters
+// can change mid-simulation through SetConditions (or the Schedule*
+// helpers, which arm the change as a kernel event at a fixed virtual
+// instant), and a Hop can be taken down and restored outright. A
+// schedule is part of the testbed description — the same schedule on
+// the same seeds yields the same packet trace, so dynamic fabrics stay
+// exactly as deterministic as static ones.
 package netsim
 
 import (
@@ -244,6 +252,13 @@ func NewSwitchedLAN(k *vtime.Kernel, rate float64, frameOverhead int,
 // Kind implements Fabric.
 func (s *SwitchedLAN) Kind() topology.NetworkKind { return topology.Ethernet }
 
+// SetRate changes the per-port rate for packets sent from now on.
+func (s *SwitchedLAN) SetRate(rate float64) { s.rate = rate }
+
+// SetLoss changes the uniform loss probability for packets sent from
+// now on (the RNG stream is unchanged: draws happen per packet).
+func (s *SwitchedLAN) SetLoss(loss float64) { s.loss = loss }
+
 // Attach implements Fabric.
 func (s *SwitchedLAN) Attach(addr int, deliver DeliverFunc) {
 	if _, dup := s.ports[addr]; dup {
@@ -288,7 +303,10 @@ func (s *SwitchedLAN) Send(pkt *Packet) {
 // each with its own rate, latency, loss and a bounded FIFO queue
 // (tail-drop). Bidirectional WAN connectivity uses two Paths.
 
-// Hop is one store-and-forward stage of a Path.
+// Hop is one store-and-forward stage of a Path. Rate, Latency and Loss
+// are read at send time, so they may change mid-simulation — use
+// SetConditions (or the Schedule* helpers) rather than poking the
+// fields so outage state stays coherent.
 type Hop struct {
 	Name     string
 	Rate     float64 // bytes/s
@@ -298,10 +316,79 @@ type Hop struct {
 
 	free    vtime.Time
 	queued  int
+	down    bool
 	dequeue func() // pre-bound "queued--", scheduled once per packet
 
 	Packets int64
 	Drops   int64
+	Bytes   int64 // wire bytes that serialized onto this link
+}
+
+// Conditions is a snapshot of one hop's time-varying parameters.
+type Conditions struct {
+	Rate    float64 // bytes/s
+	Latency time.Duration
+	Loss    float64 // random loss probability
+	Down    bool    // outage: every packet is dropped while set
+}
+
+// Conditions returns the hop's current parameters.
+func (h *Hop) Conditions() Conditions {
+	return Conditions{Rate: h.Rate, Latency: h.Latency, Loss: h.Loss, Down: h.down}
+}
+
+// SetConditions swaps the hop's parameters. Packets already serialized
+// (in latency flight) are unaffected; packets sent after the change see
+// the new rate, latency, loss and outage state.
+func (h *Hop) SetConditions(c Conditions) {
+	h.Rate = c.Rate
+	h.Latency = c.Latency
+	h.Loss = c.Loss
+	h.down = c.Down
+}
+
+// SetRate changes only the hop's rate.
+func (h *Hop) SetRate(rate float64) { h.Rate = rate }
+
+// SetLatency changes only the hop's latency.
+func (h *Hop) SetLatency(d time.Duration) { h.Latency = d }
+
+// SetLoss changes only the hop's loss probability.
+func (h *Hop) SetLoss(loss float64) { h.Loss = loss }
+
+// SetDown takes the link down (every packet dropped) or restores it.
+func (h *Hop) SetDown(down bool) { h.down = down }
+
+// Down reports whether the hop is in outage.
+func (h *Hop) Down() bool { return h.down }
+
+// ScheduleConditions arms a full condition swap at virtual time at.
+func ScheduleConditions(k *vtime.Kernel, at vtime.Time, h *Hop, c Conditions) {
+	k.At(at, func() { h.SetConditions(c) })
+}
+
+// ScheduleRate arms a rate change at virtual time at.
+func ScheduleRate(k *vtime.Kernel, at vtime.Time, h *Hop, rate float64) {
+	k.At(at, func() { h.SetRate(rate) })
+}
+
+// ScheduleLatency arms a latency change at virtual time at.
+func ScheduleLatency(k *vtime.Kernel, at vtime.Time, h *Hop, d time.Duration) {
+	k.At(at, func() { h.SetLatency(d) })
+}
+
+// ScheduleLoss arms a loss change at virtual time at.
+func ScheduleLoss(k *vtime.Kernel, at vtime.Time, h *Hop, loss float64) {
+	k.At(at, func() { h.SetLoss(loss) })
+}
+
+// ScheduleOutage arms an outage at `at` and, if restore > at, the
+// matching restore.
+func ScheduleOutage(k *vtime.Kernel, at, restore vtime.Time, h *Hop) {
+	k.At(at, func() { h.SetDown(true) })
+	if restore > at {
+		k.At(restore, func() { h.SetDown(false) })
+	}
 }
 
 // Path is a unidirectional multi-hop route between two fabrics'
@@ -354,6 +441,11 @@ func (p *Path) sendHop(i int, pkt *Packet) {
 	}
 	h := p.hops[i]
 	h.Packets++
+	if h.down {
+		h.Drops++
+		pkt.dropped()
+		return
+	}
 	if h.Loss > 0 && p.rng.Float64() < h.Loss {
 		h.Drops++
 		pkt.dropped()
@@ -373,6 +465,7 @@ func (p *Path) sendHop(i int, pkt *Packet) {
 	txTime := time.Duration(float64(pkt.Wire) / h.Rate * 1e9)
 	end := start.Add(txTime)
 	h.free = end
+	h.Bytes += int64(pkt.Wire)
 	// The queue drains when the packet finishes serializing; packets in
 	// propagation (latency) flight do not occupy buffer space.
 	h.queued++

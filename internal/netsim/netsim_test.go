@@ -209,6 +209,119 @@ func TestPathQueueOverflowDrops(t *testing.T) {
 	}
 }
 
+// TestPathConditionsSchedule pins the dynamic-fabric contract: a rate
+// change armed on the kernel takes effect at its virtual instant, the
+// schedule is deterministic across runs, and byte accounting follows
+// the packets that actually serialized.
+func TestPathConditionsSchedule(t *testing.T) {
+	run := func() (vtime.Time, int64) {
+		k := vtime.NewKernel()
+		hop := &Hop{Name: "core", Rate: 10e6, Latency: time.Millisecond, QueueCap: 1 << 20}
+		path := NewPath(k, "wan", 7, hop)
+		var last vtime.Time
+		path.SetDeliver(func(*Packet) { last = k.Now() })
+		// Degrade to a tenth of the rate at t=5ms.
+		ScheduleRate(k, vtime.Time(0).Add(5*time.Millisecond), hop, 1e6)
+		err := k.Run(func(p *vtime.Proc) {
+			for i := 0; i < 100; i++ {
+				path.Send(&Packet{Wire: 1000}) // 100 µs each at 10 MB/s
+			}
+			p.Sleep(10 * time.Millisecond)
+			for i := 0; i < 100; i++ {
+				path.Send(&Packet{Wire: 1000}) // 1 ms each at 1 MB/s
+			}
+			p.Sleep(200 * time.Millisecond)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return last, hop.Bytes
+	}
+	last, bytes := run()
+	// Second burst starts at 10 ms and serializes at 1 MB/s: 100 ms of
+	// wire time + 1 ms latency.
+	want := vtime.Time(0).Add(10*time.Millisecond + 100*time.Millisecond + time.Millisecond)
+	if last != want {
+		t.Fatalf("last delivery = %v, want %v", last, want)
+	}
+	if bytes != 200000 {
+		t.Fatalf("hop bytes = %d, want 200000", bytes)
+	}
+	last2, bytes2 := run()
+	if last2 != last || bytes2 != bytes {
+		t.Fatalf("schedule not deterministic: %v/%d vs %v/%d", last, bytes, last2, bytes2)
+	}
+}
+
+// TestLANConditionsSchedule: LAN conditions are schedulable like hop
+// conditions — a rate change armed on the kernel takes effect at its
+// instant for packets sent afterwards.
+func TestLANConditionsSchedule(t *testing.T) {
+	k := vtime.NewKernel()
+	lan := NewSwitchedLAN(k, 10e6, 0, time.Microsecond, 0, 1)
+	var arrivals []vtime.Time
+	lan.Attach(0, func(*Packet) {})
+	lan.Attach(1, func(*Packet) { arrivals = append(arrivals, k.Now()) })
+	k.At(vtime.Time(0).Add(5*time.Millisecond), func() { lan.SetRate(1e6) })
+	k.At(vtime.Time(0).Add(50*time.Millisecond), func() { lan.SetLoss(1.0) })
+	err := k.Run(func(p *vtime.Proc) {
+		lan.Send(&Packet{Src: 0, Dst: 1, Wire: 10000}) // 1 ms/side at 10 MB/s
+		p.Sleep(10 * time.Millisecond)
+		lan.Send(&Packet{Src: 0, Dst: 1, Wire: 10000}) // 10 ms/side at 1 MB/s
+		p.Sleep(50 * time.Millisecond)
+		lan.Send(&Packet{Src: 0, Dst: 1, Wire: 10000}) // loss=1: dropped
+		p.Sleep(100 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := vtime.Time(0).Add(2*time.Millisecond + time.Microsecond)
+	want2 := vtime.Time(0).Add(10*time.Millisecond + 20*time.Millisecond + time.Microsecond)
+	if len(arrivals) != 2 || arrivals[0] != want1 || arrivals[1] != want2 {
+		t.Fatalf("arrivals = %v, want [%v %v]", arrivals, want1, want2)
+	}
+	if lan.Drops != 1 {
+		t.Fatalf("drops = %d, want 1 after SetLoss(1)", lan.Drops)
+	}
+}
+
+// TestPathOutageAndRestore pins outage semantics: while down every
+// packet is dropped (and counted); after restore traffic flows again.
+func TestPathOutageAndRestore(t *testing.T) {
+	k := vtime.NewKernel()
+	hop := &Hop{Name: "core", Rate: 1e6, Latency: time.Millisecond, QueueCap: 1 << 20}
+	path := NewPath(k, "wan", 7, hop)
+	delivered := 0
+	path.SetDeliver(func(*Packet) { delivered++ })
+	down := vtime.Time(0).Add(10 * time.Millisecond)
+	up := vtime.Time(0).Add(20 * time.Millisecond)
+	ScheduleOutage(k, down, up, hop)
+	dropHits := 0
+	err := k.Run(func(p *vtime.Proc) {
+		send := func() {
+			path.Send(&Packet{Wire: 100, Drop: func() { dropHits++ }})
+		}
+		send() // healthy
+		p.Sleep(15 * time.Millisecond)
+		if !hop.Down() {
+			t.Fatal("hop should be down at t=15ms")
+		}
+		send() // during outage: dropped
+		p.Sleep(10 * time.Millisecond)
+		if hop.Down() {
+			t.Fatal("hop should be restored at t=25ms")
+		}
+		send() // restored
+		p.Sleep(10 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 || hop.Drops != 1 || dropHits != 1 {
+		t.Fatalf("delivered=%d drops=%d dropHooks=%d, want 2/1/1", delivered, hop.Drops, dropHits)
+	}
+}
+
 func TestLoopback(t *testing.T) {
 	k := vtime.NewKernel()
 	lo := NewLoopback(k, 500*time.Nanosecond)

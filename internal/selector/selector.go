@@ -19,9 +19,43 @@ package selector
 
 import (
 	"fmt"
+	"time"
 
 	"padico/internal/topology"
 )
+
+// ---------------------------------------------------------------------
+// Network weather. The knowledge base of the paper's Selector is a
+// *static* topology description; a weather oracle layers *measured*
+// conditions on top (NWS-style monitoring: internal/weather). Select
+// stays a pure function — the oracle is part of the request, and a nil
+// oracle reproduces the static behaviour bit for bit.
+
+// Forecast is the measured/predicted condition of one network between
+// two nodes, as published by a weather service.
+type Forecast struct {
+	// BandwidthBps is the forecast achievable bandwidth (bytes/s).
+	BandwidthBps float64
+	// Latency is the forecast one-way latency.
+	Latency time.Duration
+	// Loss is the forecast packet-loss fraction.
+	Loss float64
+	// Down marks a link in outage (probes failing outright).
+	Down bool
+}
+
+// Oracle supplies forecasts per (pair, network). Implementations must
+// be deterministic reads (no virtual-time side effects): Select calls
+// them inline.
+type Oracle interface {
+	Forecast(a, b topology.NodeID, nw *topology.Network) (Forecast, bool)
+}
+
+// DefaultHysteresis is the factor by which an alternative network's
+// forecast bandwidth must beat the incumbent's before Select abandons
+// the incumbent. Below it, a flapping link would thrash channels
+// between networks; QoS.Hysteresis overrides it per channel.
+const DefaultHysteresis = 1.5
 
 // CipherPolicy selects when links are wrapped with authentication and
 // encryption. The zero value is CipherNever; policies outside the
@@ -86,6 +120,10 @@ type QoS struct {
 	// compression is pure wasted CPU: the selector never stacks AdOC on
 	// a collective edge. Striping and ciphering still apply per link.
 	Collective bool
+	// Hysteresis overrides DefaultHysteresis for forecast-driven network
+	// switches (0 keeps the default; values in (0,1) are invalid — a
+	// factor below 1 would prefer a *worse* alternative).
+	Hysteresis float64
 }
 
 // Preferences is the legacy name for a deployment-wide QoS; the session
@@ -107,7 +145,18 @@ func (q QoS) Validate() error {
 	if q.CompressBelowBps < 0 {
 		return fmt.Errorf("selector: negative compression threshold %g", q.CompressBelowBps)
 	}
+	if q.Hysteresis != 0 && q.Hysteresis < 1 {
+		return fmt.Errorf("selector: hysteresis factor %g below 1", q.Hysteresis)
+	}
 	return nil
+}
+
+// hysteresis returns the effective switch factor.
+func (q QoS) hysteresis() float64 {
+	if q.Hysteresis == 0 {
+		return DefaultHysteresis
+	}
+	return q.Hysteresis
 }
 
 // DefaultQoS mirrors the paper's deployment choices.
@@ -125,10 +174,22 @@ func DefaultQoS() QoS {
 func DefaultPreferences() Preferences { return DefaultQoS() }
 
 // Request is one selection query: a node pair and the QoS the channel
-// between them must honour.
+// between them must honour, optionally under measured network weather.
 type Request struct {
 	Src, Dst topology.NodeID
 	QoS      QoS
+	// Oracle, when non-nil, overlays measured conditions on the static
+	// topology: candidate networks are compared by forecast bandwidth,
+	// down links are avoided, and the compression / loss-tolerance
+	// wrappers are decided from forecast figures instead of nameplate
+	// ones. A nil Oracle (or an oracle with no forecast for the pair)
+	// reproduces the static classification exactly.
+	Oracle Oracle
+	// Current is the incumbent decision when re-evaluating a live
+	// channel: Select abandons it only for an alternative whose
+	// forecast bandwidth is at least hysteresis() times better (or when
+	// the incumbent is down), so flapping links do not thrash.
+	Current *Decision
 }
 
 // Decision is the selector's verdict for one node pair.
@@ -271,6 +332,11 @@ func Select(g *topology.Grid, req Request) (Decision, error) {
 			best = nw
 		}
 	}
+	// Effective figures: nameplate by default, forecast under weather.
+	effBW, effLoss := best.RateBps, best.Loss
+	if req.Oracle != nil {
+		best, effBW, effLoss = applyWeather(req, common, best)
+	}
 	d := Decision{Network: best, Method: "sysio", Streams: 1}
 	switch best.Kind {
 	case topology.WAN:
@@ -281,12 +347,21 @@ func Select(g *topology.Grid, req Request) (Decision, error) {
 			d.Streams = qos.Streams
 		}
 	case topology.Internet:
-		if qos.LossTolerance > 0 && best.Loss > 0 {
+		if qos.LossTolerance > 0 && effLoss > 0 {
 			d.Method = "vrp"
 		}
 	}
-	if qos.Compress && !qos.LatencySensitive && !qos.Collective && best.RateBps < qos.CompressBelowBps {
-		d.Compress = true
+	if qos.Compress && !qos.LatencySensitive && !qos.Collective {
+		d.Compress = effBW < qos.CompressBelowBps
+		// Sticky around the boundary when re-evaluating a live channel:
+		// a link hovering near the threshold must not thrash the AdOC
+		// wrapper on and off — leaving compression requires the
+		// effective bandwidth to clear the threshold by the hysteresis
+		// factor.
+		if !d.Compress && req.Current != nil && req.Current.Network == best &&
+			req.Current.Compress && effBW < qos.CompressBelowBps*qos.hysteresis() {
+			d.Compress = true
+		}
 	}
 	switch qos.Cipher {
 	case CipherAlways:
@@ -295,6 +370,87 @@ func Select(g *topology.Grid, req Request) (Decision, error) {
 		d.Secure = !best.Secure || !g.SameSite(a, b)
 	}
 	return d, nil
+}
+
+// applyWeather overlays measured conditions on the distributed-network
+// choice: among the pair's non-parallel candidates it keeps the
+// incumbent (req.Current's network, else the static best) unless an
+// alternative's forecast bandwidth beats the incumbent's by the QoS's
+// hysteresis factor — or the incumbent is in outage, in which case any
+// live alternative wins. It returns the chosen network plus the
+// effective bandwidth and loss figures the wrapper decisions should
+// use. With no forecast for any candidate, the static choice and
+// nameplate figures come back untouched (forecast-missing fallback).
+func applyWeather(req Request, common []*topology.Network, static *topology.Network) (*topology.Network, float64, float64) {
+	type cand struct {
+		nw       *topology.Network
+		eff      float64 // forecast (or nameplate) bandwidth; 0 when down
+		loss     float64
+		forecast bool
+	}
+	var cands []cand
+	anyForecast := false
+	for _, nw := range common {
+		if nw.Kind.Parallel() || nw.Kind == topology.Loopback {
+			continue
+		}
+		c := cand{nw: nw, eff: nw.RateBps, loss: nw.Loss}
+		if f, ok := req.Oracle.Forecast(req.Src, req.Dst, nw); ok {
+			anyForecast = true
+			c.forecast = true
+			c.loss = f.Loss
+			switch {
+			case f.Down:
+				c.eff = 0
+			case f.BandwidthBps > 0:
+				c.eff = f.BandwidthBps
+			}
+		}
+		cands = append(cands, c)
+	}
+	if !anyForecast || len(cands) == 0 {
+		return static, static.RateBps, static.Loss
+	}
+	// Incumbent: the live channel's network when re-evaluating, else the
+	// static classification's pick.
+	incNW := static
+	if req.Current != nil && req.Current.Network != nil {
+		for _, c := range cands {
+			if c.nw == req.Current.Network {
+				incNW = c.nw
+				break
+			}
+		}
+	}
+	inc := cands[0]
+	for _, c := range cands {
+		if c.nw == incNW {
+			inc = c
+			break
+		}
+	}
+	// Best alternative by forecast bandwidth, declaration order breaking
+	// ties (deterministic).
+	alt := cands[0]
+	for _, c := range cands[1:] {
+		if c.eff > alt.eff {
+			alt = c
+		}
+	}
+	chosen := inc
+	switch {
+	case inc.eff <= 0 && alt.eff > 0:
+		chosen = alt // incumbent down, any live link beats it
+	case alt.eff > inc.eff*req.QoS.hysteresis():
+		chosen = alt
+	}
+	if chosen.eff <= 0 {
+		// Everything is down; keep the choice but decide wrappers from
+		// nameplate figures so an unusable forecast does not stack
+		// pointless adapters on top of a stalled link.
+		return chosen.nw, chosen.nw.RateBps, chosen.nw.Loss
+	}
+	return chosen.nw, chosen.eff, chosen.loss
 }
 
 // Choose is Select with the pair spelled as two arguments — the

@@ -300,6 +300,173 @@ func TestCollectiveEdgeSkipsCompression(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Weather-aware selection.
+
+// fakeOracle forecasts by network name, for every pair.
+type fakeOracle map[string]Forecast
+
+func (o fakeOracle) Forecast(a, b topology.NodeID, nw *topology.Network) (Forecast, bool) {
+	f, ok := o[nw.Name]
+	return f, ok
+}
+
+// weatherGrid builds two cross-site nodes joined by a primary WAN
+// (nameplate 12.2 MB/s, declared first) and a slower backup WAN (5 MB/s).
+func weatherGrid() *topology.Grid {
+	g := topology.New()
+	primary := g.AddNetwork("primary", topology.WAN, false, 12.2e6, 8*time.Millisecond, 0, 1500)
+	backup := g.AddNetwork("backup", topology.WAN, false, 5e6, 12*time.Millisecond, 0, 1500)
+	a := g.AddNode("a", "A")
+	b := g.AddNode("b", "B")
+	for _, n := range []*topology.Node{a, b} {
+		g.Attach(n, primary)
+		g.Attach(n, backup)
+	}
+	return g
+}
+
+// TestOracleMissingForecastFallsBackToStatic: an oracle with no
+// forecast for the pair must reproduce the static decision exactly.
+func TestOracleMissingForecastFallsBackToStatic(t *testing.T) {
+	g := testGrid()
+	for _, pr := range [][2]topology.NodeID{{0, 1}, {0, 2}, {2, 3}, {1, 1}} {
+		want, err1 := Select(g, Request{Src: pr[0], Dst: pr[1], QoS: DefaultQoS()})
+		got, err2 := Select(g, Request{Src: pr[0], Dst: pr[1], QoS: DefaultQoS(), Oracle: fakeOracle{}})
+		if (err1 == nil) != (err2 == nil) || got != want {
+			t.Fatalf("pair %v: with empty oracle %v (%v), static %v (%v)", pr, got, err2, want, err1)
+		}
+	}
+}
+
+// TestOracleHysteresisBoundaries pins the switch threshold: the backup
+// network wins only when its forecast bandwidth strictly exceeds the
+// incumbent's times the hysteresis factor.
+func TestOracleHysteresisBoundaries(t *testing.T) {
+	g := weatherGrid()
+	q := DefaultQoS() // hysteresis defaults to 1.5
+	sel := func(o Oracle, cur *Decision) Decision {
+		d, err := Select(g, Request{Src: 0, Dst: 1, QoS: q, Oracle: o, Current: cur})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Healthy primary: stays primary whatever the backup nameplate says.
+	d := sel(fakeOracle{"primary": {BandwidthBps: 12e6}, "backup": {BandwidthBps: 5e6}}, nil)
+	if d.Network.Name != "primary" {
+		t.Fatalf("healthy primary abandoned: %v", d)
+	}
+	// Degraded primary, backup exactly at the boundary (eff == inc*1.5):
+	// not strictly above, so the incumbent survives (no thrash at the
+	// threshold itself).
+	d = sel(fakeOracle{"primary": {BandwidthBps: 2e6}, "backup": {BandwidthBps: 3e6}}, nil)
+	if d.Network.Name != "primary" {
+		t.Fatalf("boundary case switched: %v", d)
+	}
+	// Just above the boundary: switch.
+	d = sel(fakeOracle{"primary": {BandwidthBps: 2e6}, "backup": {BandwidthBps: 3e6 + 1}}, nil)
+	if d.Network.Name != "backup" {
+		t.Fatalf("degraded primary kept: %v", d)
+	}
+	// Hysteresis respects the incumbent from Current: once on backup, a
+	// recovering primary must beat backup*1.5 to win the channel back.
+	cur := Decision{Network: g.Networks()[1], Method: "pstreams", Streams: 4}
+	d = sel(fakeOracle{"primary": {BandwidthBps: 7e6}, "backup": {BandwidthBps: 5e6}}, &cur)
+	if d.Network.Name != "backup" {
+		t.Fatalf("flapped back below hysteresis: %v", d)
+	}
+	d = sel(fakeOracle{"primary": {BandwidthBps: 7.6e6}, "backup": {BandwidthBps: 5e6}}, &cur)
+	if d.Network.Name != "primary" {
+		t.Fatalf("recovered primary not retaken: %v", d)
+	}
+}
+
+// TestOracleDownAndPartition: an incumbent in outage loses to any live
+// alternative regardless of hysteresis; with every candidate down the
+// static choice stands (nothing better exists) and nameplate figures
+// drive the wrappers.
+func TestOracleDownAndPartition(t *testing.T) {
+	g := weatherGrid()
+	q := DefaultQoS()
+	d, err := Select(g, Request{Src: 0, Dst: 1, QoS: q,
+		Oracle: fakeOracle{"primary": {Down: true}, "backup": {BandwidthBps: 1e5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Network.Name != "backup" {
+		t.Fatalf("down incumbent kept: %v", d)
+	}
+	d, err = Select(g, Request{Src: 0, Dst: 1, QoS: q,
+		Oracle: fakeOracle{"primary": {Down: true}, "backup": {Down: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Network.Name != "primary" {
+		t.Fatalf("full partition should keep the static choice: %v", d)
+	}
+	if d.Compress {
+		t.Fatalf("partition decision stacked wrappers from zeroed forecasts: %v", d)
+	}
+}
+
+// TestOracleDrivesCompressionAndLoss: forecast bandwidth (not the
+// nameplate rate) decides AdOC, and forecast loss decides VRP.
+func TestOracleDrivesCompressionAndLoss(t *testing.T) {
+	g := testGrid()
+	q := DefaultQoS() // CompressBelowBps = 1e6
+	// Degraded WAN below the compression threshold: AdOC turns on even
+	// though the nameplate 12.2 MB/s would never qualify.
+	d, err := Select(g, Request{Src: 0, Dst: 2, QoS: q,
+		Oracle: fakeOracle{"wan": {BandwidthBps: 0.8e6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Compress {
+		t.Fatalf("degraded WAN not compressed: %v", d)
+	}
+	// Lossy link measured clean: VRP not selected despite tolerance.
+	q.LossTolerance = 0.1
+	d, err = Select(g, Request{Src: 2, Dst: 3, QoS: q,
+		Oracle: fakeOracle{"inet": {BandwidthBps: 600e3, Loss: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method != "sysio" {
+		t.Fatalf("clean forecast still picked vrp: %v", d)
+	}
+	// Measured loss present: VRP selected.
+	d, err = Select(g, Request{Src: 2, Dst: 3, QoS: q,
+		Oracle: fakeOracle{"inet": {BandwidthBps: 400e3, Loss: 0.08}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Method != "vrp" {
+		t.Fatalf("measured loss ignored: %v", d)
+	}
+}
+
+// TestOracleInvalidQoSStillErrors: weather never rescues a malformed
+// request, and a sub-1 hysteresis factor is malformed.
+func TestOracleInvalidQoSStillErrors(t *testing.T) {
+	g := weatherGrid()
+	o := fakeOracle{"primary": {BandwidthBps: 1e6}}
+	q := DefaultQoS()
+	q.Cipher = CipherPolicy(9)
+	if _, err := Select(g, Request{Src: 0, Dst: 1, QoS: q, Oracle: o}); err == nil {
+		t.Fatal("invalid cipher policy selected under weather")
+	}
+	q = DefaultQoS()
+	q.Hysteresis = 0.5
+	if _, err := Select(g, Request{Src: 0, Dst: 1, QoS: q, Oracle: o}); err == nil {
+		t.Fatal("hysteresis below 1 accepted")
+	}
+	q.Hysteresis = 1.0
+	if _, err := Select(g, Request{Src: 0, Dst: 1, QoS: q, Oracle: o}); err != nil {
+		t.Fatal("hysteresis of exactly 1 rejected")
+	}
+}
+
 func contains(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

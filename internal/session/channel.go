@@ -18,8 +18,11 @@ import (
 // self-describing {len, data} message.
 
 type msgChannel struct {
-	info  Info
-	sendf func(segs [][]byte) // substrate transmit (kernel-context safe)
+	info    Info
+	mgr     *Manager            // for the weather passive tap (may be nil in tests)
+	observe bool                // selector-driven channel: report at close
+	opened  vtime.Time          // when the channel was provisioned
+	sendf   func(segs [][]byte) // substrate transmit (kernel-context safe)
 	// closef releases the substrate once, when this end closes (nil for
 	// the pipe, the session release hook for circuits).
 	closef func()
@@ -215,6 +218,9 @@ func (c *msgChannel) Close() error {
 	if c.closef != nil {
 		c.closef()
 	}
+	if c.mgr != nil && c.observe {
+		c.mgr.observeClose(c.info, c.opened)
+	}
 	return nil
 }
 
@@ -225,9 +231,13 @@ func (c *msgChannel) Close() error {
 // size-driven-reads, adding no framing of its own.
 
 type vlinkChannel struct {
-	info   Info
-	v      *vlink.VLink
-	remote Channel
+	info    Info
+	mgr     *Manager   // for the weather passive tap (may be nil in tests)
+	observe bool       // selector-driven channel: report at close
+	opened  vtime.Time // when the channel was provisioned
+	v       *vlink.VLink
+	remote  Channel
+	closed  bool
 }
 
 // Send implements Channel: one gather-write, no added framing. The
@@ -332,6 +342,13 @@ func (c *vlinkChannel) Info() Info { return c.info }
 // Close implements Channel: orderly VLink shutdown (peer reads EOF
 // after draining, per the VLink contract).
 func (c *vlinkChannel) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	c.v.Close()
+	if c.mgr != nil && c.observe {
+		c.mgr.observeClose(c.info, c.opened)
+	}
 	return nil
 }

@@ -111,11 +111,16 @@ type Info struct {
 	Src, Dst topology.NodeID
 	// Class is the selector's path classification for the pair.
 	Class selector.PathClass
-	// Decision is the concrete verdict the channel was built from.
+	// Decision is the concrete verdict the channel was built from. For
+	// an adaptive channel it is the *current* decision — re-selection
+	// updates it.
 	Decision selector.Decision
 	// Transfer counters, from this end's perspective.
 	Sends, Recvs      int64
 	BytesIn, BytesOut int64
+	// Adaptive-channel counters (zero on static channels): decisions
+	// changed under the session, and successful resume handshakes.
+	Reselects, Resumes int64
 }
 
 // Substrate is what the Manager needs from the testbed builder to
@@ -127,34 +132,77 @@ type Substrate interface {
 	NewCircuits(p *vtime.Proc, name string, nodes []topology.NodeID) ([]*circuit.Circuit, error)
 }
 
-// Option adjusts the QoS of one Open.
-type Option func(*selector.QoS)
+// openConfig is what the functional options adjust: the channel's QoS
+// plus session-level behaviour knobs that are not selector inputs.
+type openConfig struct {
+	qos      selector.QoS
+	adaptive bool
+}
+
+// Option adjusts one Open.
+type Option func(*openConfig)
 
 // WithQoS replaces the channel's QoS wholesale.
-func WithQoS(q selector.QoS) Option { return func(dst *selector.QoS) { *dst = q } }
+func WithQoS(q selector.QoS) Option { return func(c *openConfig) { c.qos = q } }
 
 // WithStreams sets the parallel-stream stripe count (1 disables).
-func WithStreams(n int) Option { return func(q *selector.QoS) { q.Streams = n } }
+func WithStreams(n int) Option { return func(c *openConfig) { c.qos.Streams = n } }
 
 // WithCipher sets the channel's ciphering policy.
-func WithCipher(p selector.CipherPolicy) Option { return func(q *selector.QoS) { q.Cipher = p } }
+func WithCipher(p selector.CipherPolicy) Option { return func(c *openConfig) { c.qos.Cipher = p } }
 
 // WithCompression enables or disables the AdOC wrapper preference.
-func WithCompression(on bool) Option { return func(q *selector.QoS) { q.Compress = on } }
+func WithCompression(on bool) Option { return func(c *openConfig) { c.qos.Compress = on } }
 
 // WithLossTolerance tolerates losing the given fraction on lossy links.
 func WithLossTolerance(frac float64) Option {
-	return func(q *selector.QoS) { q.LossTolerance = frac }
+	return func(c *openConfig) { c.qos.LossTolerance = frac }
 }
 
 // WithLatencySensitive refuses adapters that trade latency for
 // bandwidth (striping, compression).
-func WithLatencySensitive() Option { return func(q *selector.QoS) { q.LatencySensitive = true } }
+func WithLatencySensitive() Option { return func(c *openConfig) { c.qos.LatencySensitive = true } }
 
 // WithCollective marks the channel as one edge of a group-communication
 // spanning tree: the payload is forwarded verbatim to the next tier, so
 // the selector skips per-hop compression (see selector.QoS.Collective).
-func WithCollective() Option { return func(q *selector.QoS) { q.Collective = true } }
+func WithCollective() Option { return func(c *openConfig) { c.qos.Collective = true } }
+
+// WithAdaptive opens a self-healing channel: the session watches the
+// weather (Manager.SetWeather) and, when the decision for the pair
+// degrades past the hysteresis threshold — or the link goes down
+// outright — transparently re-opens the substrate on the new best
+// decision, preserving stream position through a sequence-numbered
+// resume handshake. Without a weather service the channel behaves like
+// a static one (framing aside).
+func WithAdaptive() Option { return func(c *openConfig) { c.adaptive = true } }
+
+// WithHysteresis overrides the re-selection hysteresis factor for this
+// channel (values below 1 are rejected by QoS validation).
+func WithHysteresis(f float64) Option { return func(c *openConfig) { c.qos.Hysteresis = f } }
+
+// Weather is what the session layer needs from a network-weather
+// service (internal/weather implements it): forecasts for the
+// selector, a passive tap fed from channel transfer counters, and a
+// subscription for forecast transitions (degraded-threshold crossings,
+// outages) so adaptive channels can react to links that die under a
+// blocked operation.
+type Weather interface {
+	selector.Oracle
+	// ObserveTransfer folds one transfer-counter sample into the
+	// passive bandwidth estimate for (src, dst) on the named network.
+	// live marks a saturated-window measurement (the rate is the
+	// link's); a non-live sample is a lifetime average that may
+	// include idle time, i.e. only a lower bound on capacity.
+	// Implementations must not incur virtual time.
+	ObserveTransfer(src, dst topology.NodeID, network string, bytesOut int64, elapsed vtime.Duration, live bool)
+	// Subscribe registers fn to run (in kernel context) whenever a
+	// pair's forecast crosses a significance threshold. Callbacks fire
+	// in subscription order (deterministic). The returned cancel
+	// removes the subscription — short-lived subscribers (adaptive
+	// channels) must call it or the service accumulates dead closures.
+	Subscribe(fn func(a, b topology.NodeID, nw *topology.Network, f selector.Forecast)) (cancel func())
+}
 
 // Stats counts Manager activity (for reporting and tests).
 type Stats struct {
@@ -165,6 +213,10 @@ type Stats struct {
 	// shares a live one, a close tears the circuit down after its last
 	// session released it.
 	CircuitsBuilt, CircuitReuses, CircuitsClosed int64
+	// Adaptive-channel activity: sessions opened with WithAdaptive,
+	// decision changes applied to live sessions, and successful resume
+	// handshakes (every re-open that replayed and continued).
+	AdaptiveOpens, Reselects, Resumes int64
 }
 
 // Manager is the per-grid session service. Middleware calls Open; the
@@ -177,6 +229,7 @@ type Manager struct {
 	topo     *topology.Grid
 	sub      Substrate
 	defaults func() selector.QoS
+	weather  Weather
 
 	pairs   map[[2]topology.NodeID]*pairCircuit
 	circSeq int
@@ -207,19 +260,82 @@ func NewManager(k *vtime.Kernel, topo *topology.Grid, defaults func() selector.Q
 // Default returns the QoS an optionless Open would use.
 func (m *Manager) Default() selector.QoS { return m.defaults() }
 
+// SetWeather attaches a network-weather service: from then on Open
+// consults its forecasts, closed channels feed the passive bandwidth
+// tap, and adaptive channels subscribe to its transitions. Call before
+// traffic starts; detaching is not supported.
+func (m *Manager) SetWeather(w Weather) { m.weather = w }
+
+// Weather returns the attached weather service (nil without one).
+func (m *Manager) Weather() Weather { return m.weather }
+
+// Oracle returns the selector oracle consumers should pass to their own
+// Select/ranking calls — nil when no weather service is attached, which
+// callers must treat as "static knowledge base only".
+func (m *Manager) Oracle() selector.Oracle {
+	if m.weather == nil {
+		return nil
+	}
+	return m.weather
+}
+
+// decide runs one oracle-aware selection for a pair (current is the
+// incumbent decision when re-evaluating a live adaptive channel).
+func (m *Manager) decide(src, dst topology.NodeID, qos selector.QoS, current *selector.Decision) (selector.Decision, error) {
+	return selector.Select(m.topo, selector.Request{
+		Src: src, Dst: dst, QoS: qos, Oracle: m.Oracle(), Current: current,
+	})
+}
+
 // Open establishes a channel from src to dst under the manager's
 // default QoS adjusted by opts, provisioning whatever substrate the
 // selector picks. It blocks p until the channel is usable. The caller
 // owns the returned end; Remote() is the dst-side end.
 func (m *Manager) Open(p *vtime.Proc, src, dst topology.NodeID, opts ...Option) (Channel, error) {
-	qos := m.defaults()
+	cfg := openConfig{qos: m.defaults()}
 	for _, o := range opts {
-		o(&qos)
+		o(&cfg)
 	}
-	dec, err := selector.Select(m.topo, selector.Request{Src: src, Dst: dst, QoS: qos})
+	dec, err := m.decide(src, dst, cfg.qos, nil)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.adaptive {
+		return m.openAdaptive(p, src, dst, cfg.qos, dec)
+	}
+	ch, err := m.provision(p, src, dst, dec)
+	if err != nil {
+		return nil, err
+	}
+	// Only selector-driven channels feed the passive tap at close:
+	// pinned channels (weather probes measure themselves; adaptive
+	// inner substrates report live windows spanning one decision) would
+	// fold lifetime averages that mix conditions.
+	m.markObservable(ch)
+	m.markObservable(ch.Remote())
+	return ch, nil
+}
+
+// markObservable arms the weather passive tap on one channel end.
+func (m *Manager) markObservable(ch Channel) {
+	switch c := ch.(type) {
+	case *msgChannel:
+		c.observe = true
+	case *vlinkChannel:
+		c.observe = true
+	}
+}
+
+// OpenWith establishes a channel with an explicit decision, bypassing
+// the selector. It is the pinned-path API: weather probes use it to
+// measure one concrete network, and adaptive re-opens use it to
+// provision the decision they already took.
+func (m *Manager) OpenWith(p *vtime.Proc, src, dst topology.NodeID, dec selector.Decision) (Channel, error) {
+	return m.provision(p, src, dst, dec)
+}
+
+// provision builds the substrate for one decision.
+func (m *Manager) provision(p *vtime.Proc, src, dst topology.NodeID, dec selector.Decision) (Channel, error) {
 	cls := classOf(dec)
 	m.Stats.Opens++
 	switch {
@@ -260,11 +376,23 @@ func classOf(dec selector.Decision) selector.PathClass {
 	}
 }
 
+// observeClose feeds one closed channel's transfer counters to the
+// weather service's passive tap (no-op without weather or network).
+func (m *Manager) observeClose(info Info, opened vtime.Time) {
+	if m.weather == nil || info.Decision.Network == nil {
+		return
+	}
+	m.weather.ObserveTransfer(info.Src, info.Dst, info.Decision.Network.Name,
+		info.BytesOut, m.k.Now().Sub(opened), false)
+}
+
 // openLocal provisions an in-memory pipe: same node, no network, no
 // virtual-time cost beyond what the caller's own protocol charges.
 func (m *Manager) openLocal(src, dst topology.NodeID, cls selector.PathClass, dec selector.Decision) Channel {
 	a := newMsgChannel(Info{Src: src, Dst: dst, Class: cls, Decision: dec})
 	b := newMsgChannel(Info{Src: dst, Dst: src, Class: cls, Decision: dec})
+	a.mgr, b.mgr = m, m
+	a.opened, b.opened = m.k.Now(), m.k.Now()
 	a.peer, b.peer = b, a
 	a.sendf = func(segs [][]byte) { b.deliver(copySegs(segs)) }
 	b.sendf = func(segs [][]byte) { a.deliver(copySegs(segs)) }
@@ -309,6 +437,8 @@ func (m *Manager) openCircuit(p *vtime.Proc, src, dst topology.NodeID, cls selec
 	cs, cr := pc.circs[rank(src)], pc.circs[rank(dst)]
 	a := newMsgChannel(Info{Src: src, Dst: dst, Class: cls, Decision: dec})
 	b := newMsgChannel(Info{Src: dst, Dst: src, Class: cls, Decision: dec})
+	a.mgr, b.mgr = m, m
+	a.opened, b.opened = m.k.Now(), m.k.Now()
 	a.peer, b.peer = b, a
 	a.sendf = circuitSend(cs, rank(dst))
 	b.sendf = circuitSend(cr, rank(src))
@@ -384,6 +514,8 @@ func (m *Manager) openVLink(p *vtime.Proc, src, dst topology.NodeID, cls selecto
 	}
 	a := &vlinkChannel{v: va, info: Info{Src: src, Dst: dst, Class: cls, Decision: dec}}
 	b := &vlinkChannel{v: vb, info: Info{Src: dst, Dst: src, Class: cls, Decision: dec}}
+	a.mgr, b.mgr = m, m
+	a.opened, b.opened = m.k.Now(), m.k.Now()
 	a.remote, b.remote = b, a
 	return a, nil
 }

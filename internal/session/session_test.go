@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 
 	"padico/internal/grid"
 	"padico/internal/selector"
@@ -324,6 +325,200 @@ func TestPeerCloseGivesEOF(t *testing.T) {
 			t.Fatalf("read past close returned %d bytes", n)
 		}
 		rc.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Adaptive sessions.
+
+// fakeWeather is a scriptable session.Weather: forecasts keyed by
+// network name, mutated by the test between operations.
+type fakeWeather struct {
+	forecasts map[string]selector.Forecast
+	subs      []func(a, b topology.NodeID, nw *topology.Network, f selector.Forecast)
+}
+
+func newFakeWeather() *fakeWeather {
+	return &fakeWeather{forecasts: make(map[string]selector.Forecast)}
+}
+
+func (w *fakeWeather) Forecast(a, b topology.NodeID, nw *topology.Network) (selector.Forecast, bool) {
+	f, ok := w.forecasts[nw.Name]
+	return f, ok
+}
+
+func (w *fakeWeather) ObserveTransfer(a, b topology.NodeID, network string, bytes int64, elapsed vtime.Duration, live bool) {
+}
+
+func (w *fakeWeather) Subscribe(fn func(a, b topology.NodeID, nw *topology.Network, f selector.Forecast)) func() {
+	w.subs = append(w.subs, fn)
+	return func() {}
+}
+
+// set updates a forecast and notifies subscribers (kernel context).
+func (w *fakeWeather) set(nw *topology.Network, f selector.Forecast) {
+	w.forecasts[nw.Name] = f
+	for _, fn := range w.subs {
+		fn(0, 1, nw, f)
+	}
+}
+
+// TestAdaptiveChannelViews: without a weather service an adaptive
+// channel is just a framed channel — both views work on every
+// substrate and the peer reads EOF after close.
+func TestAdaptiveChannelViews(t *testing.T) {
+	for _, c := range []struct {
+		name     string
+		build    func() *grid.Grid
+		src, dst int
+	}{
+		{"local", func() *grid.Grid { return grid.Cluster(2) }, 0, 0},
+		{"san", func() *grid.Grid { return grid.Cluster(2) }, 0, 1},
+		{"wan", func() *grid.Grid { return grid.TwoClusterWAN(1, 1) }, 0, 1},
+	} {
+		g := c.build()
+		if err := g.K.Run(func(p *vtime.Proc) {
+			ch, err := g.Open(p, topoID(c.src), topoID(c.dst), session.WithAdaptive())
+			if err != nil {
+				t.Fatal(err)
+			}
+			echoOnce(t, p, g.K, ch, 64<<10)
+			if _, err := ch.Write(p, []byte("tail")); err != nil {
+				t.Fatal(err)
+			}
+			ch.Close()
+			rc := ch.Remote()
+			buf := make([]byte, 4)
+			if _, err := rc.ReadFull(p, buf); err != nil || string(buf) != "tail" {
+				t.Fatalf("%s: drain after close: %q, %v", c.name, buf, err)
+			}
+			if _, err := rc.Read(p, buf); err == nil {
+				t.Fatalf("%s: read past close succeeded", c.name)
+			}
+			rc.Close()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if g.Session().Stats.AdaptiveOpens != 1 {
+			t.Fatalf("%s: AdaptiveOpens = %d", c.name, g.Session().Stats.AdaptiveOpens)
+		}
+	}
+}
+
+// TestAdaptiveReselectsOnDegradedForecast: a mid-stream forecast drop
+// below the compression threshold changes the decision; the channel
+// re-opens with a resume handshake and every byte still arrives, in
+// order, exactly once.
+func TestAdaptiveReselectsOnDegradedForecast(t *testing.T) {
+	g := grid.TwoClusterWAN(1, 1)
+	fw := newFakeWeather()
+	g.Session().SetWeather(fw)
+	wan := g.Topo.Networks()[4] // vthd (2x myri + 2x eth declared first)
+	if wan.Name != "vthd" {
+		t.Fatalf("topology layout changed: network[4] = %s", wan.Name)
+	}
+	fw.forecasts[wan.Name] = selector.Forecast{BandwidthBps: 12e6}
+	const chunk = 64 << 10
+	const chunks = 12
+	data := payload(3, chunk*chunks)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		ch, err := g.Open(p, 0, 1, session.WithAdaptive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Info().Decision.Compress {
+			t.Fatalf("healthy forecast selected compression: %v", ch.Info().Decision)
+		}
+		got := make([]byte, len(data))
+		done := vtime.NewWaitGroup("sink")
+		done.Add(1)
+		g.K.Go("sink", func(q *vtime.Proc) {
+			defer done.Done()
+			if _, err := ch.Remote().ReadFull(q, got); err != nil {
+				t.Error(err)
+			}
+		})
+		for i := 0; i < chunks; i++ {
+			if i == chunks/2 {
+				// The WAN degrades below CompressBelowBps: the next
+				// boundary check must flip AdOC on and resume.
+				fw.set(wan, selector.Forecast{BandwidthBps: 0.5e6})
+			}
+			if _, err := ch.Write(p, data[i*chunk:(i+1)*chunk]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done.Wait(p)
+		if !bytes.Equal(got, data) {
+			t.Fatal("payload corrupted across re-selection")
+		}
+		info := ch.Info()
+		if info.Reselects != 1 || info.Resumes != 1 {
+			t.Fatalf("Reselects=%d Resumes=%d, want 1/1", info.Reselects, info.Resumes)
+		}
+		if !info.Decision.Compress {
+			t.Fatalf("post-degrade decision lacks compression: %v", info.Decision)
+		}
+		ch.Close()
+		ch.Remote().Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Session().Stats; s.Reselects != 1 || s.Resumes != 1 {
+		t.Fatalf("manager stats Reselects=%d Resumes=%d", s.Reselects, s.Resumes)
+	}
+}
+
+// TestAdaptiveSurvivesOutageNotification: the weather declares the
+// session's network down mid-stream; the subscription closes the
+// substrate under the blocked operations, the session re-opens (the
+// selector keeps the only network), replays the gap and completes.
+func TestAdaptiveSurvivesOutageNotification(t *testing.T) {
+	g := grid.TwoClusterWAN(1, 1)
+	fw := newFakeWeather()
+	g.Session().SetWeather(fw)
+	wan := g.Topo.Networks()[4]
+	fw.forecasts[wan.Name] = selector.Forecast{BandwidthBps: 9e6}
+	const chunk = 64 << 10
+	const chunks = 10
+	data := payload(5, chunk*chunks)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		ch, err := g.Open(p, 0, 1, session.WithAdaptive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mid-transfer, the link is declared down, then recovers.
+		g.K.After(40*time.Millisecond, func() {
+			fw.set(wan, selector.Forecast{Down: true})
+		})
+		g.K.After(60*time.Millisecond, func() {
+			fw.forecasts[wan.Name] = selector.Forecast{BandwidthBps: 9e6}
+		})
+		got := make([]byte, len(data))
+		done := vtime.NewWaitGroup("sink")
+		done.Add(1)
+		g.K.Go("sink", func(q *vtime.Proc) {
+			defer done.Done()
+			if _, err := ch.Remote().ReadFull(q, got); err != nil {
+				t.Error(err)
+			}
+		})
+		for i := 0; i < chunks; i++ {
+			if _, err := ch.Write(p, data[i*chunk:(i+1)*chunk]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done.Wait(p)
+		if !bytes.Equal(got, data) {
+			t.Fatal("payload corrupted across outage resume")
+		}
+		if info := ch.Info(); info.Resumes < 1 {
+			t.Fatalf("no resume recorded: %+v", info)
+		}
+		ch.Close()
+		ch.Remote().Close()
 	}); err != nil {
 		t.Fatal(err)
 	}
