@@ -16,10 +16,13 @@
 package padico
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"testing"
 
 	"padico/internal/bench"
+	"padico/internal/telemetry"
 )
 
 // fmtRow renders one datagrid/group table row with full float precision
@@ -128,5 +131,77 @@ func TestDeterminismWeatherTable(t *testing.T) {
 	}
 	if static.SourceSwitches != 0 || static.Reselects != 0 || static.Resumes != 0 {
 		t.Errorf("static run adapted: %+v", static)
+	}
+}
+
+// TestDeterminismTrace pins the observability layer the same way the
+// weather table is pinned: two complete TraceRun executions must
+// serialize to byte-identical Chrome trace JSON. It also asserts the
+// trace actually covers the stack — a span (or instant) from every
+// instrumented layer — and that the registry snapshot carries the
+// per-layer latency histograms.
+func TestDeterminismTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced run")
+	}
+	h := bench.TraceRun()
+	j1 := h.TraceJSON()
+	j2 := bench.TraceRun().TraceJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("trace JSON drifted across reruns: %d vs %d bytes", len(j1), len(j2))
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(j1, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := make(map[string]bool)
+	for _, sp := range h.Spans() {
+		cats[sp.Cat] = true
+	}
+	for _, want := range []string{"ipstack", "session", "selector", "datagrid", "group", "weather"} {
+		if !cats[want] {
+			t.Errorf("no spans from layer %q in the trace (got %v)", want, cats)
+		}
+	}
+	snap := h.Registry().Snapshot()
+	byName := make(map[string]telemetry.Metric, len(snap))
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	for _, want := range []string{
+		"session.open_latency", "datagrid.transfer_latency",
+		"group.op_latency", "weather.probe_rtt", "ipstack.rtt",
+	} {
+		m, ok := byName[want]
+		if !ok || m.Count == 0 {
+			t.Errorf("histogram %q missing or empty in snapshot (ok=%v count=%d)", want, ok, m.Count)
+		}
+	}
+}
+
+// TestDeterminismDataGridTrace double-runs the traced hierarchical
+// data-grid workload and asserts byte-identical trace JSON.
+func TestDeterminismDataGridTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced datagrid run")
+	}
+	if !bytes.Equal(bench.DataGridTrace(), bench.DataGridTrace()) {
+		t.Fatal("datagrid trace JSON drifted across reruns")
+	}
+}
+
+// TestDeterminismWeatherTrace double-runs the traced adaptive weather
+// workload and asserts byte-identical trace JSON.
+func TestDeterminismWeatherTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced weather run")
+	}
+	if !bytes.Equal(bench.WeatherTrace(), bench.WeatherTrace()) {
+		t.Fatal("weather trace JSON drifted across reruns")
 	}
 }

@@ -69,7 +69,7 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("stats: %d puts, %d gets, %d jobs (%d circuit, %d vlink, %d local), %d retries, %.1f MB moved\n",
-		dg.Stats.Puts, dg.Stats.Gets, dg.Stats.Jobs,
-		dg.Stats.CircuitTransfers, dg.Stats.VLinkTransfers, dg.Stats.LocalTransfers,
-		dg.Stats.Retries, float64(dg.Stats.BytesMoved)/1e6)
+		dg.Stats().Puts, dg.Stats().Gets, dg.Stats().Jobs,
+		dg.Stats().CircuitTransfers, dg.Stats().VLinkTransfers, dg.Stats().LocalTransfers,
+		dg.Stats().Retries, float64(dg.Stats().BytesMoved)/1e6)
 }

@@ -129,7 +129,7 @@ func main() {
 		elapsed := p.Now().Sub(start).Seconds() - 2
 		fmt.Printf("VRP (10%% loss allowed): %6.0f KB/s (skipped %.1f%%, retransmitted %d)\n",
 			float64(received*len(payload))/elapsed/1e3,
-			float64(sender.Stats.Skipped)/float64(n)*100, sender.Stats.Retransmitted)
+			float64(sender.Stats().Skipped)/float64(n)*100, sender.Stats().Retransmitted)
 	})
 	if err != nil {
 		panic(err)

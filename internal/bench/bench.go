@@ -16,13 +16,16 @@ import (
 
 	"padico/internal/datagrid"
 	"padico/internal/grid"
+	"padico/internal/group"
 	"padico/internal/madapi"
 	"padico/internal/mpi"
+	"padico/internal/netsim"
 	"padico/internal/orb"
 	"padico/internal/personality"
 	"padico/internal/rmi"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vrp"
@@ -642,7 +645,7 @@ func VRPBench() VRPResult {
 		}
 		elapsed := p.Now().Sub(start).Seconds() - 2
 		res.VRPKBps = float64(received*len(payload)) / elapsed / 1e3
-		res.SkippedFrac = float64(sender.Stats.Skipped) / float64(nmsgs)
+		res.SkippedFrac = float64(sender.Stats().Skipped) / float64(nmsgs)
 	})
 	if err != nil {
 		panic(err)
@@ -773,7 +776,20 @@ func WeatherBench() []WeatherResult {
 // a bulk stream across it, GETs after it. Everything is deterministic;
 // the two runs differ only in whether anything adapts.
 func weatherRun(adaptive bool) WeatherResult {
+	r, _ := weatherRunTraced(adaptive, false)
+	return r
+}
+
+// weatherRunTraced is weatherRun with an optional telemetry hub: when
+// traced, the hub is attached (tracing on) before any layer is built,
+// so spans from the whole stack land in it.
+func weatherRunTraced(adaptive, traced bool) (WeatherResult, *telemetry.Hub) {
 	g := grid.DegradingWAN(2) // site0 {0,1}, site1 {2,3}, site2 {4,5}
+	var h *telemetry.Hub
+	if traced {
+		h = g.Telemetry()
+		h.EnableTracing()
+	}
 	if adaptive {
 		g.EnableWeather(weather.Config{})
 	}
@@ -874,10 +890,10 @@ func weatherRun(adaptive bool) WeatherResult {
 		panic(fmt.Sprintf("bench: weather: %v", err))
 	}
 	res.DegradedLinkMB = float64(g.CoreHop(grid.DegradedCore).Bytes) / 1e6
-	res.SourceSwitches = dg.Stats.SourceSwitches
-	res.Reselects = g.Session().Stats.Reselects
-	res.Resumes = g.Session().Stats.Resumes
-	return res
+	res.SourceSwitches = dg.Stats().SourceSwitches
+	res.Reselects = g.Session().Stats().Reselects
+	res.Resumes = g.Session().Stats().Resumes
+	return res, h
 }
 
 // ---------------------------------------------------------------------
@@ -941,7 +957,19 @@ func GroupBench() []DataGridResult {
 }
 
 func dataGridRun(streams, replicas int, hierarchical bool) DataGridResult {
+	r, _ := dataGridRunTraced(streams, replicas, hierarchical, false)
+	return r
+}
+
+// dataGridRunTraced is dataGridRun with an optional telemetry hub
+// (attached before the data grid is built, tracing on).
+func dataGridRunTraced(streams, replicas int, hierarchical, traced bool) (DataGridResult, *telemetry.Hub) {
 	g := grid.TwoClusterWANLoss(2, 2, DataGridWANLoss)
+	var h *telemetry.Hub
+	if traced {
+		h = g.Telemetry()
+		h.EnableTracing()
+	}
 	dg := g.NewDataGrid(datagrid.Config{Replicas: replicas, Streams: streams, Hierarchical: hierarchical})
 	res := DataGridResult{Streams: streams, Replicas: replicas, Hierarchical: hierarchical}
 	err := g.K.Run(func(p *vtime.Proc) {
@@ -968,9 +996,142 @@ func dataGridRun(streams, replicas int, hierarchical bool) DataGridResult {
 	if err != nil {
 		panic(fmt.Sprintf("bench: datagrid: %v", err))
 	}
-	res.CircuitJobs = dg.Stats.CircuitTransfers
-	res.VLinkJobs = dg.Stats.VLinkTransfers
-	res.GroupJobs = dg.Stats.GroupFanouts
-	res.WANMB = float64(dg.Stats.WANBytes) / 1e6
-	return res
+	res.CircuitJobs = dg.Stats().CircuitTransfers
+	res.VLinkJobs = dg.Stats().VLinkTransfers
+	res.GroupJobs = dg.Stats().GroupFanouts
+	res.WANMB = float64(dg.Stats().WANBytes) / 1e6
+	return res, h
+}
+
+// WeatherTrace runs both WeatherBench rows (static, adaptive) with
+// span tracing and returns their concatenated Chrome trace JSON.
+// Deterministic: byte-identical across runs.
+func WeatherTrace() []byte {
+	var out []byte
+	for _, adaptive := range []bool{false, true} {
+		_, h := weatherRunTraced(adaptive, true)
+		out = append(out, h.TraceJSON()...)
+	}
+	return out
+}
+
+// DataGridTrace runs the DataGridBench configurations plus the
+// hierarchical fan-out row with span tracing and returns their
+// concatenated Chrome trace JSON. Deterministic: byte-identical
+// across runs.
+func DataGridTrace() []byte {
+	var out []byte
+	for _, cfg := range []struct {
+		streams, replicas int
+		hier              bool
+	}{
+		{1, 2, false}, {4, 2, false}, {4, 3, false}, {4, 3, true},
+	} {
+		_, h := dataGridRunTraced(cfg.streams, cfg.replicas, cfg.hier, true)
+		out = append(out, h.TraceJSON()...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// TraceRun: the full observability workload.
+
+// TraceRun executes one fully observed degrading-WAN run: weather
+// monitoring, an adaptive striped data grid with hierarchical fan-out,
+// one explicit collective round (multicast + the three-wave barrier),
+// and a bulk adaptive stream across the degrade instant, with span
+// tracing on and a mid-run loss burst scheduled on the degraded core
+// so the TCP recovery path appears in the trace too. It returns the
+// hub; callers serialize the trace (Hub.WriteTrace) or snapshot the
+// metrics registry from it. Deterministic: two runs yield
+// byte-identical trace JSON.
+func TraceRun() *telemetry.Hub {
+	g := grid.DegradingWAN(2) // site0 {0,1}, site1 {2,3}, site2 {4,5}
+	h := g.Telemetry()
+	h.EnableTracing()
+	g.EnableWeather(weather.Config{})
+	hop := g.CoreHop(grid.DegradedCore)
+	netsim.ScheduleLoss(g.K, vtime.Time(0).Add(2*time.Second), hop, 0.03)
+	netsim.ScheduleLoss(g.K, vtime.Time(0).Add(4*time.Second), hop, 0)
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 3, Streams: 4, Adaptive: true, Hierarchical: true})
+	ring := datagrid.NewRing(0)
+	for _, n := range []topology.NodeID{2, 3} {
+		ring.Add(n, "site1")
+	}
+	for _, n := range []topology.NodeID{4, 5} {
+		ring.Add(n, "site2")
+	}
+	dg.SetRing(ring)
+	data := weatherPayload(1 << 20)
+	err := g.K.Run(func(p *vtime.Proc) {
+		// Phase 1 (healthy, then through the loss burst): ingest with
+		// hierarchical replication.
+		for i := 0; i < 4; i++ {
+			if err := dg.Put(p, topology.NodeID(i%2), fmt.Sprintf("t-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+
+		// One explicit collective round on a cross-site group.
+		grp, err := group.New(g.K, g.Topo, g.Session(), []topology.NodeID{0, 2, 4}, group.Config{})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := grp.Multicast(p, 0, "trace", data[:256<<10], 1); err != nil {
+			panic(err)
+		}
+		if err := grp.Barrier(p); err != nil {
+			panic(err)
+		}
+
+		// Bulk adaptive stream across the degrade instant.
+		streamStart := vtime.Time(0).Add(grid.DegradeAt - 200*time.Millisecond)
+		if p.Now() < streamStart {
+			p.Sleep(streamStart.Sub(p.Now()))
+		}
+		ch, err := g.Open(p, 0, 2, session.WithAdaptive(), session.WithStreams(4))
+		if err != nil {
+			panic(err)
+		}
+		payload := weatherPayload(4 << 20)
+		done := vtime.NewWaitGroup("trace:stream")
+		done.Add(1)
+		g.K.Go("trace:sink", func(q *vtime.Proc) {
+			defer done.Done()
+			buf := make([]byte, len(payload))
+			if _, err := ch.Remote().ReadFull(q, buf); err != nil {
+				panic(err)
+			}
+		})
+		const chunk = 128 << 10
+		for off := 0; off < len(payload); off += chunk {
+			end := off + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := ch.Write(p, payload[off:end]); err != nil {
+				panic(err)
+			}
+		}
+		done.Wait(p)
+		ch.Close()
+		ch.Remote().Close()
+
+		// Phase 2 (degraded): let forecasts converge, then GETs from
+		// site0 — the source ranking walks away from the degraded site.
+		settle := vtime.Time(0).Add(grid.DegradeAt + 2*time.Second)
+		if p.Now() < settle {
+			p.Sleep(settle.Sub(p.Now()))
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := dg.Get(p, topology.NodeID(i%2), fmt.Sprintf("t-%d", i)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: trace run: %v", err))
+	}
+	return h
 }

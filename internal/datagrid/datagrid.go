@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/group"
 	"padico/internal/model"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -114,14 +116,16 @@ type ObjectMeta struct {
 }
 
 // Stats counts datagrid activity (virtual-time side effects are charged
-// where they happen; these are for reporting).
+// where they happen; these are for reporting). Fields are bumped with
+// atomic adds and read race-free through DataGrid.Stats; with telemetry
+// attached they join the unified registry under "datagrid.".
 type Stats struct {
 	Puts, Gets       int64
 	Jobs, Retries    int64
 	Failures         int64
 	BytesMoved       int64
 	CircuitTransfers int64
-	VLinkTransfers   int64
+	VLinkTransfers   int64 `metric:"vlink_transfers"`
 	LocalTransfers   int64
 	// GroupFanouts counts replication jobs served by one hierarchical
 	// multicast instead of per-target transfers.
@@ -139,11 +143,11 @@ type Stats struct {
 // layer provisioned for it.
 func (s *Stats) countTransfer(cls selector.PathClass) {
 	if cls == selector.PathLocal {
-		s.LocalTransfers++
+		atomic.AddInt64(&s.LocalTransfers, 1)
 	} else if cls == selector.PathSAN {
-		s.CircuitTransfers++
+		atomic.AddInt64(&s.CircuitTransfers, 1)
 	} else {
-		s.VLinkTransfers++
+		atomic.AddInt64(&s.VLinkTransfers, 1)
 	}
 }
 
@@ -171,7 +175,12 @@ type DataGrid struct {
 	groups   map[string]*group.Group
 	groupWAN map[*group.Group]int64
 
-	Stats Stats
+	stats Stats
+
+	// Telemetry handles, nil (free no-ops) unless a hub was attached to
+	// the kernel before New.
+	tel       *telemetry.Hub
+	hTransfer *telemetry.Histogram
 }
 
 // New builds a DataGrid over an existing testbed's session manager.
@@ -188,8 +197,32 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, cfg Config)
 		groups:   make(map[string]*group.Group),
 		groupWAN: make(map[*group.Group]int64),
 	}
+	if h := telemetry.For(k); h != nil {
+		dg.tel = h
+		h.Registry().BindStruct("datagrid", &dg.stats)
+		dg.hTransfer = h.Registry().Histogram("datagrid.transfer_latency")
+	}
 	dg.sched = newScheduler(dg, cfg.Workers)
 	return dg
+}
+
+// Stats returns a consistent copy of the datagrid's counters (each
+// field loaded atomically).
+func (dg *DataGrid) Stats() Stats {
+	return Stats{
+		Puts:             atomic.LoadInt64(&dg.stats.Puts),
+		Gets:             atomic.LoadInt64(&dg.stats.Gets),
+		Jobs:             atomic.LoadInt64(&dg.stats.Jobs),
+		Retries:          atomic.LoadInt64(&dg.stats.Retries),
+		Failures:         atomic.LoadInt64(&dg.stats.Failures),
+		BytesMoved:       atomic.LoadInt64(&dg.stats.BytesMoved),
+		CircuitTransfers: atomic.LoadInt64(&dg.stats.CircuitTransfers),
+		VLinkTransfers:   atomic.LoadInt64(&dg.stats.VLinkTransfers),
+		LocalTransfers:   atomic.LoadInt64(&dg.stats.LocalTransfers),
+		GroupFanouts:     atomic.LoadInt64(&dg.stats.GroupFanouts),
+		WANBytes:         atomic.LoadInt64(&dg.stats.WANBytes),
+		SourceSwitches:   atomic.LoadInt64(&dg.stats.SourceSwitches),
+	}
 }
 
 // Ring exposes the placement ring (membership changes go through
@@ -267,7 +300,12 @@ func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data
 	if old, ok := dg.catalog[name]; ok {
 		meta.Version = old.Version + 1
 	}
-	dg.Stats.Puts++
+	atomic.AddInt64(&dg.stats.Puts, 1)
+	sp := dg.tel.Begin("datagrid", "put", int(client))
+	if sp != nil {
+		sp.Str("obj", name).I64("bytes", int64(len(data))).I64("entry", int64(entry))
+	}
+	defer sp.End()
 	// Ingest: client -> entry, synchronously in the caller's proc.
 	got, err := dg.runTransfer(p, client, entry, name, data)
 	if err != nil {
@@ -387,7 +425,7 @@ func (dg *DataGrid) ReleaseGroups() int {
 // read and the update).
 func (dg *DataGrid) syncGroupWAN(g *group.Group) {
 	cur := g.WANBytes()
-	dg.Stats.WANBytes += cur - dg.groupWAN[g]
+	atomic.AddInt64(&dg.stats.WANBytes, cur-dg.groupWAN[g])
 	dg.groupWAN[g] = cur
 }
 
@@ -403,7 +441,12 @@ func (dg *DataGrid) Get(p *vtime.Proc, client topology.NodeID, name string) ([]b
 	if len(holders) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoReplica, name)
 	}
-	dg.Stats.Gets++
+	atomic.AddInt64(&dg.stats.Gets, 1)
+	sp := dg.tel.Begin("datagrid", "get", int(client))
+	if sp != nil {
+		sp.Str("obj", name).I64("bytes", int64(meta.Size))
+	}
+	defer sp.End()
 	for _, h := range dg.rankForGet(client, holders) {
 		data, _ := dg.ObjectOn(h, name)
 		got, err := dg.runTransfer(p, h, client, name, data)
@@ -550,20 +593,28 @@ func (dg *DataGrid) VerifyReplicas(name string) error {
 // runTransfer performs one logical transfer with retries, charging
 // checksum CPU on the sender side.
 func (dg *DataGrid) runTransfer(p *vtime.Proc, src, dst topology.NodeID, name string, data []byte) ([]byte, error) {
-	dg.Stats.Jobs++
+	atomic.AddInt64(&dg.stats.Jobs, 1)
+	t0 := dg.k.Now()
 	p.Consume(model.MemcpyPerByte.Cost(len(data))) // checksum pass over the payload
 	var lastErr error
 	for attempt := 1; attempt <= dg.cfg.MaxRetries; attempt++ {
 		got, err := dg.transferOnce(p, src, dst, name, data, attempt)
 		if err == nil {
-			dg.Stats.BytesMoved += int64(len(got))
+			atomic.AddInt64(&dg.stats.BytesMoved, int64(len(got)))
+			dg.hTransfer.Observe(dg.k.Now().Sub(t0))
 			return got, nil
 		}
 		lastErr = err
-		dg.Stats.Retries++
+		atomic.AddInt64(&dg.stats.Retries, 1)
+		dg.tel.Note("datagrid", "transfer retry", int(src), int64(dst), int64(attempt))
 	}
-	dg.Stats.Retries-- // the final attempt was a failure, not a retry
-	dg.Stats.Failures++
+	atomic.AddInt64(&dg.stats.Retries, -1) // the final attempt was a failure, not a retry
+	atomic.AddInt64(&dg.stats.Failures, 1)
+	dg.hTransfer.Observe(dg.k.Now().Sub(t0))
+	// Retries exhausted: dump the flight ring — the post-mortem of a
+	// failed transfer is the control-plane history that led here.
+	dg.tel.Note("datagrid", "transfer failed", int(src), int64(dst), 0)
+	dg.tel.DumpFlight("datagrid transfer failed: " + name)
 	return nil, fmt.Errorf("%w: %v", ErrJobFailed, lastErr)
 }
 
@@ -643,7 +694,12 @@ func (dg *DataGrid) rankForGet(client topology.NodeID, holders []topology.NodeID
 		lo = hi
 	}
 	if out[0] != staticFirst {
-		dg.Stats.SourceSwitches++
+		atomic.AddInt64(&dg.stats.SourceSwitches, 1)
+		if dg.tel.Tracing() {
+			dg.tel.Instant("datagrid", "source_switch", int(client)).
+				I64("to", int64(out[0])).I64("from", int64(staticFirst)).End()
+		}
+		dg.tel.Note("datagrid", "get source switched", int(client), int64(out[0]), int64(staticFirst))
 	}
 	return out
 }

@@ -46,11 +46,11 @@ func TestPutGetOnCluster(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if dg.Stats.CircuitTransfers == 0 {
-		t.Fatalf("no circuit transfers on a SAN cluster: %+v", dg.Stats)
+	if dg.Stats().CircuitTransfers == 0 {
+		t.Fatalf("no circuit transfers on a SAN cluster: %+v", dg.Stats())
 	}
-	if dg.Stats.VLinkTransfers != 0 {
-		t.Fatalf("vlink transfers inside a single cluster: %+v", dg.Stats)
+	if dg.Stats().VLinkTransfers != 0 {
+		t.Fatalf("vlink transfers inside a single cluster: %+v", dg.Stats())
 	}
 	if len(dg.Holders("alpha")) != 2 {
 		t.Fatalf("holders = %v", dg.Holders("alpha"))
@@ -84,8 +84,8 @@ func TestReplicasSpanSites(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if dg.Stats.VLinkTransfers == 0 {
-		t.Fatalf("no cross-site vlink transfers: %+v", dg.Stats)
+	if dg.Stats().VLinkTransfers == 0 {
+		t.Fatalf("no cross-site vlink transfers: %+v", dg.Stats())
 	}
 }
 
@@ -172,8 +172,8 @@ func TestReplicationConvergesUnderLoss(t *testing.T) {
 			}
 		}
 	}
-	if dg.Stats.Failures != 0 {
-		t.Fatalf("failures under loss: %+v", dg.Stats)
+	if dg.Stats().Failures != 0 {
+		t.Fatalf("failures under loss: %+v", dg.Stats())
 	}
 	if errs := dg.JobErrors(); len(errs) != 0 {
 		t.Fatalf("background job errors: %v", errs)
@@ -212,11 +212,11 @@ func TestRetryOnInjectedFault(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
-			if dg.Stats.Retries == 0 {
-				t.Fatalf("fault injected but no retries recorded: %+v", dg.Stats)
+			if dg.Stats().Retries == 0 {
+				t.Fatalf("fault injected but no retries recorded: %+v", dg.Stats())
 			}
-			if dg.Stats.Failures != 0 {
-				t.Fatalf("retries did not recover: %+v", dg.Stats)
+			if dg.Stats().Failures != 0 {
+				t.Fatalf("retries did not recover: %+v", dg.Stats())
 			}
 		})
 	}
@@ -241,8 +241,8 @@ func TestFaultExhaustsRetries(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if dg.Stats.Failures != 1 {
-		t.Fatalf("failures = %d", dg.Stats.Failures)
+	if dg.Stats().Failures != 1 {
+		t.Fatalf("failures = %d", dg.Stats().Failures)
 	}
 }
 
@@ -271,8 +271,8 @@ func TestManyTransfersReuseCircuits(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if dg.Stats.CircuitTransfers != 128 {
-		t.Fatalf("circuit transfers = %d", dg.Stats.CircuitTransfers)
+	if dg.Stats().CircuitTransfers != 128 {
+		t.Fatalf("circuit transfers = %d", dg.Stats().CircuitTransfers)
 	}
 }
 
@@ -331,7 +331,7 @@ func TestGetPrefersNearReplica(t *testing.T) {
 			t.Fatal(err)
 		}
 		dg.WaitSettled(p)
-		before := dg.Stats.VLinkTransfers
+		before := dg.Stats().VLinkTransfers
 		meta, _ := dg.Meta("near")
 		// Read from a non-holder node co-sited with a replica.
 		client := topology.NodeID(-1)
@@ -350,8 +350,8 @@ func TestGetPrefersNearReplica(t *testing.T) {
 		}
 		// The read must not have crossed the WAN: any new transfer is
 		// circuit (SAN) or local.
-		if dg.Stats.VLinkTransfers != before {
-			t.Fatalf("read crossed the WAN: %+v", dg.Stats)
+		if dg.Stats().VLinkTransfers != before {
+			t.Fatalf("read crossed the WAN: %+v", dg.Stats())
 		}
 	}); err != nil {
 		t.Fatal(err)
@@ -426,7 +426,7 @@ func TestParadigmMatchesPathClass(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
-			st := dg.Stats
+			st := dg.Stats()
 			if c.local != (st.LocalTransfers > 0) ||
 				c.circuit != (st.CircuitTransfers > 0) ||
 				c.vlink != (st.VLinkTransfers > 0) {
@@ -464,13 +464,13 @@ func hierRun(t *testing.T, hierarchical bool) (int64, vtime.Duration) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if hierarchical && dg.Stats.GroupFanouts == 0 {
-		t.Fatalf("hierarchical run never used the group: %+v", dg.Stats)
+	if hierarchical && dg.Stats().GroupFanouts == 0 {
+		t.Fatalf("hierarchical run never used the group: %+v", dg.Stats())
 	}
-	if !hierarchical && dg.Stats.GroupFanouts != 0 {
-		t.Fatalf("flat run used the group: %+v", dg.Stats)
+	if !hierarchical && dg.Stats().GroupFanouts != 0 {
+		t.Fatalf("flat run used the group: %+v", dg.Stats())
 	}
-	return dg.Stats.WANBytes, converge
+	return dg.Stats().WANBytes, converge
 }
 
 // TestHierarchicalFanoutBeatsFlat is the tentpole claim: with replica
@@ -511,7 +511,8 @@ func TestHierarchicalFallsBackWhenTreeCannotSave(t *testing.T) {
 			}
 			dg.WaitSettled(p)
 		})
-		return &dg.Stats, err
+		st := dg.Stats()
+		return &st, err
 	}
 	flat, err := run(false)
 	if err != nil {
@@ -553,12 +554,12 @@ func TestHierarchicalFaultRetryConverges(t *testing.T) {
 		// The cache release valve drops the settled groups without
 		// touching the WAN accounting; the next fan-out re-provisions
 		// transparently.
-		wanBefore := dg.Stats.WANBytes
+		wanBefore := dg.Stats().WANBytes
 		if n := dg.ReleaseGroups(); n == 0 {
 			t.Fatal("no cached groups to release")
 		}
-		if dg.Stats.WANBytes != wanBefore {
-			t.Fatalf("releasing groups changed WAN accounting: %d -> %d", wanBefore, dg.Stats.WANBytes)
+		if dg.Stats().WANBytes != wanBefore {
+			t.Fatalf("releasing groups changed WAN accounting: %d -> %d", wanBefore, dg.Stats().WANBytes)
 		}
 		if err := dg.Put(p, 0, "flaky-tree-2", data); err != nil {
 			t.Fatal(err)
@@ -573,11 +574,11 @@ func TestHierarchicalFaultRetryConverges(t *testing.T) {
 	if len(dg.JobErrors()) != 0 {
 		t.Fatalf("job errors: %v", dg.JobErrors())
 	}
-	if dg.Stats.Retries == 0 || dg.Stats.Failures != 0 {
-		t.Fatalf("stats: %+v", dg.Stats)
+	if dg.Stats().Retries == 0 || dg.Stats().Failures != 0 {
+		t.Fatalf("stats: %+v", dg.Stats())
 	}
-	if dg.Stats.GroupFanouts == 0 {
-		t.Fatalf("fan-out never went through the group: %+v", dg.Stats)
+	if dg.Stats().GroupFanouts == 0 {
+		t.Fatalf("fan-out never went through the group: %+v", dg.Stats())
 	}
 }
 
@@ -607,8 +608,8 @@ func TestGetSwitchesSourceUnderWeather(t *testing.T) {
 		if _, err := dg.Get(p, 0, "obj"); err != nil {
 			t.Fatal(err)
 		}
-		if dg.Stats.SourceSwitches != 0 {
-			t.Fatalf("healthy GET switched sources: %+v", dg.Stats)
+		if dg.Stats().SourceSwitches != 0 {
+			t.Fatalf("healthy GET switched sources: %+v", dg.Stats())
 		}
 		// Past the degrade instant plus a probe cycle: site0-site1 is
 		// degraded, site0-site2 is not.
@@ -618,8 +619,8 @@ func TestGetSwitchesSourceUnderWeather(t *testing.T) {
 		if _, err := dg.Get(p, 0, "obj"); err != nil {
 			t.Fatal(err)
 		}
-		if dg.Stats.SourceSwitches != 1 {
-			t.Fatalf("degraded GET did not switch: %+v", dg.Stats)
+		if dg.Stats().SourceSwitches != 1 {
+			t.Fatalf("degraded GET did not switch: %+v", dg.Stats())
 		}
 	}); err != nil {
 		t.Fatal(err)
@@ -651,7 +652,7 @@ func TestAdaptiveTransfersConfig(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if g.Session().Stats.AdaptiveOpens == 0 {
+	if g.Session().Stats().AdaptiveOpens == 0 {
 		t.Fatal("no adaptive opens despite Config.Adaptive")
 	}
 }

@@ -2,6 +2,7 @@ package datagrid
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"padico/internal/group"
 	"padico/internal/model"
@@ -62,7 +63,7 @@ func (s *scheduler) run(p *vtime.Proc, j *job) {
 	meta, ok := dg.catalog[j.name]
 	if !ok {
 		s.fail(fmt.Errorf("%w: %s dropped from the catalog", ErrNoObject, j.name))
-		dg.Stats.Failures++
+		atomic.AddInt64(&dg.stats.Failures, 1)
 		return
 	}
 	if len(j.dsts) > 0 {
@@ -82,7 +83,7 @@ func (s *scheduler) run(p *vtime.Proc, j *job) {
 		src, found := dg.freshHolder(meta, j.dst)
 		if !found {
 			s.fail(fmt.Errorf("%w: %s has no up-to-date source", ErrNoReplica, j.name))
-			dg.Stats.Failures++
+			atomic.AddInt64(&dg.stats.Failures, 1)
 			return
 		}
 		j.src = src
@@ -116,7 +117,7 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		src, found := dg.freshHolder(meta, remaining[0])
 		if !found {
 			s.fail(fmt.Errorf("%w: %s has no up-to-date source", ErrNoReplica, j.name))
-			dg.Stats.Failures++
+			atomic.AddInt64(&dg.stats.Failures, 1)
 			return
 		}
 		j.src = src
@@ -143,10 +144,10 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 	}
 	if gerr != nil {
 		s.fail(gerr)
-		dg.Stats.Failures++
+		atomic.AddInt64(&dg.stats.Failures, 1)
 		return
 	}
-	dg.Stats.Jobs++
+	atomic.AddInt64(&dg.stats.Jobs, 1)
 	p.Consume(model.MemcpyPerByte.Cost(len(data))) // checksum pass over the payload
 	var lastErr error
 	for attempt := 1; attempt <= dg.cfg.MaxRetries; attempt++ {
@@ -155,15 +156,15 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		for _, t := range remaining {
 			if copyBytes, ok := got[t]; ok {
 				dg.storePut(t, j.name, copyBytes)
-				dg.Stats.BytesMoved += int64(len(copyBytes))
+				atomic.AddInt64(&dg.stats.BytesMoved, int64(len(copyBytes)))
 			}
 		}
 		if err == nil {
-			dg.Stats.GroupFanouts++
+			atomic.AddInt64(&dg.stats.GroupFanouts, 1)
 			return
 		}
 		lastErr = err
-		dg.Stats.Retries++
+		atomic.AddInt64(&dg.stats.Retries, 1)
 		next := remaining[:0]
 		for _, t := range remaining {
 			if _, ok := dg.freshCopy(meta, t); !ok {
@@ -172,8 +173,8 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		}
 		remaining = next
 		if len(remaining) == 0 { // partial error but everyone converged
-			dg.Stats.Retries--
-			dg.Stats.GroupFanouts++
+			atomic.AddInt64(&dg.stats.Retries, -1)
+			atomic.AddInt64(&dg.stats.GroupFanouts, 1)
 			return
 		}
 		if attempt == dg.cfg.MaxRetries {
@@ -182,7 +183,7 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		retryGrp, gerr := dg.newGroup(append([]topology.NodeID{j.src}, remaining...))
 		if gerr != nil {
 			s.fail(gerr)
-			dg.Stats.Failures++
+			atomic.AddInt64(&dg.stats.Failures, 1)
 			return
 		}
 		if transient != nil {
@@ -190,12 +191,16 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		}
 		transient, grp = retryGrp, retryGrp
 	}
-	dg.Stats.Retries-- // the final attempt was a failure, not a retry
-	dg.Stats.Failures++
+	atomic.AddInt64(&dg.stats.Retries, -1) // the final attempt was a failure, not a retry
+	atomic.AddInt64(&dg.stats.Failures, 1)
+	dg.tel.DumpFlight("datagrid fan-out failed: " + j.name)
 	s.fail(fmt.Errorf("%w: %s fan-out to %v: %v", ErrJobFailed, j.name, remaining, lastErr))
 }
 
-func (s *scheduler) fail(err error) { s.errs = append(s.errs, err) }
+func (s *scheduler) fail(err error) {
+	s.dg.tel.Note("datagrid", "job failed", 0, int64(len(s.errs)+1), 0)
+	s.errs = append(s.errs, err)
+}
 
 func (s *scheduler) waitSettled(p *vtime.Proc) {
 	for s.pending > 0 {

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/model"
@@ -82,13 +83,19 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 	if err != nil {
 		return nil, err
 	}
-	dg.Stats.countTransfer(ch.Info().Class)
+	sp := dg.tel.Begin("datagrid", "transfer", int(src))
+	if sp != nil {
+		sp.Str("obj", name).I64("dst", int64(dst)).
+			I64("bytes", int64(len(data))).I64("attempt", int64(attempt))
+	}
+	defer sp.End()
+	dg.stats.countTransfer(ch.Info().Class)
 	if ch.Info().Class >= selector.PathWAN {
 		// Count what this attempt moved across the wide area, both
 		// directions (payload down, credits/status back), success or
 		// not — the read happens after both ends went quiet.
 		defer func() {
-			dg.Stats.WANBytes += ch.Info().BytesOut + ch.Remote().Info().BytesOut
+			atomic.AddInt64(&dg.stats.WANBytes, ch.Info().BytesOut+ch.Remote().Info().BytesOut)
 		}()
 	}
 
@@ -152,7 +159,10 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 		if failed {
 			break
 		}
-		if _, err := ch.Write(p, data[off:end]); err != nil {
+		csp := dg.tel.Begin("datagrid", "chunk", int(src)).Parent(sp).I64("off", int64(off))
+		_, werr := ch.Write(p, data[off:end])
+		csp.End()
+		if werr != nil {
 			failed = true
 			break
 		}

@@ -30,6 +30,7 @@ import (
 	"padico/internal/pstreams"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
@@ -92,6 +93,19 @@ func (g *Grid) EnableWeather(cfg weather.Config) *weather.Service {
 
 // Weather returns the attached weather service (nil without one).
 func (g *Grid) Weather() *weather.Service { return g.wsvc }
+
+// Telemetry attaches (and returns) the testbed's observability hub: a
+// unified metrics registry, the virtual-time span tracer, and the
+// flight recorder (see internal/telemetry). Idempotent. The session
+// manager and IP stack are wired here; layers built by their own
+// constructors (DataGrid, groups, weather, VRP) discover the hub at
+// construction time — attach before building them to observe them.
+func (g *Grid) Telemetry() *telemetry.Hub {
+	h := telemetry.Attach(g.K)
+	g.Stack.SetTelemetry(h)
+	g.Session().SetTelemetry(h)
+	return h
+}
 
 // CoreHop returns a named wide-area core hop (nil if absent).
 func (g *Grid) CoreHop(name string) *netsim.Hop { return g.CoreHops[name] }

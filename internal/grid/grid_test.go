@@ -405,7 +405,7 @@ func TestVRPBeatsTCPOnLossyLink(t *testing.T) {
 		}
 		elapsed := p.Now().Sub(start).Seconds() - 2 // minus the quiet timeout
 		vrpRate = float64(received*len(payload)) / elapsed
-		skipFrac = float64(sender.Stats.Skipped) / float64(nmsgs)
+		skipFrac = float64(sender.Stats().Skipped) / float64(nmsgs)
 	}); err != nil {
 		t.Fatal(err)
 	}

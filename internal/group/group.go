@@ -29,12 +29,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/circuit"
 	"padico/internal/model"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -91,7 +93,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts group activity (for reporting and tests).
+// Stats counts group activity (for reporting and tests). Counters
+// are bumped with atomic adds and read race-free through Group.Stats;
+// with telemetry attached they also surface in the shared registry
+// under the "group." prefix (aggregated across all live groups).
 type Stats struct {
 	Multicasts, Reduces, Barriers, Gathers int64
 	// EdgesOpened / EdgeReuses trace edge provisioning: cached WAN/LAN
@@ -133,7 +138,23 @@ type Group struct {
 	// operation is running on that tree.
 	dirty map[topology.NodeID]bool
 
-	Stats Stats
+	stats Stats
+	tel   *telemetry.Hub
+	hOp   *telemetry.Histogram
+}
+
+// Stats returns a consistent copy of the group's counters.
+func (g *Group) Stats() Stats {
+	return Stats{
+		Multicasts:   atomic.LoadInt64(&g.stats.Multicasts),
+		Reduces:      atomic.LoadInt64(&g.stats.Reduces),
+		Barriers:     atomic.LoadInt64(&g.stats.Barriers),
+		Gathers:      atomic.LoadInt64(&g.stats.Gathers),
+		EdgesOpened:  atomic.LoadInt64(&g.stats.EdgesOpened),
+		EdgeReuses:   atomic.LoadInt64(&g.stats.EdgeReuses),
+		Failures:     atomic.LoadInt64(&g.stats.Failures),
+		TreeRebuilds: atomic.LoadInt64(&g.stats.TreeRebuilds),
+	}
 }
 
 // New forms a group over the given members (deduplicated and sorted;
@@ -158,6 +179,11 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, members []t
 		edges:   make(map[[3]topology.NodeID]session.Channel),
 		sems:    make(map[topology.NodeID]*vtime.Semaphore),
 		dirty:   make(map[topology.NodeID]bool),
+	}
+	if h := telemetry.For(k); h != nil {
+		g.tel = h
+		h.Registry().BindStruct("group", &g.stats)
+		g.hOp = h.Registry().Histogram("group.op_latency")
 	}
 	// Under weather, a degraded-threshold crossing on a wide-area edge
 	// of a cached tree marks it dirty: the next operation rebuilds it
@@ -244,7 +270,11 @@ func (g *Group) Tree(root topology.NodeID) (*Tree, error) {
 			g.resetTree(root)
 			delete(g.trees, root)
 			delete(g.dirty, root)
-			g.Stats.TreeRebuilds++
+			atomic.AddInt64(&g.stats.TreeRebuilds, 1)
+			g.tel.Note("group", "tree rebuild (weather)", int(root), 0, 0)
+			if g.tel.Tracing() {
+				g.tel.Instant("group", "tree_rebuild", int(root)).End()
+			}
 			if sem != nil {
 				sem.Release()
 			}
@@ -361,7 +391,7 @@ func (g *Group) openEdges(p *vtime.Proc, t *Tree) (map[[2]topology.NodeID]sessio
 		key := [3]topology.NodeID{t.Root(), e.Parent, e.Child}
 		if ch, ok := g.edges[key]; ok {
 			chans[[2]topology.NodeID{e.Parent, e.Child}] = ch
-			g.Stats.EdgeReuses++
+			atomic.AddInt64(&g.stats.EdgeReuses, 1)
 			continue
 		}
 		ch, err := open(e)
@@ -371,7 +401,7 @@ func (g *Group) openEdges(p *vtime.Proc, t *Tree) (map[[2]topology.NodeID]sessio
 		}
 		chans[[2]topology.NodeID{e.Parent, e.Child}] = ch
 		g.edges[key] = ch
-		g.Stats.EdgesOpened++
+		atomic.AddInt64(&g.stats.EdgesOpened, 1)
 	}
 	sort.Slice(sanEdges, func(i, j int) bool {
 		return pairKey(sanEdges[i]) < pairKey(sanEdges[j])
@@ -385,7 +415,7 @@ func (g *Group) openEdges(p *vtime.Proc, t *Tree) (map[[2]topology.NodeID]sessio
 		key := [2]topology.NodeID{e.Parent, e.Child}
 		chans[key] = ch
 		perOp = append(perOp, key)
-		g.Stats.EdgesOpened++
+		atomic.AddInt64(&g.stats.EdgesOpened, 1)
 	}
 	return chans, release, nil
 }
@@ -481,6 +511,13 @@ func recvStatus(q *vtime.Proc, ch session.Channel) (ok bool, failed []topology.N
 // straggler relay may still be consuming its delivery virtual time, so
 // no delivery set can be handed out safely.
 func (g *Group) Multicast(p *vtime.Proc, root topology.NodeID, tag string, data []byte, attempt int) (map[topology.NodeID][]byte, error) {
+	sp := g.tel.Begin("group", "multicast", int(root))
+	if sp != nil {
+		sp.Str("tag", tag).I64("bytes", int64(len(data))).
+			I64("attempt", int64(attempt)).I64("members", int64(len(g.members)))
+	}
+	t0 := g.k.Now()
+	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
 	t, err := g.Tree(root)
 	if err != nil {
 		return nil, err
@@ -488,7 +525,7 @@ func (g *Group) Multicast(p *vtime.Proc, root topology.NodeID, tag string, data 
 	defer g.lockTree(p, root)()
 	chans, release, err := g.openEdges(p, t)
 	if err != nil {
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return nil, err
 	}
 	results := make(map[topology.NodeID][]byte, len(g.members)-1)
@@ -570,13 +607,13 @@ func (g *Group) Multicast(p *vtime.Proc, root topology.NodeID, tag string, data 
 		// may still insert into it, so handing it to the caller would
 		// hand out a map another proc writes.
 		g.resetTree(t.Root())
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return nil, fmt.Errorf("%w: multicast %q attempt %d", ErrEdgeFailed, tag, attempt)
 	}
-	g.Stats.Multicasts++
+	atomic.AddInt64(&g.stats.Multicasts, 1)
 	if len(failed) > 0 {
 		sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return results, &MulticastError{Tag: tag, Attempt: attempt, Failed: failed}
 	}
 	return results, nil
@@ -659,6 +696,9 @@ func (g *Group) relayMulticast(q *vtime.Proc, self topology.NodeID,
 // then children in tree order — so floating-point results are
 // reproducible.
 func (g *Group) Reduce(p *vtime.Proc, root topology.NodeID, contrib func(topology.NodeID) []float64, op circuit.ReduceOp) ([]float64, error) {
+	sp := g.tel.Begin("group", "reduce", int(root)).I64("members", int64(len(g.members)))
+	t0 := g.k.Now()
+	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
 	t, err := g.Tree(root)
 	if err != nil {
 		return nil, err
@@ -666,7 +706,7 @@ func (g *Group) Reduce(p *vtime.Proc, root topology.NodeID, contrib func(topolog
 	defer g.lockTree(p, root)()
 	chans, release, err := g.openEdges(p, t)
 	if err != nil {
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return nil, err
 	}
 	defer release()
@@ -692,12 +732,12 @@ func (g *Group) Reduce(p *vtime.Proc, root topology.NodeID, contrib func(topolog
 		seg, err := ch.Recv(p, 8*len(acc))
 		if err != nil {
 			g.resetTree(t.Root())
-			g.Stats.Failures++
+			atomic.AddInt64(&g.stats.Failures, 1)
 			return nil, fmt.Errorf("%w: reduce", ErrEdgeFailed)
 		}
 		fold(acc, circuit.DecodeF64(seg[0]), op)
 	}
-	g.Stats.Reduces++
+	atomic.AddInt64(&g.stats.Reduces, 1)
 	return acc, nil
 }
 
@@ -723,6 +763,9 @@ const (
 // the per-operation SAN circuits are torn down.
 func (g *Group) Barrier(p *vtime.Proc) error {
 	root := g.members[0]
+	sp := g.tel.Begin("group", "barrier", int(root)).I64("members", int64(len(g.members)))
+	t0 := g.k.Now()
+	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
 	t, err := g.Tree(root)
 	if err != nil {
 		return err
@@ -730,7 +773,7 @@ func (g *Group) Barrier(p *vtime.Proc) error {
 	defer g.lockTree(p, root)()
 	chans, release, err := g.openEdges(p, t)
 	if err != nil {
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return err
 	}
 	defer release()
@@ -767,25 +810,37 @@ func (g *Group) Barrier(p *vtime.Proc) error {
 	kids := downChannels(t, chans, root)
 	fail := func() error {
 		g.resetTree(t.Root())
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return fmt.Errorf("%w: barrier", ErrEdgeFailed)
 	}
+	wave := func(name string) *telemetry.Span {
+		return g.tel.Begin("group", name, int(root)).Parent(sp)
+	}
+	w := wave("wave.arrive")
 	for _, ch := range kids {
 		if _, err := ch.Recv(p, 1); err != nil {
+			w.End()
 			return fail()
 		}
 	}
+	w.End()
+	w = wave("wave.release")
 	for _, ch := range kids {
 		if err := ch.Send(p, []byte{barrierRelease}); err != nil {
+			w.End()
 			return fail()
 		}
 	}
+	w.End()
+	w = wave("wave.done")
 	for _, ch := range kids {
 		if _, err := ch.Recv(p, 1); err != nil {
+			w.End()
 			return fail()
 		}
 	}
-	g.Stats.Barriers++
+	w.End()
+	atomic.AddInt64(&g.stats.Barriers, 1)
 	return nil
 }
 
@@ -797,6 +852,9 @@ func (g *Group) Barrier(p *vtime.Proc) error {
 // inverse tree traffic pattern of Multicast. The returned map includes
 // root's own contribution.
 func (g *Group) Gather(p *vtime.Proc, root topology.NodeID, contrib func(topology.NodeID) []byte) (map[topology.NodeID][]byte, error) {
+	sp := g.tel.Begin("group", "gather", int(root)).I64("members", int64(len(g.members)))
+	t0 := g.k.Now()
+	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
 	t, err := g.Tree(root)
 	if err != nil {
 		return nil, err
@@ -804,7 +862,7 @@ func (g *Group) Gather(p *vtime.Proc, root topology.NodeID, contrib func(topolog
 	defer g.lockTree(p, root)()
 	chans, release, err := g.openEdges(p, t)
 	if err != nil {
-		g.Stats.Failures++
+		atomic.AddInt64(&g.stats.Failures, 1)
 		return nil, err
 	}
 	defer release()
@@ -840,13 +898,13 @@ func (g *Group) Gather(p *vtime.Proc, root topology.NodeID, contrib func(topolog
 			id, payload, err := recvGatherFrame(p, ch)
 			if err != nil {
 				g.resetTree(t.Root())
-				g.Stats.Failures++
+				atomic.AddInt64(&g.stats.Failures, 1)
 				return nil, fmt.Errorf("%w: gather", ErrEdgeFailed)
 			}
 			out[id] = payload
 		}
 	}
-	g.Stats.Gathers++
+	atomic.AddInt64(&g.stats.Gathers, 1)
 	return out, nil
 }
 

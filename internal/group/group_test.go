@@ -138,8 +138,8 @@ func TestMulticastDeliversEverywhere(t *testing.T) {
 	if wan > 2*int64(size)+(1<<16) {
 		t.Fatalf("WAN bytes = %d — more than 2 payload crossings plus protocol slack", wan)
 	}
-	if grp.Stats.Multicasts != 1 {
-		t.Fatalf("stats: %+v", grp.Stats)
+	if grp.Stats().Multicasts != 1 {
+		t.Fatalf("stats: %+v", grp.Stats())
 	}
 }
 
@@ -287,8 +287,8 @@ func TestReduceMatchesSerialFold(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if grp.Stats.Reduces != 2 {
-		t.Fatalf("stats: %+v", grp.Stats)
+	if grp.Stats().Reduces != 2 {
+		t.Fatalf("stats: %+v", grp.Stats())
 	}
 }
 
@@ -315,8 +315,8 @@ func TestBarrierReuse(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if grp.Stats.Barriers != 3 {
-		t.Fatalf("stats: %+v", grp.Stats)
+	if grp.Stats().Barriers != 3 {
+		t.Fatalf("stats: %+v", grp.Stats())
 	}
 }
 
@@ -421,27 +421,27 @@ func TestWeatherRebuildsDegradedTree(t *testing.T) {
 		if _, err := grp.Multicast(p, 0, "pre", data, 1); err != nil {
 			t.Fatal(err)
 		}
-		opened := grp.Stats.EdgesOpened
-		if grp.Stats.TreeRebuilds != 0 {
-			t.Fatalf("tree rebuilt before any weather event: %+v", grp.Stats)
+		opened := grp.Stats().EdgesOpened
+		if grp.Stats().TreeRebuilds != 0 {
+			t.Fatalf("tree rebuilt before any weather event: %+v", grp.Stats())
 		}
 		// Reuse while healthy: cached WAN edges, no rebuild.
 		if _, err := grp.Multicast(p, 0, "pre2", data, 1); err != nil {
 			t.Fatal(err)
 		}
-		if grp.Stats.EdgeReuses == 0 {
-			t.Fatalf("no cached-edge reuse while healthy: %+v", grp.Stats)
+		if grp.Stats().EdgeReuses == 0 {
+			t.Fatalf("no cached-edge reuse while healthy: %+v", grp.Stats())
 		}
 		// Ride past the degrade instant and its publication.
 		p.Sleep(grid.DegradeAt + 2*time.Second - p.Now().Sub(0))
 		if _, err := grp.Multicast(p, 0, "post", data, 1); err != nil {
 			t.Fatal(err)
 		}
-		if grp.Stats.TreeRebuilds != 1 {
-			t.Fatalf("TreeRebuilds = %d, want 1 (%+v)", grp.Stats.TreeRebuilds, grp.Stats)
+		if grp.Stats().TreeRebuilds != 1 {
+			t.Fatalf("TreeRebuilds = %d, want 1 (%+v)", grp.Stats().TreeRebuilds, grp.Stats())
 		}
-		if grp.Stats.EdgesOpened <= opened {
-			t.Fatalf("degraded tree edges not re-provisioned: %+v", grp.Stats)
+		if grp.Stats().EdgesOpened <= opened {
+			t.Fatalf("degraded tree edges not re-provisioned: %+v", grp.Stats())
 		}
 	}); err != nil {
 		t.Fatal(err)

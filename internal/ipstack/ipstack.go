@@ -21,6 +21,7 @@ import (
 
 	"padico/internal/iovec"
 	"padico/internal/netsim"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -88,6 +89,12 @@ type Stack struct {
 	// events): network-weather monitors read it as a passive latency
 	// observation, free-riding on whatever traffic already flows.
 	srtt map[[2]topology.NodeID]time.Duration
+
+	// Telemetry handles, nil (free no-ops) until SetTelemetry.
+	tel         *telemetry.Hub
+	mRetransmit *telemetry.Counter
+	mSegsSent   *telemetry.Counter
+	hRTT        *telemetry.Histogram
 }
 
 // New creates an empty stack on the kernel.
@@ -96,6 +103,20 @@ func New(k *vtime.Kernel) *Stack {
 		k: k, hosts: make(map[topology.NodeID]*Host),
 		srtt: make(map[[2]topology.NodeID]time.Duration),
 	}
+}
+
+// SetTelemetry wires the stack into a telemetry hub: retransmit and
+// segment counters plus the per-sample RTT histogram go to the unified
+// registry, and retransmits emit trace instants when tracing is on.
+func (s *Stack) SetTelemetry(h *telemetry.Hub) {
+	if h == nil || s.tel != nil {
+		return
+	}
+	s.tel = h
+	reg := h.Registry()
+	s.mRetransmit = reg.Counter("ipstack.tcp_retransmits")
+	s.mSegsSent = reg.Counter("ipstack.tcp_segs_sent")
+	s.hRTT = reg.Histogram("ipstack.rtt")
 }
 
 // SRTT returns the most recent smoothed TCP RTT estimate measured from
@@ -559,6 +580,7 @@ func (c *TCPConn) rcvWnd() int {
 // by the receiving host after processing, or by the fabric on a drop.
 func (c *TCPConn) sendSeg(sg tcpSeg, off, n int64) {
 	c.SegsSent++
+	c.host.stack.mSegsSent.Inc()
 	tp := c.host.stack.getTP()
 	if n > 0 {
 		c.sndq.view(int(off), int(n), &tp.pl)
@@ -798,12 +820,27 @@ func (c *TCPConn) onRTO() {
 	// jump straight over whatever did arrive.
 	c.sndNxt = c.sndUna
 	c.Retransmits++
+	c.noteRetransmit("rto")
 	c.pump() // re-arms the (backed-off) RTO
+}
+
+// noteRetransmit feeds the telemetry hub: a counter bump always, plus a
+// trace instant on the sender's lane when tracing is on.
+func (c *TCPConn) noteRetransmit(why string) {
+	s := c.host.stack
+	s.mRetransmit.Inc()
+	if s.tel.Tracing() {
+		s.tel.Instant("ipstack", "tcp.retransmit", int(c.host.id)).
+			Str("why", why).
+			I64("seq", c.sndUna).
+			I64("dst", int64(c.remote)).End()
+	}
 }
 
 // retransmitFirst resends the segment starting at sndUna.
 func (c *TCPConn) retransmitFirst() {
 	c.Retransmits++
+	c.noteRetransmit("fast")
 	if c.finQueued && c.sndUna == c.finSeq {
 		c.sendSeg(tcpSeg{fin: true, ack: true, seq: c.sndUna,
 			ackNo: c.rcvNxt, wnd: c.rcvWnd(), ts: c.host.stack.k.Now()}, 0, 0)
@@ -1044,6 +1081,7 @@ func (c *TCPConn) rttSample(ets vtime.Time) {
 		c.rto = minRTO
 	}
 	c.host.stack.srtt[[2]topology.NodeID{c.host.id, c.remote}] = c.srtt
+	c.host.stack.hRTT.Observe(sample)
 	if c.rto > maxRTO {
 		c.rto = maxRTO
 	}

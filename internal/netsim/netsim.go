@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"time"
 
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -362,32 +363,47 @@ func (h *Hop) SetDown(down bool) { h.down = down }
 // Down reports whether the hop is in outage.
 func (h *Hop) Down() bool { return h.down }
 
+// noteChange records a scheduled fabric change on the flight recorder
+// and (when tracing) the trace, so dynamic WAN conditions line up with
+// the transfer spans they perturb.
+func noteChange(k *vtime.Kernel, h *Hop, what string) {
+	tel := telemetry.For(k)
+	if tel == nil {
+		return
+	}
+	tel.Note("netsim", "hop condition change", 0, int64(h.Rate), int64(h.Latency))
+	if tel.Tracing() {
+		tel.Instant("netsim", "hop."+what, 0).Str("hop", h.Name).
+			I64("rate_bps", int64(h.Rate)).I64("lat_ns", int64(h.Latency)).End()
+	}
+}
+
 // ScheduleConditions arms a full condition swap at virtual time at.
 func ScheduleConditions(k *vtime.Kernel, at vtime.Time, h *Hop, c Conditions) {
-	k.At(at, func() { h.SetConditions(c) })
+	k.At(at, func() { h.SetConditions(c); noteChange(k, h, "conditions") })
 }
 
 // ScheduleRate arms a rate change at virtual time at.
 func ScheduleRate(k *vtime.Kernel, at vtime.Time, h *Hop, rate float64) {
-	k.At(at, func() { h.SetRate(rate) })
+	k.At(at, func() { h.SetRate(rate); noteChange(k, h, "rate") })
 }
 
 // ScheduleLatency arms a latency change at virtual time at.
 func ScheduleLatency(k *vtime.Kernel, at vtime.Time, h *Hop, d time.Duration) {
-	k.At(at, func() { h.SetLatency(d) })
+	k.At(at, func() { h.SetLatency(d); noteChange(k, h, "latency") })
 }
 
 // ScheduleLoss arms a loss change at virtual time at.
 func ScheduleLoss(k *vtime.Kernel, at vtime.Time, h *Hop, loss float64) {
-	k.At(at, func() { h.SetLoss(loss) })
+	k.At(at, func() { h.SetLoss(loss); noteChange(k, h, "loss") })
 }
 
 // ScheduleOutage arms an outage at `at` and, if restore > at, the
 // matching restore.
 func ScheduleOutage(k *vtime.Kernel, at, restore vtime.Time, h *Hop) {
-	k.At(at, func() { h.SetDown(true) })
+	k.At(at, func() { h.SetDown(true); noteChange(k, h, "outage") })
 	if restore > at {
-		k.At(restore, func() { h.SetDown(false) })
+		k.At(restore, func() { h.SetDown(false); noteChange(k, h, "restore") })
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/iovec"
@@ -187,7 +188,7 @@ func (m *Manager) openAdaptive(p *vtime.Proc, src, dst topology.NodeID, qos sele
 	if err != nil {
 		return nil, err
 	}
-	m.Stats.AdaptiveOpens++
+	atomic.AddInt64(&m.stats.AdaptiveOpens, 1)
 	st := &adaptiveState{
 		mgr: m, src: src, dst: dst, qos: qos,
 		dec: dec, cls: classOf(dec), inner: inner,
@@ -402,10 +403,16 @@ func (e *adaptiveEnd) ensureReopen(p *vtime.Proc, seen int) {
 // as a re-selection; every one counts as a resume.
 func (st *adaptiveState) reopen(p *vtime.Proc, dec selector.Decision) {
 	st.reopening = true
+	sp := st.mgr.tel.Begin("session", "reselect", int(st.src))
+	if sp != nil {
+		sp.I64("dst", int64(st.dst)).Str("from", st.dec.String()).Str("to", dec.String())
+	}
 	defer func() {
 		st.reopening = false
 		st.epochCond.Broadcast()
+		sp.End()
 	}()
+	st.mgr.tel.Note("session", "reselect: reopening epoch", int(st.src), int64(st.dst), int64(st.epoch))
 	st.inner.Close()
 	st.inner.Remote().Close()
 	for !st.done {
@@ -432,13 +439,18 @@ func (st *adaptiveState) reopen(p *vtime.Proc, dec selector.Decision) {
 					// Only a re-open that replayed and continued counts.
 					if dec != st.dec {
 						st.reselects++
-						st.mgr.Stats.Reselects++
+						atomic.AddInt64(&st.mgr.stats.Reselects, 1)
 					}
 					st.dec = dec
 					st.cls = classOf(dec)
 					st.winBytes, st.winElapsed = 0, 0 // new decision, fresh window
 					st.resumes++
-					st.mgr.Stats.Resumes++
+					atomic.AddInt64(&st.mgr.stats.Resumes, 1)
+					if st.mgr.tel.Tracing() {
+						st.mgr.tel.Instant("session", "resume", int(st.src)).
+							I64("epoch", int64(st.epoch)).Str("on", dec.String()).End()
+					}
+					st.mgr.tel.Note("session", "resume: replay complete", int(st.src), int64(st.dst), int64(st.epoch))
 					return
 				}
 				// Replay died (the new link failed too): close and retry.
@@ -582,6 +594,10 @@ func (e *adaptiveEnd) sendRecord(p *vtime.Proc, kind byte, segs [][]byte) error 
 			st.observeLive(recBytes, p.Now().Sub(t0))
 			return nil
 		}
+		// The stall watchdog fired: record it and dump the flight ring —
+		// the control-plane history leading here is the post-mortem.
+		st.mgr.tel.Note("session", "watchdog: send stalled", int(e.info.Src), int64(e.info.Dst), int64(ep))
+		st.mgr.tel.DumpFlight("session watchdog: send stalled")
 		e.ensureReopen(p, ep)
 		if st.done {
 			return ErrClosed

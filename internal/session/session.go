@@ -31,11 +31,14 @@ package session
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"padico/internal/circuit"
 	"padico/internal/iovec"
 	"padico/internal/madapi"
 	"padico/internal/selector"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
@@ -204,10 +207,14 @@ type Weather interface {
 	Subscribe(fn func(a, b topology.NodeID, nw *topology.Network, f selector.Forecast)) (cancel func())
 }
 
-// Stats counts Manager activity (for reporting and tests).
+// Stats counts Manager activity (for reporting and tests). Fields are
+// bumped with atomic adds from kernel procs and read race-free through
+// Manager.Stats; with telemetry attached they also appear in the
+// unified registry under the "session." prefix.
 type Stats struct {
-	Opens                                int64
-	LocalOpens, CircuitOpens, VLinkOpens int64
+	Opens                    int64
+	LocalOpens, CircuitOpens int64
+	VLinkOpens               int64 `metric:"vlink_opens"`
 	// CircuitsBuilt / CircuitReuses / CircuitsClosed trace the per-pair
 	// circuit cache: a build wires a fresh 2-rank circuit, a reuse
 	// shares a live one, a close tears the circuit down after its last
@@ -234,7 +241,11 @@ type Manager struct {
 	pairs   map[[2]topology.NodeID]*pairCircuit
 	circSeq int
 
-	Stats Stats
+	stats Stats
+
+	// Telemetry handles, nil (free no-ops) until SetTelemetry.
+	tel   *telemetry.Hub
+	hOpen *telemetry.Histogram
 }
 
 // pairCircuit is one cached parallel-paradigm substrate: the 2-rank
@@ -260,6 +271,35 @@ func NewManager(k *vtime.Kernel, topo *topology.Grid, defaults func() selector.Q
 // Default returns the QoS an optionless Open would use.
 func (m *Manager) Default() selector.QoS { return m.defaults() }
 
+// Stats returns a consistent copy of the manager's counters (each
+// field loaded atomically).
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Opens:          atomic.LoadInt64(&m.stats.Opens),
+		LocalOpens:     atomic.LoadInt64(&m.stats.LocalOpens),
+		CircuitOpens:   atomic.LoadInt64(&m.stats.CircuitOpens),
+		VLinkOpens:     atomic.LoadInt64(&m.stats.VLinkOpens),
+		CircuitsBuilt:  atomic.LoadInt64(&m.stats.CircuitsBuilt),
+		CircuitReuses:  atomic.LoadInt64(&m.stats.CircuitReuses),
+		CircuitsClosed: atomic.LoadInt64(&m.stats.CircuitsClosed),
+		AdaptiveOpens:  atomic.LoadInt64(&m.stats.AdaptiveOpens),
+		Reselects:      atomic.LoadInt64(&m.stats.Reselects),
+		Resumes:        atomic.LoadInt64(&m.stats.Resumes),
+	}
+}
+
+// SetTelemetry wires the manager into a telemetry hub: the Stats
+// counters join the unified registry under "session.", open latencies
+// feed a histogram, and opens/decisions emit spans when tracing is on.
+func (m *Manager) SetTelemetry(h *telemetry.Hub) {
+	if h == nil || m.tel != nil {
+		return // idempotent: a second bind would double-count the stats
+	}
+	m.tel = h
+	h.Registry().BindStruct("session", &m.stats)
+	m.hOpen = h.Registry().Histogram("session.open_latency")
+}
+
 // SetWeather attaches a network-weather service: from then on Open
 // consults its forecasts, closed channels feed the passive bandwidth
 // tap, and adaptive channels subscribe to its transitions. Call before
@@ -281,10 +321,41 @@ func (m *Manager) Oracle() selector.Oracle {
 
 // decide runs one oracle-aware selection for a pair (current is the
 // incumbent decision when re-evaluating a live adaptive channel).
+// Every verdict emits a selector trace instant carrying the chosen
+// decision and the rejected alternative networks.
 func (m *Manager) decide(src, dst topology.NodeID, qos selector.QoS, current *selector.Decision) (selector.Decision, error) {
-	return selector.Select(m.topo, selector.Request{
+	dec, err := selector.Select(m.topo, selector.Request{
 		Src: src, Dst: dst, QoS: qos, Oracle: m.Oracle(), Current: current,
 	})
+	if err == nil && m.tel.Tracing() {
+		chose := dec.Method // a local decision carries no network
+		if dec.Network != nil {
+			chose = dec.String()
+		}
+		sp := m.tel.Instant("selector", "decide", int(src)).
+			I64("dst", int64(dst)).Str("chose", chose)
+		if rej := m.rejectedAlternatives(src, dst, dec); rej != "" {
+			sp.Str("rejected", rej)
+		}
+		sp.End()
+	}
+	return dec, err
+}
+
+// rejectedAlternatives lists the pair's common networks the selector
+// did not pick — the "why this one" context a trace reader wants.
+func (m *Manager) rejectedAlternatives(src, dst topology.NodeID, dec selector.Decision) string {
+	var b strings.Builder
+	for _, nw := range m.topo.Common(src, dst) {
+		if dec.Network != nil && nw.Name == dec.Network.Name {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(nw.Name)
+	}
+	return b.String()
 }
 
 // Open establishes a channel from src to dst under the manager's
@@ -334,26 +405,41 @@ func (m *Manager) OpenWith(p *vtime.Proc, src, dst topology.NodeID, dec selector
 	return m.provision(p, src, dst, dec)
 }
 
-// provision builds the substrate for one decision.
+// provision builds the substrate for one decision, under a
+// "session.open" span and the open-latency histogram.
 func (m *Manager) provision(p *vtime.Proc, src, dst topology.NodeID, dec selector.Decision) (Channel, error) {
 	cls := classOf(dec)
-	m.Stats.Opens++
+	atomic.AddInt64(&m.stats.Opens, 1)
+	sp := m.tel.Begin("session", "open", int(src))
+	if sp != nil {
+		sp.I64("dst", int64(dst)).Str("method", dec.Method)
+		if dec.Network != nil {
+			sp.Str("network", dec.Network.Name)
+		}
+	}
+	m.tel.Note("session", "open", int(src), int64(dst), int64(cls))
+	t0 := m.k.Now()
+	var ch Channel
+	var err error
 	switch {
 	case cls == selector.PathLocal:
-		m.Stats.LocalOpens++
-		return m.openLocal(src, dst, cls, dec), nil
+		atomic.AddInt64(&m.stats.LocalOpens, 1)
+		ch = m.openLocal(src, dst, cls, dec)
 	case cls == selector.PathSAN && !dec.Secure && !dec.Compress:
-		m.Stats.CircuitOpens++
-		return m.openCircuit(p, src, dst, cls, dec)
+		atomic.AddInt64(&m.stats.CircuitOpens, 1)
+		ch, err = m.openCircuit(p, src, dst, cls, dec)
 	default:
 		// Distributed substrate — also taken for SAN decisions that
 		// demand protocol wrappers (CipherAlways, compression): the
 		// bare madio circuit cannot cipher, but the VLink madio driver
 		// composes with gsec/adoc, so the QoS is honoured rather than
 		// silently dropped.
-		m.Stats.VLinkOpens++
-		return m.openVLink(p, src, dst, cls, dec)
+		atomic.AddInt64(&m.stats.VLinkOpens, 1)
+		ch, err = m.openVLink(p, src, dst, cls, dec)
 	}
+	m.hOpen.Observe(m.k.Now().Sub(t0))
+	sp.End()
+	return ch, err
 }
 
 // classOf derives the path class from the decision the selector
@@ -419,9 +505,9 @@ func (m *Manager) openCircuit(p *vtime.Proc, src, dst topology.NodeID, cls selec
 		pc = &pairCircuit{key: key, circs: circs,
 			sem: vtime.NewSemaphore(fmt.Sprintf("session:pair:%d-%d", key[0], key[1]), 1)}
 		m.pairs[key] = pc
-		m.Stats.CircuitsBuilt++
+		atomic.AddInt64(&m.stats.CircuitsBuilt, 1)
 	} else {
-		m.Stats.CircuitReuses++
+		atomic.AddInt64(&m.stats.CircuitReuses, 1)
 	}
 	// Count the session before queueing on the semaphore so an earlier
 	// session's release cannot tear the circuit down under us.
@@ -459,7 +545,7 @@ func (m *Manager) openCircuit(p *vtime.Proc, src, dst topology.NodeID, cls selec
 				c.Close()
 			}
 			delete(m.pairs, pc.key)
-			m.Stats.CircuitsClosed++
+			atomic.AddInt64(&m.stats.CircuitsClosed, 1)
 		}
 	}
 	a.closef, b.closef = release, release

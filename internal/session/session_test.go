@@ -135,40 +135,40 @@ func TestCircuitRefcountAndRelease(t *testing.T) {
 			opened.Push(ch2)
 		})
 		p.Yield()
-		if m.Stats.CircuitsBuilt != 1 || m.Stats.CircuitReuses != 1 {
-			t.Fatalf("cache stats after overlapping opens: %+v", m.Stats)
+		if m.Stats().CircuitsBuilt != 1 || m.Stats().CircuitReuses != 1 {
+			t.Fatalf("cache stats after overlapping opens: %+v", m.Stats())
 		}
-		if m.Stats.CircuitsClosed != 0 {
-			t.Fatalf("circuit closed while sessions were live: %+v", m.Stats)
+		if m.Stats().CircuitsClosed != 0 {
+			t.Fatalf("circuit closed while sessions were live: %+v", m.Stats())
 		}
 		echoOnce(t, p, g.K, ch1, 8<<10)
 		ch1.Remote().Close()
 		ch1.Close()
 		// First release: the second session holds the circuit open.
 		ch2 := opened.Pop(p)
-		if m.Stats.CircuitsClosed != 0 {
-			t.Fatalf("circuit closed on first release: %+v", m.Stats)
+		if m.Stats().CircuitsClosed != 0 {
+			t.Fatalf("circuit closed on first release: %+v", m.Stats())
 		}
 		echoOnce(t, p, g.K, ch2, 8<<10)
 		ch2.Remote().Close()
 		ch2.Close()
 		// Last release tears the circuit down.
-		if m.Stats.CircuitsClosed != 1 {
-			t.Fatalf("circuit not closed on last release: %+v", m.Stats)
+		if m.Stats().CircuitsClosed != 1 {
+			t.Fatalf("circuit not closed on last release: %+v", m.Stats())
 		}
 		// A later open rebuilds from scratch.
 		ch3, err := m.Open(p, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if m.Stats.CircuitsBuilt != 2 {
-			t.Fatalf("open after last release did not rebuild: %+v", m.Stats)
+		if m.Stats().CircuitsBuilt != 2 {
+			t.Fatalf("open after last release did not rebuild: %+v", m.Stats())
 		}
 		echoOnce(t, p, g.K, ch3, 8<<10)
 		ch3.Remote().Close()
 		ch3.Close()
-		if m.Stats.CircuitsClosed != 2 {
-			t.Fatalf("rebuilt circuit not closed: %+v", m.Stats)
+		if m.Stats().CircuitsClosed != 2 {
+			t.Fatalf("rebuilt circuit not closed: %+v", m.Stats())
 		}
 	}); err != nil {
 		t.Fatal(err)
@@ -291,8 +291,8 @@ func TestSecureSANChannelIsActuallyCiphered(t *testing.T) {
 		if info.Class != selector.PathSAN || !info.Decision.Secure {
 			t.Fatalf("info = %+v, want secure SAN decision", info)
 		}
-		if m.Stats.CircuitOpens != 0 || m.Stats.VLinkOpens != 1 {
-			t.Fatalf("secure SAN open rode the bare circuit: %+v", m.Stats)
+		if m.Stats().CircuitOpens != 0 || m.Stats().VLinkOpens != 1 {
+			t.Fatalf("secure SAN open rode the bare circuit: %+v", m.Stats())
 		}
 		echoOnce(t, p, g.K, ch, 32<<10)
 		ch.Remote().Close()
@@ -401,8 +401,8 @@ func TestAdaptiveChannelViews(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if g.Session().Stats.AdaptiveOpens != 1 {
-			t.Fatalf("%s: AdaptiveOpens = %d", c.name, g.Session().Stats.AdaptiveOpens)
+		if g.Session().Stats().AdaptiveOpens != 1 {
+			t.Fatalf("%s: AdaptiveOpens = %d", c.name, g.Session().Stats().AdaptiveOpens)
 		}
 	}
 }
@@ -466,7 +466,7 @@ func TestAdaptiveReselectsOnDegradedForecast(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if s := g.Session().Stats; s.Reselects != 1 || s.Resumes != 1 {
+	if s := g.Session().Stats(); s.Reselects != 1 || s.Resumes != 1 {
 		t.Fatalf("manager stats Reselects=%d Resumes=%d", s.Reselects, s.Resumes)
 	}
 }

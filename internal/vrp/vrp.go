@@ -17,9 +17,11 @@ package vrp
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/ipstack"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -63,7 +65,18 @@ type Conn struct {
 	rcvStash map[uint64][]byte
 	rcvQ     *vtime.Queue[Message]
 
-	Stats Stats
+	stats Stats
+	tel   *telemetry.Hub
+}
+
+// Stats returns a consistent copy of the connection's counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		Sent:          atomic.LoadInt64(&c.stats.Sent),
+		Delivered:     atomic.LoadInt64(&c.stats.Delivered),
+		Skipped:       atomic.LoadInt64(&c.stats.Skipped),
+		Retransmitted: atomic.LoadInt64(&c.stats.Retransmitted),
+	}
 }
 
 // Message is one delivered datagram. Seq gaps indicate tolerated
@@ -95,6 +108,10 @@ func New(k *vtime.Kernel, udp *ipstack.UDPConn, peer topology.NodeID, peerPort i
 		rcvStash: make(map[uint64][]byte),
 		rcvQ:     vtime.NewQueue[Message](fmt.Sprintf("vrp:%d", udp.Port())),
 	}
+	if h := telemetry.For(k); h != nil {
+		c.tel = h
+		h.Registry().BindStruct("vrp", &c.stats)
+	}
 	mtu, err := udp.MTU(peer)
 	if err != nil {
 		panic(fmt.Sprintf("vrp: no route to peer: %v", err))
@@ -116,7 +133,7 @@ func (c *Conn) Send(data []byte) {
 	seq := c.nextSeq
 	c.nextSeq++
 	c.sendBuf[seq] = append([]byte(nil), data...)
-	c.Stats.Sent++
+	atomic.AddInt64(&c.stats.Sent, 1)
 	c.sentWin++
 	c.sendPaced(pktData, seq, data)
 }
@@ -291,14 +308,17 @@ func (c *Conn) onAck(base uint64, payload []byte) {
 		if float64(c.skipWin+1) <= budget {
 			// Within tolerance: abandon the hole.
 			c.skipWin++
-			c.Stats.Skipped++
+			atomic.AddInt64(&c.stats.Skipped, 1)
+			if c.tel.Tracing() {
+				c.tel.Instant("vrp", "skip", int(c.peer)).I64("seq", int64(seq)).End()
+			}
 			delete(c.sendBuf, seq)
 			c.skipped[seq] = true
 			c.sendNow(pktSkip, seq, nil)
 			continue
 		}
 		// Over budget: repair.
-		c.Stats.Retransmitted++
+		atomic.AddInt64(&c.stats.Retransmitted, 1)
 		c.sendNow(pktData, seq, data)
 	}
 }

@@ -43,8 +43,8 @@ func TestLosslessLinkDeliversEverythingInOrder(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if snd.Stats.Skipped != 0 || snd.Stats.Retransmitted != 0 {
-		t.Fatalf("recovery on a lossless link: %+v", snd.Stats)
+	if snd.Stats().Skipped != 0 || snd.Stats().Retransmitted != 0 {
+		t.Fatalf("recovery on a lossless link: %+v", snd.Stats())
 	}
 }
 
@@ -69,11 +69,11 @@ func TestZeroToleranceRepairsEverything(t *testing.T) {
 	if received != n {
 		t.Fatalf("delivered %d of %d with zero tolerance", received, n)
 	}
-	if snd.Stats.Retransmitted == 0 {
+	if snd.Stats().Retransmitted == 0 {
 		t.Fatal("no repairs on a 5% lossy link")
 	}
-	if snd.Stats.Skipped != 0 {
-		t.Fatalf("skips with zero tolerance: %d", snd.Stats.Skipped)
+	if snd.Stats().Skipped != 0 {
+		t.Fatalf("skips with zero tolerance: %d", snd.Stats().Skipped)
 	}
 }
 
@@ -95,14 +95,14 @@ func TestToleranceBoundsSkips(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	skipFrac := float64(snd.Stats.Skipped) / float64(n)
+	skipFrac := float64(snd.Stats().Skipped) / float64(n)
 	if skipFrac > 0.021 {
 		t.Fatalf("skipped %.1f%% with 2%% tolerance", skipFrac*100)
 	}
 	if float64(received)/float64(n) < 0.97 {
 		t.Fatalf("delivered only %d/%d", received, n)
 	}
-	if snd.Stats.Retransmitted == 0 {
+	if snd.Stats().Retransmitted == 0 {
 		t.Fatal("5% loss above 2% tolerance must force repairs")
 	}
 }

@@ -160,6 +160,26 @@ type Kernel struct {
 	ProcSwitches  int64
 	ProcsSpawned  int64
 	ProcsFinished int64
+
+	// Telemetry is an opaque per-kernel observability slot, set by
+	// internal/telemetry.Attach. vtime only knows the FailureObserver
+	// facet so the dependency points outward.
+	Telemetry any
+}
+
+// FailureObserver is implemented by a telemetry hub that wants to hear
+// about kernel failures (deadlock, proc panic) before Run returns —
+// the flight-recorder dump hook.
+type FailureObserver interface{ KernelFailure(err error) }
+
+// notifyFailure tells an attached observer about a terminal error.
+func (k *Kernel) notifyFailure(err error) {
+	if err == nil {
+		return
+	}
+	if fo, ok := k.Telemetry.(FailureObserver); ok {
+		fo.KernelFailure(err)
+	}
 }
 
 // NewKernel returns an empty kernel at t=0.
@@ -348,12 +368,14 @@ func (k *Kernel) Run(root func(p *Proc)) error {
 		if !k.fireNextEvent() {
 			// Nothing runnable, nothing scheduled.
 			if err := k.deadlock(); err != nil {
+				k.notifyFailure(err)
 				k.teardown()
 				return err
 			}
 			break
 		}
 	}
+	k.notifyFailure(k.failure)
 	k.teardown()
 	return k.failure
 }

@@ -18,6 +18,7 @@ package weather
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"padico/internal/selector"
 	"padico/internal/vtime"
@@ -134,7 +135,8 @@ func (e *entry) closeProbe() {
 // re-dialing resets the connection's congestion window — which costs a
 // fresh warm-up before bandwidth samples are trustworthy again.
 func (s *Service) probeFailure(e *entry) {
-	s.Stats.ProbeFailures++
+	atomic.AddInt64(&s.stats.ProbeFailures, 1)
+	s.tel.Note("weather", "probe failure", int(e.a), int64(e.b), int64(e.failures+1))
 	s.foldLoss(e, true)
 	e.failures++
 	if e.failures >= s.cfg.DownAfter {
@@ -182,7 +184,10 @@ func (s *Service) replyTimeout(e *entry) vtime.Duration {
 func (s *Service) probePing(p *vtime.Proc, e *entry) {
 	e.seq++
 	seq := e.seq
-	s.Stats.Pings++
+	atomic.AddInt64(&s.stats.Pings, 1)
+	sp := s.tel.Begin("weather", "probe.ping", int(e.a)).
+		I64("peer", int64(e.b)).I64("seq", int64(seq))
+	defer sp.End()
 	start := p.Now()
 	segs := probeFrame(probePing, seq, 0)
 	if e.ch.Send(p, segs...) != nil {
@@ -199,6 +204,7 @@ func (s *Service) probePing(p *vtime.Proc, e *entry) {
 			continue // stale reply from before a timeout round
 		}
 		rtt := p.Now().Sub(start)
+		s.hProbe.Observe(rtt)
 		s.foldLatency(e, rtt/2, s.cfg.Alpha)
 		s.probeSuccess(e)
 		return
@@ -210,9 +216,12 @@ func (s *Service) probePing(p *vtime.Proc, e *entry) {
 // high-latency healthy WAN is not mistaken for a slow one.
 func (s *Service) probeBandwidth(p *vtime.Proc, e *entry) {
 	size := s.cfg.ProbeBytes
-	s.Stats.BandwidthProbes++
+	atomic.AddInt64(&s.stats.BandwidthProbes, 1)
 	e.seq++
 	seq := e.seq
+	sp := s.tel.Begin("weather", "probe.bw", int(e.a)).
+		I64("peer", int64(e.b)).I64("bytes", int64(size))
+	defer sp.End()
 	start := p.Now()
 	segs := probeFrame(probeBW, seq, uint64(size))
 	if e.ch.Send(p, segs...) != nil {

@@ -30,11 +30,13 @@ package weather
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/ipstack"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -116,7 +118,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts monitoring activity.
+// Stats counts monitoring activity. Counters are bumped with atomic
+// adds and read race-free through Service.Stats; with telemetry
+// attached they also surface in the shared registry under the
+// "weather." prefix.
 type Stats struct {
 	Pings, ProbeFailures int64
 	BandwidthProbes      int64
@@ -164,7 +169,21 @@ type Service struct {
 	publishing bool
 	started    bool
 
-	Stats Stats
+	stats  Stats
+	tel    *telemetry.Hub
+	hProbe *telemetry.Histogram
+}
+
+// Stats returns a consistent copy of the service's counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Pings:            atomic.LoadInt64(&s.stats.Pings),
+		ProbeFailures:    atomic.LoadInt64(&s.stats.ProbeFailures),
+		BandwidthProbes:  atomic.LoadInt64(&s.stats.BandwidthProbes),
+		PassiveBandwidth: atomic.LoadInt64(&s.stats.PassiveBandwidth),
+		PassiveRTT:       atomic.LoadInt64(&s.stats.PassiveRTT),
+		Publishes:        atomic.LoadInt64(&s.stats.Publishes),
+	}
 }
 
 // New builds a weather service over a testbed's session manager. The
@@ -174,6 +193,11 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, stack *ipst
 	s := &Service{
 		k: k, topo: topo, mgr: mgr, stack: stack, cfg: cfg.withDefaults(),
 		byKey: make(map[string]*entry),
+	}
+	if h := telemetry.For(k); h != nil {
+		s.tel = h
+		h.Registry().BindStruct("weather", &s.stats)
+		s.hProbe = h.Registry().Histogram("weather.probe_rtt")
 	}
 	s.discover()
 	return s
@@ -278,7 +302,7 @@ func (s *Service) sweepRTT(p *vtime.Proc) {
 				continue
 			}
 			s.foldLatency(e, srtt/2, s.cfg.PassiveAlpha)
-			s.Stats.PassiveRTT++
+			atomic.AddInt64(&s.stats.PassiveRTT, 1)
 		}
 	}
 }
@@ -348,7 +372,12 @@ func (s *Service) maybePublish(e *entry) {
 		return
 	}
 	e.degraded = degraded
-	s.Stats.Publishes++
+	atomic.AddInt64(&s.stats.Publishes, 1)
+	s.tel.Note("weather", "publish: degraded state flipped", int(e.a), int64(e.b), boolInt(degraded))
+	if s.tel.Tracing() {
+		s.tel.Instant("weather", "publish", int(e.a)).
+			I64("peer", int64(e.b)).Str("net", e.nw.Name).I64("degraded", boolInt(degraded)).End()
+	}
 	// Index loop, publication guard: a callback may cancel its own (or
 	// another) subscription, or add one — compaction is deferred until
 	// the loop is done so the list never shifts under the iteration.
@@ -438,7 +467,7 @@ func (s *Service) ObserveTransfer(src, dst topology.NodeID, network string, byte
 	} else {
 		s.foldBandwidthLower(e, bps)
 	}
-	s.Stats.PassiveBandwidth++
+	atomic.AddInt64(&s.stats.PassiveBandwidth, 1)
 }
 
 // subscription is one registered transition callback; cancelled ones
@@ -502,4 +531,11 @@ func (s *Service) String() string {
 		out += fmt.Sprintf("%-40s lat=%-10v loss=%.2f %s\n", e.key, e.f.Latency, e.f.Loss, state)
 	}
 	return out
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

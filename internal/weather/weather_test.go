@@ -40,8 +40,8 @@ func TestForecastConvergesToLinkRate(t *testing.T) {
 	if f.Latency < 6*time.Millisecond || f.Latency > 12*time.Millisecond {
 		t.Fatalf("latency forecast %v, want ~8ms", f.Latency)
 	}
-	if svc.Stats.Pings == 0 || svc.Stats.BandwidthProbes == 0 || svc.Stats.PassiveRTT == 0 {
-		t.Fatalf("probe stats %+v", svc.Stats)
+	if svc.Stats().Pings == 0 || svc.Stats().BandwidthProbes == 0 || svc.Stats().PassiveRTT == 0 {
+		t.Fatalf("probe stats %+v", svc.Stats())
 	}
 	// Forecasts only exist per monitored network.
 	if _, ok := svc.Forecast(0, 1, g.Topo.Networks()[0]); ok {
@@ -149,7 +149,7 @@ func TestWeatherIsDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		f, _ := svc.Forecast(0, 1, wan)
-		return f, svc.Stats
+		return f, svc.Stats()
 	}
 	f1, s1 := run()
 	f2, s2 := run()
