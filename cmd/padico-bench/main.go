@@ -33,6 +33,7 @@ func main() {
 	dgf := flag.Bool("datagrid", false, "data grid: striped replication across the lossy WAN")
 	grp := flag.Bool("group", false, "group: flat vs hierarchical replication fan-out")
 	wthr := flag.Bool("weather", false, "weather: adaptive vs static selection on a degrading WAN")
+	storef := flag.Bool("store", false, "store: memory vs durable pack engine, with the corrupt-and-repair drill (writes BENCH_7.json)")
 	tracef := flag.String("trace", "", "write a Chrome trace of the observed degrading-WAN workload to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry registry snapshot of the observed workload (writes BENCH_6.json)")
 	flag.Parse()
@@ -40,7 +41,7 @@ func main() {
 		runObserved(*tracef, *metrics)
 		os.Exit(0)
 	}
-	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf && !*grp && !*wthr
+	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf && !*grp && !*wthr && !*storef
 
 	if all || *fig3 {
 		fmt.Println("=== Figure 3: bandwidth (MB/s) of middleware systems in PadicoTM over Myrinet-2000 ===")
@@ -143,7 +144,53 @@ func main() {
 		fmt.Printf("adaptive: %.1fx lower makespan, %.1fx fewer bytes over the degraded link\n\n",
 			st.MakespanS/ad.MakespanS, st.DegradedLinkMB/ad.DegradedLinkMB)
 	}
+	if all || *storef {
+		fmt.Printf("=== Store engines: %d objects x %dMB, replicas 2, two clusters, %.0f%% WAN loss ===\n",
+			bench.StoreObjects, bench.StoreObjectSize>>20, bench.DataGridWANLoss*100)
+		fmt.Printf("%-8s %11s %11s %10s %10s %12s %10s %6s\n",
+			"engine", "put MB/s", "get MB/s", "scrub (s)", "corrupted", "quarantined", "repaired", "lost")
+		rows := bench.StoreBench()
+		for _, r := range rows {
+			fmt.Printf("%-8s %11.1f %11.1f %10.3f %10d %12d %10d %6d\n",
+				r.Engine, r.PutMBps, r.GetMBps, r.ScrubS, r.Corrupted, r.Quarantined, r.Repaired, r.Lost)
+		}
+		if *storef {
+			if err := writeBench7(rows); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote BENCH_7.json")
+		}
+		fmt.Println()
+	}
 	os.Exit(0)
+}
+
+// writeBench7 writes the store table sidecar.
+func writeBench7(rows []bench.StoreResult) error {
+	doc := struct {
+		PR      int                 `json:"pr"`
+		Title   string              `json:"title"`
+		Command string              `json:"command"`
+		Note    string              `json:"note"`
+		Table   []bench.StoreResult `json:"table"`
+	}{
+		PR:      7,
+		Title:   "internal/store: durable pack-engine object store under datagrid, with background auditor and anti-entropy repair",
+		Command: "go run ./cmd/padico-bench -store",
+		Note: "The identical datagrid workload (8x1MB objects, replica factor 2, striped x4, lossy two-cluster WAN) " +
+			"on both storage backends. The pack engine appends needles into bundle files with simulated disk " +
+			"charges (seek, per-byte platter rates, batched fsync), so its ingest trails the zero-cost memory map. " +
+			"The drill corrupts two needles on disk, one audit pass quarantines both, one repair pass restores " +
+			"the replication factor over the normal transfer path, and no object is lost. Deterministic: " +
+			"bit-identical across reruns, pinned by TestDeterminismStoreTable.",
+		Table: rows,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_7.json", append(out, '\n'), 0o644)
 }
 
 // runObserved executes the traced workload once and serves both

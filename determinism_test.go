@@ -134,6 +134,54 @@ func TestDeterminismWeatherTable(t *testing.T) {
 	}
 }
 
+// fmtStoreRow renders one store table row with full float precision.
+func fmtStoreRow(r bench.StoreResult) string {
+	return fmt.Sprintf("engine=%s put=%v get=%v scrub=%v corrupted=%d quarantined=%d repaired=%d lost=%d",
+		r.Engine, r.PutMBps, r.GetMBps, r.ScrubS, r.Corrupted, r.Quarantined, r.Repaired, r.Lost)
+}
+
+// TestDeterminismStoreTable pins the store engine table: two complete
+// StoreBench runs must be bit-identical (the pack engine's disk
+// charges are simulated virtual time, and its bundle files live in a
+// fresh temp dir each run), the pack ingest must trail the free
+// in-memory map, and the corrupt-and-repair drill must quarantine
+// both injected rots and lose nothing on either backend.
+func TestDeterminismStoreTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full store table run")
+	}
+	first := bench.StoreBench()
+	second := bench.StoreBench()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("table has %d/%d rows, want 2", len(first), len(second))
+	}
+	for i := range first {
+		a, b := fmtStoreRow(first[i]), fmtStoreRow(second[i])
+		if a != b {
+			t.Errorf("row %d drifted across reruns:\n run1 %s\n run2 %s", i, a, b)
+		}
+	}
+	memory, pack := first[0], first[1]
+	if memory.Engine != "memory" || pack.Engine != "pack" {
+		t.Fatalf("row order changed: %+v / %+v", memory, pack)
+	}
+	if pack.PutMBps >= memory.PutMBps {
+		t.Errorf("pack ingest %v not below the free memory map %v (no disk charged?)",
+			pack.PutMBps, memory.PutMBps)
+	}
+	for _, r := range first {
+		if r.Quarantined != r.Corrupted {
+			t.Errorf("%s: audit caught %d of %d injected rots", r.Engine, r.Quarantined, r.Corrupted)
+		}
+		if r.Repaired < int64(r.Corrupted) {
+			t.Errorf("%s: repaired %d < corrupted %d", r.Engine, r.Repaired, r.Corrupted)
+		}
+		if r.Lost != 0 {
+			t.Errorf("%s: %d objects lost", r.Engine, r.Lost)
+		}
+	}
+}
+
 // TestDeterminismTrace pins the observability layer the same way the
 // weather table is pinned: two complete TraceRun executions must
 // serialize to byte-identical Chrome trace JSON. It also asserts the

@@ -62,7 +62,7 @@ func main() {
 		moved := dg.RemoveMember(0)
 		fmt.Printf("node 0 left the ring: %d replication jobs scheduled\n", moved)
 		dg.WaitSettled(p)
-		trimmed := dg.TrimExcess()
+		trimmed := dg.TrimExcess(p)
 		fmt.Printf("rebalance settled, %d stale copies trimmed\n", trimmed)
 	})
 	if err != nil {

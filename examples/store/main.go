@@ -1,0 +1,106 @@
+// Store: the durable pack engine under the datagrid, and the
+// anti-entropy loop that keeps it honest. Every node persists its
+// replicas as needles appended into bundle files (auklet-style pack
+// storage) with simulated disk charges; a background auditor scrubs
+// the needles against their recorded sha256 at a bounded rate. The
+// demo puts a few objects, flips one byte of one needle on disk,
+// watches the auditor quarantine it (with a flight-recorder dump),
+// and lets the repair loop re-replicate the lost copy over the normal
+// transfer path — ending at full replication with every copy
+// verified, and the whole history durable across a reopen.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"padico/internal/datagrid"
+	"padico/internal/grid"
+	"padico/internal/store"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "padico-store-demo-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g := grid.TwoClusterWAN(2, 2)
+	g.Telemetry() // attach the hub: quarantines dump the flight recorder
+	dg := g.NewPackDataGrid(dir, store.PackConfig{}, datagrid.Config{
+		Replicas:       2,
+		Streams:        4,
+		AuditInterval:  500 * time.Millisecond,
+		RepairInterval: 500 * time.Millisecond,
+	})
+
+	var victim topology.NodeID
+	if err := g.K.Run(func(p *vtime.Proc) {
+		// Ingest: each put appends a needle into the entry node's bundle
+		// and replicates across the WAN into the remote site's bundles.
+		data := make([]byte, 1<<20)
+		rand.New(rand.NewSource(3)).Read(data)
+		start := p.Now()
+		for i := 0; i < 4; i++ {
+			if err := dg.Put(p, topology.NodeID(i%4), fmt.Sprintf("dataset-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+		fmt.Printf("4x1 MiB ingested and replicated in %v (needles fsync-batched)\n", p.Now().Sub(start))
+
+		// Bit rot: flip one byte of dataset-1's needle on one holder's
+		// platter. Nothing notices yet — the index and catalog still
+		// count the copy.
+		victim = dg.Holders("dataset-1")[0]
+		if !dg.EngineOn(victim).Corrupt("dataset-1") {
+			panic("corrupt failed")
+		}
+		fmt.Printf("flipped one byte of dataset-1's needle on node %d\n", victim)
+
+		// The background auditor scrubs every needle against its
+		// recorded sha256; the mismatch is quarantined (see the flight
+		// dump on stderr) and the kicked repair loop re-replicates from
+		// the surviving copy.
+		p.Sleep(2 * time.Second)
+		dg.WaitSettled(p)
+		st := dg.Stats()
+		fmt.Printf("auditor quarantined %d needle(s), repair restored %d cop(ies)\n",
+			st.Quarantines, st.Repairs)
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("dataset-%d", i)
+			if err := dg.VerifyReplicas(name); err != nil {
+				panic(err)
+			}
+			if len(dg.Holders(name)) != 2 {
+				panic(name + " below replication factor")
+			}
+		}
+		fmt.Println("every object back at replica factor 2, all copies verified")
+		if lost := dg.LostObjects(); len(lost) != 0 {
+			panic(fmt.Sprintf("lost: %v", lost))
+		}
+	}); err != nil {
+		panic(err)
+	}
+	if err := dg.Close(); err != nil {
+		panic(err)
+	}
+
+	// Durability: reopen the repaired node's bundles on a fresh kernel
+	// and re-verify the needle the auditor replaced.
+	eng, err := store.PackFactory(dir, store.PackConfig{})(vtime.NewKernel(), victim)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+	if _, ok := eng.Get("dataset-1"); !ok {
+		panic("repaired needle missing after reopen")
+	}
+	fmt.Printf("node %d reopened from its bundles: repaired dataset-1 is durable\n", victim)
+}

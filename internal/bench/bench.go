@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"padico/internal/datagrid"
@@ -25,6 +26,7 @@ import (
 	"padico/internal/rmi"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/store"
 	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vlink"
@@ -1134,4 +1136,116 @@ func TraceRun() *telemetry.Hub {
 		panic(fmt.Sprintf("bench: trace run: %v", err))
 	}
 	return h
+}
+
+// ---------------------------------------------------------------------
+// Store: the durable pack engine vs the in-memory map, plus the
+// corrupt-and-repair anti-entropy drill.
+
+// StoreResult is one engine row of the -store table. Every row runs
+// the same workload on the lossy two-cluster WAN: ingest StoreObjects
+// objects, read them all back from a non-entry client, scrub every
+// node once, then corrupt two needles and drive one full
+// audit -> quarantine -> repair cycle.
+type StoreResult struct {
+	Engine string // "memory" | "pack"
+	// PutMBps is the aggregate client->first-replica ingest rate; on
+	// the pack engine this includes the simulated needle appends and
+	// batched fsyncs, so it trails the memory row.
+	PutMBps float64
+	// GetMBps is the aggregate read-back rate from a remote client.
+	GetMBps float64
+	// ScrubS is one synchronous grid-wide audit pass (every replica
+	// re-read and re-hashed, paced to the scrub rate bound).
+	ScrubS float64
+	// Corrupted needles were injected; Quarantined is what the next
+	// audit pass caught (must equal Corrupted); Repaired counts copies
+	// the anti-entropy loop restored; Lost must be zero.
+	Corrupted   int
+	Quarantined int
+	Repaired    int64
+	Lost        int
+}
+
+// StoreSizes: objects per run and bytes per object.
+const (
+	StoreObjects    = 8
+	StoreObjectSize = 1 << 20
+)
+
+// StoreBench runs the store table: the in-memory map and the durable
+// pack engine under the identical datagrid workload. Deterministic on
+// both rows — the pack engine's disk charges are simulated virtual
+// time, not wall clock.
+func StoreBench() []StoreResult {
+	return []StoreResult{storeRun("memory"), storeRun("pack")}
+}
+
+func storeRun(engine string) StoreResult {
+	g := grid.TwoClusterWANLoss(2, 2, DataGridWANLoss)
+	cfg := datagrid.Config{Replicas: 2, Streams: 4}
+	if engine == "pack" {
+		dir, err := os.MkdirTemp("", "padico-store-bench-*")
+		if err != nil {
+			panic(fmt.Sprintf("bench: store: %v", err))
+		}
+		defer os.RemoveAll(dir)
+		cfg.Engine = store.PackFactory(dir, store.PackConfig{})
+	}
+	dg := g.NewDataGrid(cfg)
+	res := StoreResult{Engine: engine}
+	err := g.K.Run(func(p *vtime.Proc) {
+		data := make([]byte, StoreObjectSize)
+		rand.New(rand.NewSource(7)).Read(data)
+		start := p.Now()
+		for i := 0; i < StoreObjects; i++ {
+			if err := dg.Put(p, topology.NodeID(i%4), fmt.Sprintf("st-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+		res.PutMBps = float64(StoreObjects*StoreObjectSize) / p.Now().Sub(start).Seconds() / 1e6
+
+		gs := p.Now()
+		for i := 0; i < StoreObjects; i++ {
+			if _, err := dg.Get(p, topology.NodeID((i+1)%4), fmt.Sprintf("st-%d", i)); err != nil {
+				panic(err)
+			}
+		}
+		res.GetMBps = float64(StoreObjects*StoreObjectSize) / p.Now().Sub(gs).Seconds() / 1e6
+
+		ss := p.Now()
+		if n := dg.AuditNow(p); n != 0 {
+			panic(fmt.Sprintf("bench: store: clean scrub quarantined %d", n))
+		}
+		res.ScrubS = p.Now().Sub(ss).Seconds()
+
+		// The drill: two needles rot on different nodes; one audit pass
+		// quarantines both, one repair pass restores the replication
+		// factor, and nothing is lost.
+		for _, i := range []int{1, 5} {
+			name := fmt.Sprintf("st-%d", i)
+			if !dg.EngineOn(dg.Holders(name)[i%2]).Corrupt(name) {
+				panic("bench: store: could not corrupt " + name)
+			}
+		}
+		res.Corrupted = 2
+		res.Quarantined = dg.AuditNow(p)
+		dg.RepairNow(p)
+		dg.WaitSettled(p)
+		for i := 0; i < StoreObjects; i++ {
+			if err := dg.VerifyReplicas(fmt.Sprintf("st-%d", i)); err != nil {
+				panic(err)
+			}
+		}
+		res.Lost = len(dg.LostObjects())
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: store: %v", err))
+	}
+	res.Repaired = dg.Stats().Repairs
+	if err := dg.Close(); err != nil {
+		panic(fmt.Sprintf("bench: store: close: %v", err))
+	}
+	return res
 }

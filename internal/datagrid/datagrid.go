@@ -12,6 +12,7 @@ import (
 	"padico/internal/model"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/store"
 	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
@@ -71,6 +72,26 @@ type Config struct {
 	// successful reception (chaos hook for retry testing): returning
 	// true discards the copy and reports a failure to the sender.
 	InjectFault func(name string, attempt int) bool
+	// Engine selects the per-node storage backend (default
+	// store.MemoryFactory, the in-memory map — byte-identical to the
+	// pre-store datagrid). grid.NewPackDataGrid wires the durable pack
+	// engine.
+	Engine store.Factory
+	// AuditInterval, when positive, runs a background auditor per node
+	// engine: every interval of virtual time the node's needles are
+	// scrubbed against their checksums and corrupt ones quarantined
+	// (which kicks the repair loop). Zero starts no daemons; AuditNow
+	// still scrubs synchronously.
+	AuditInterval time.Duration
+	// AuditRate caps scrub throughput in payload bytes per second of
+	// virtual time (0 = the auditor's default).
+	AuditRate float64
+	// RepairInterval, when positive, runs the anti-entropy repair
+	// daemon: every interval — or immediately after an audit
+	// quarantine — the catalog is scanned for under-replicated objects
+	// and repair transfers are scheduled over the normal data path.
+	// Zero starts no daemon; RepairNow still repairs synchronously.
+	RepairInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +158,14 @@ type Stats struct {
 	// SourceSwitches counts GETs whose replica source was switched
 	// away from the static proximity ranking by forecast bandwidth.
 	SourceSwitches int64
+	// Deletes counts DataGrid.Delete operations (each fans out to
+	// every holder's engine).
+	Deletes int64
+	// Quarantines counts needles the audit path took out of service.
+	Quarantines int64
+	// Repairs counts completed anti-entropy repair transfers — copies
+	// restored after a quarantine or injected fault.
+	Repairs int64
 }
 
 // countTransfer attributes one transfer to the paradigm the session
@@ -164,8 +193,15 @@ type DataGrid struct {
 
 	ring    *Ring
 	catalog map[string]*ObjectMeta
-	stores  map[topology.NodeID]map[string][]byte
-	sched   *scheduler
+	// engines holds each node's storage backend, created lazily by the
+	// configured Factory on the first byte stored there; auditors
+	// shadow it one-to-one (scrub daemons only when AuditInterval > 0).
+	engines  map[topology.NodeID]store.Engine
+	auditors map[topology.NodeID]*store.Auditor
+	// repairKick wakes the anti-entropy daemon early (audit quarantines
+	// signal it instead of waiting out RepairInterval).
+	repairKick *vtime.Cond
+	sched      *scheduler
 	// groups caches hierarchical fan-out groups by member set, so
 	// repeated placements reuse their spanning trees and cached WAN
 	// edges. groupWAN is the per-group WAN byte count already folded
@@ -181,6 +217,8 @@ type DataGrid struct {
 	// the kernel before New.
 	tel       *telemetry.Hub
 	hTransfer *telemetry.Histogram
+	hAudit    *telemetry.Histogram
+	hRepair   *telemetry.Histogram
 }
 
 // New builds a DataGrid over an existing testbed's session manager.
@@ -191,18 +229,25 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, cfg Config)
 	cfg = cfg.withDefaults()
 	dg := &DataGrid{
 		k: k, topo: topo, mgr: mgr, cfg: cfg,
-		ring:     RingFromTopology(topo, cfg.VNodes),
-		catalog:  make(map[string]*ObjectMeta),
-		stores:   make(map[topology.NodeID]map[string][]byte),
-		groups:   make(map[string]*group.Group),
-		groupWAN: make(map[*group.Group]int64),
+		ring:       RingFromTopology(topo, cfg.VNodes),
+		catalog:    make(map[string]*ObjectMeta),
+		engines:    make(map[topology.NodeID]store.Engine),
+		auditors:   make(map[topology.NodeID]*store.Auditor),
+		repairKick: vtime.NewCond("datagrid:repair"),
+		groups:     make(map[string]*group.Group),
+		groupWAN:   make(map[*group.Group]int64),
 	}
 	if h := telemetry.For(k); h != nil {
 		dg.tel = h
 		h.Registry().BindStruct("datagrid", &dg.stats)
 		dg.hTransfer = h.Registry().Histogram("datagrid.transfer_latency")
+		dg.hAudit = h.Registry().Histogram("store.audit_latency")
+		dg.hRepair = h.Registry().Histogram("store.repair_latency")
 	}
 	dg.sched = newScheduler(dg, cfg.Workers)
+	if cfg.RepairInterval > 0 {
+		k.GoDaemon("dg-repair", dg.repairLoop)
+	}
 	return dg
 }
 
@@ -222,6 +267,9 @@ func (dg *DataGrid) Stats() Stats {
 		GroupFanouts:     atomic.LoadInt64(&dg.stats.GroupFanouts),
 		WANBytes:         atomic.LoadInt64(&dg.stats.WANBytes),
 		SourceSwitches:   atomic.LoadInt64(&dg.stats.SourceSwitches),
+		Deletes:          atomic.LoadInt64(&dg.stats.Deletes),
+		Quarantines:      atomic.LoadInt64(&dg.stats.Quarantines),
+		Repairs:          atomic.LoadInt64(&dg.stats.Repairs),
 	}
 }
 
@@ -252,10 +300,11 @@ func (dg *DataGrid) Objects() []string {
 }
 
 // Holders returns the nodes currently holding a copy, sorted by id.
+// Presence is answered from each engine's index (no payload load).
 func (dg *DataGrid) Holders(name string) []topology.NodeID {
 	var out []topology.NodeID
-	for n, st := range dg.stores {
-		if _, ok := st[name]; ok {
+	for n, eng := range dg.engines {
+		if _, ok := eng.Size(name); ok {
 			out = append(out, n)
 		}
 	}
@@ -263,23 +312,68 @@ func (dg *DataGrid) Holders(name string) []topology.NodeID {
 	return out
 }
 
-// ObjectOn returns the bytes of a replica as held by one node.
+// ObjectOn returns the bytes of a replica as held by one node (an
+// uncharged peek — the transfer paths go through Engine.Read).
 func (dg *DataGrid) ObjectOn(n topology.NodeID, name string) ([]byte, bool) {
-	st, ok := dg.stores[n]
+	eng, ok := dg.engines[n]
 	if !ok {
 		return nil, false
 	}
-	b, ok := st[name]
-	return b, ok
+	return eng.Get(name)
 }
 
-func (dg *DataGrid) storePut(n topology.NodeID, name string, data []byte) {
-	st, ok := dg.stores[n]
-	if !ok {
-		st = make(map[string][]byte)
-		dg.stores[n] = st
+// EngineOn returns node n's storage engine, creating it (and its
+// auditor) on first use via the configured factory. The auditor's
+// scrub daemon starts only when AuditInterval > 0; its quarantines
+// feed the repair loop through onQuarantine.
+func (dg *DataGrid) EngineOn(n topology.NodeID) store.Engine {
+	if eng, ok := dg.engines[n]; ok {
+		return eng
 	}
-	st[name] = data
+	factory := dg.cfg.Engine
+	if factory == nil {
+		factory = store.MemoryFactory
+	}
+	eng, err := factory(dg.k, n)
+	if err != nil {
+		panic(fmt.Sprintf("datagrid: engine for node %d: %v", n, err))
+	}
+	dg.engines[n] = eng
+	if dg.cfg.AuditInterval > 0 {
+		dg.auditorOn(n).Start()
+	}
+	return eng
+}
+
+// auditorOn returns node n's auditor, creating it on first use — only
+// background-audit configs or an explicit AuditNow pay for one.
+func (dg *DataGrid) auditorOn(n topology.NodeID) *store.Auditor {
+	if a, ok := dg.auditors[n]; ok {
+		return a
+	}
+	a := store.NewAuditor(dg.k, n, dg.EngineOn(n), store.AuditConfig{
+		Interval:  dg.cfg.AuditInterval,
+		RateBytes: dg.cfg.AuditRate,
+		OnCorrupt: func(p *vtime.Proc, key string) { dg.onQuarantine(p, n, key) },
+	})
+	dg.auditors[n] = a
+	return a
+}
+
+// onQuarantine is the audit → repair hinge: the auditor already
+// dumped the flight ring and took the needle out of service; here the
+// grid counts it and wakes the repair daemon instead of letting the
+// object sit under-replicated until the next interval.
+func (dg *DataGrid) onQuarantine(_ *vtime.Proc, n topology.NodeID, key string) {
+	atomic.AddInt64(&dg.stats.Quarantines, 1)
+	dg.tel.Note("datagrid", "replica quarantined: "+key, int(n), 0, 0)
+	dg.repairKick.Broadcast()
+}
+
+func (dg *DataGrid) storePut(p *vtime.Proc, n topology.NodeID, name string, data []byte, sum [32]byte) {
+	if err := dg.EngineOn(n).Put(p, name, data, sum); err != nil {
+		panic(fmt.Sprintf("datagrid: store put %q on node %d: %v", name, n, err))
+	}
 }
 
 // Put writes an object from a client node: the payload travels to the
@@ -311,7 +405,7 @@ func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data
 	if err != nil {
 		return err
 	}
-	dg.storePut(entry, name, got)
+	dg.storePut(p, entry, name, got, meta.Sum)
 	dg.catalog[name] = meta
 	// Fan out: entry -> remaining targets, via the scheduler — one
 	// point-to-point job per target, or a single hierarchical multicast
@@ -448,7 +542,10 @@ func (dg *DataGrid) Get(p *vtime.Proc, client topology.NodeID, name string) ([]b
 	}
 	defer sp.End()
 	for _, h := range dg.rankForGet(client, holders) {
-		data, _ := dg.ObjectOn(h, name)
+		data, ok := dg.EngineOn(h).Read(p, name)
+		if !ok {
+			continue
+		}
 		got, err := dg.runTransfer(p, h, client, name, data)
 		if err != nil {
 			continue
@@ -514,8 +611,10 @@ func (dg *DataGrid) rebalance() int {
 }
 
 // TrimExcess drops copies held by nodes outside an object's current
-// placement (run after WaitSettled to finish a rebalance).
-func (dg *DataGrid) TrimExcess() int {
+// placement (run after WaitSettled to finish a rebalance). Durable
+// engines tombstone the dropped needles, charging their write cost to
+// the calling proc.
+func (dg *DataGrid) TrimExcess(p *vtime.Proc) int {
 	n := 0
 	for _, name := range dg.Objects() {
 		meta := dg.catalog[name]
@@ -525,7 +624,7 @@ func (dg *DataGrid) TrimExcess() int {
 		}
 		for _, h := range dg.Holders(name) {
 			if !target[h] {
-				delete(dg.stores[h], name)
+				dg.engines[h].Delete(p, name)
 				n++
 			}
 		}
@@ -657,14 +756,24 @@ func (dg *DataGrid) classes(n topology.NodeID, cands []topology.NodeID) map[topo
 	return cls
 }
 
-// rankForGet is the GET source ranking: proximity class first (a local
-// or machine-room copy always beats the wide area), then — under
-// weather — the holder with the best forecast bandwidth leads its
-// class, but only on a material (hysteresis-factor) advantage over the
-// class's static head, so near-equal forecasts do not flap sources
-// between GETs. The rest of the class keeps the static retry order.
-// Falls back to the static ranking without forecasts.
+// rankForGet is the GET source ranking: rankSources with the source
+// switch counted against the GET adaptation stats.
 func (dg *DataGrid) rankForGet(client topology.NodeID, holders []topology.NodeID) []topology.NodeID {
+	return dg.rankSources(client, holders, true)
+}
+
+// rankSources orders replica sources for a reader at client: proximity
+// class first (a local or machine-room copy always beats the wide
+// area), then — under weather — the holder with the best forecast
+// bandwidth leads its class, but only on a material
+// (hysteresis-factor) advantage over the class's static head, so
+// near-equal forecasts do not flap sources between calls. The rest of
+// the class keeps the static retry order. Falls back to the static
+// ranking without forecasts. countSwitch attributes a weather
+// promotion to Stats.SourceSwitches (GET path); the repair loop ranks
+// with the same policy but books nothing — a repair is not a client
+// adaptation event.
+func (dg *DataGrid) rankSources(client topology.NodeID, holders []topology.NodeID, countSwitch bool) []topology.NodeID {
 	out := append([]topology.NodeID(nil), holders...)
 	cls := dg.classes(client, out)
 	sort.SliceStable(out, func(i, j int) bool { return cls[out[i]] < cls[out[j]] })
@@ -693,7 +802,7 @@ func (dg *DataGrid) rankForGet(client topology.NodeID, holders []topology.NodeID
 		}
 		lo = hi
 	}
-	if out[0] != staticFirst {
+	if out[0] != staticFirst && countSwitch {
 		atomic.AddInt64(&dg.stats.SourceSwitches, 1)
 		if dg.tel.Tracing() {
 			dg.tel.Instant("datagrid", "source_switch", int(client)).

@@ -9,6 +9,7 @@ import (
 
 	"padico/internal/datagrid"
 	"padico/internal/grid"
+	"padico/internal/store"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 	weatherpkg "padico/internal/weather"
@@ -25,68 +26,72 @@ func payload(seed int64, size int) []byte {
 // TestPutGetOnCluster exercises the SAN path: every transfer inside a
 // Myrinet cluster rides a Circuit, and reads come back byte-identical.
 func TestPutGetOnCluster(t *testing.T) {
-	g := grid.Cluster(4)
-	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
-	data := payload(1, 1<<20)
-	if err := g.K.Run(func(p *vtime.Proc) {
-		if err := dg.Put(p, 0, "alpha", data); err != nil {
+	withEngines(t, func(t *testing.T, engine store.Factory) {
+		g := grid.Cluster(4)
+		dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Engine: engine})
+		data := payload(1, 1<<20)
+		if err := g.K.Run(func(p *vtime.Proc) {
+			if err := dg.Put(p, 0, "alpha", data); err != nil {
+				t.Fatal(err)
+			}
+			dg.WaitSettled(p)
+			if err := dg.VerifyReplicas("alpha"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := dg.Get(p, 3, "alpha")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("GET returned different bytes")
+			}
+		}); err != nil {
 			t.Fatal(err)
 		}
-		dg.WaitSettled(p)
-		if err := dg.VerifyReplicas("alpha"); err != nil {
-			t.Fatal(err)
+		if dg.Stats().CircuitTransfers == 0 {
+			t.Fatalf("no circuit transfers on a SAN cluster: %+v", dg.Stats())
 		}
-		got, err := dg.Get(p, 3, "alpha")
-		if err != nil {
-			t.Fatal(err)
+		if dg.Stats().VLinkTransfers != 0 {
+			t.Fatalf("vlink transfers inside a single cluster: %+v", dg.Stats())
 		}
-		if !bytes.Equal(got, data) {
-			t.Fatal("GET returned different bytes")
+		if len(dg.Holders("alpha")) != 2 {
+			t.Fatalf("holders = %v", dg.Holders("alpha"))
 		}
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if dg.Stats().CircuitTransfers == 0 {
-		t.Fatalf("no circuit transfers on a SAN cluster: %+v", dg.Stats())
-	}
-	if dg.Stats().VLinkTransfers != 0 {
-		t.Fatalf("vlink transfers inside a single cluster: %+v", dg.Stats())
-	}
-	if len(dg.Holders("alpha")) != 2 {
-		t.Fatalf("holders = %v", dg.Holders("alpha"))
-	}
+	})
 }
 
 // TestReplicasSpanSites checks zone-aware placement end to end: with
 // replica factor 2 on a two-site grid, the copies land in different
 // sites and cross-site replication uses the distributed paradigm.
 func TestReplicasSpanSites(t *testing.T) {
-	g := grid.TwoClusterWAN(2, 2)
-	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
-	if err := g.K.Run(func(p *vtime.Proc) {
-		for i := 0; i < 4; i++ {
-			name := fmt.Sprintf("obj-%d", i)
-			if err := dg.Put(p, 0, name, payload(int64(i), 256<<10)); err != nil {
-				t.Fatal(err)
+	withEngines(t, func(t *testing.T, engine store.Factory) {
+		g := grid.TwoClusterWAN(2, 2)
+		dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Engine: engine})
+		if err := g.K.Run(func(p *vtime.Proc) {
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("obj-%d", i)
+				if err := dg.Put(p, 0, name, payload(int64(i), 256<<10)); err != nil {
+					t.Fatal(err)
+				}
 			}
+			dg.WaitSettled(p)
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("obj-%d", i)
+				if err := dg.VerifyReplicas(name); err != nil {
+					t.Fatal(err)
+				}
+				meta, _ := dg.Meta(name)
+				if g.Topo.SameSite(meta.Targets[0], meta.Targets[1]) {
+					t.Fatalf("%s: both replicas in one site: %v", name, meta.Targets)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
 		}
-		dg.WaitSettled(p)
-		for i := 0; i < 4; i++ {
-			name := fmt.Sprintf("obj-%d", i)
-			if err := dg.VerifyReplicas(name); err != nil {
-				t.Fatal(err)
-			}
-			meta, _ := dg.Meta(name)
-			if g.Topo.SameSite(meta.Targets[0], meta.Targets[1]) {
-				t.Fatalf("%s: both replicas in one site: %v", name, meta.Targets)
-			}
+		if dg.Stats().VLinkTransfers == 0 {
+			t.Fatalf("no cross-site vlink transfers: %+v", dg.Stats())
 		}
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if dg.Stats().VLinkTransfers == 0 {
-		t.Fatalf("no cross-site vlink transfers: %+v", dg.Stats())
-	}
+	})
 }
 
 // wanPutThroughput PUTs one size-byte object from a rennes client to a
@@ -141,43 +146,45 @@ func TestStripedPutBeatsSingleStream(t *testing.T) {
 // converges and every replica is byte-identical (checksummed end to
 // end).
 func TestReplicationConvergesUnderLoss(t *testing.T) {
-	g := grid.TwoClusterWANLoss(2, 2, 0.02)
-	dg := g.NewDataGrid(datagrid.Config{Replicas: 3})
-	objects := map[string][]byte{}
-	if err := g.K.Run(func(p *vtime.Proc) {
-		for i := 0; i < 3; i++ {
-			name := fmt.Sprintf("lossy-%d", i)
-			data := payload(int64(100+i), 2<<20)
-			objects[name] = data
-			if err := dg.Put(p, topology.NodeID(i%4), name, data); err != nil {
-				t.Fatal(err)
+	withEngines(t, func(t *testing.T, engine store.Factory) {
+		g := grid.TwoClusterWANLoss(2, 2, 0.02)
+		dg := g.NewDataGrid(datagrid.Config{Replicas: 3, Engine: engine})
+		objects := map[string][]byte{}
+		if err := g.K.Run(func(p *vtime.Proc) {
+			for i := 0; i < 3; i++ {
+				name := fmt.Sprintf("lossy-%d", i)
+				data := payload(int64(100+i), 2<<20)
+				objects[name] = data
+				if err := dg.Put(p, topology.NodeID(i%4), name, data); err != nil {
+					t.Fatal(err)
+				}
 			}
-		}
-		dg.WaitSettled(p)
-	}); err != nil {
-		t.Fatal(err)
-	}
-	for name, data := range objects {
-		if err := dg.VerifyReplicas(name); err != nil {
+			dg.WaitSettled(p)
+		}); err != nil {
 			t.Fatal(err)
 		}
-		meta, _ := dg.Meta(name)
-		if len(meta.Targets) != 3 {
-			t.Fatalf("%s: %d targets", name, len(meta.Targets))
-		}
-		for _, tgt := range meta.Targets {
-			got, _ := dg.ObjectOn(tgt, name)
-			if !bytes.Equal(got, data) {
-				t.Fatalf("%s: replica on %d differs", name, tgt)
+		for name, data := range objects {
+			if err := dg.VerifyReplicas(name); err != nil {
+				t.Fatal(err)
+			}
+			meta, _ := dg.Meta(name)
+			if len(meta.Targets) != 3 {
+				t.Fatalf("%s: %d targets", name, len(meta.Targets))
+			}
+			for _, tgt := range meta.Targets {
+				got, _ := dg.ObjectOn(tgt, name)
+				if !bytes.Equal(got, data) {
+					t.Fatalf("%s: replica on %d differs", name, tgt)
+				}
 			}
 		}
-	}
-	if dg.Stats().Failures != 0 {
-		t.Fatalf("failures under loss: %+v", dg.Stats())
-	}
-	if errs := dg.JobErrors(); len(errs) != 0 {
-		t.Fatalf("background job errors: %v", errs)
-	}
+		if dg.Stats().Failures != 0 {
+			t.Fatalf("failures under loss: %+v", dg.Stats())
+		}
+		if errs := dg.JobErrors(); len(errs) != 0 {
+			t.Fatalf("background job errors: %v", errs)
+		}
+	})
 }
 
 // TestRetryOnInjectedFault proves the retry path on both paradigms: a
@@ -193,31 +200,34 @@ func TestRetryOnInjectedFault(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			g := c.build()
-			dg := g.NewDataGrid(datagrid.Config{
-				Replicas: 2,
-				InjectFault: func(name string, attempt int) bool {
-					return attempt == 1 // every transfer fails once
-				},
+			withEngines(t, func(t *testing.T, engine store.Factory) {
+				g := c.build()
+				dg := g.NewDataGrid(datagrid.Config{
+					Replicas: 2,
+					Engine:   engine,
+					InjectFault: func(name string, attempt int) bool {
+						return attempt == 1 // every transfer fails once
+					},
+				})
+				data := payload(5, 512<<10)
+				if err := g.K.Run(func(p *vtime.Proc) {
+					if err := dg.Put(p, 0, "flaky", data); err != nil {
+						t.Fatal(err)
+					}
+					dg.WaitSettled(p)
+					if err := dg.VerifyReplicas("flaky"); err != nil {
+						t.Fatal(err)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if dg.Stats().Retries == 0 {
+					t.Fatalf("fault injected but no retries recorded: %+v", dg.Stats())
+				}
+				if dg.Stats().Failures != 0 {
+					t.Fatalf("retries did not recover: %+v", dg.Stats())
+				}
 			})
-			data := payload(5, 512<<10)
-			if err := g.K.Run(func(p *vtime.Proc) {
-				if err := dg.Put(p, 0, "flaky", data); err != nil {
-					t.Fatal(err)
-				}
-				dg.WaitSettled(p)
-				if err := dg.VerifyReplicas("flaky"); err != nil {
-					t.Fatal(err)
-				}
-			}); err != nil {
-				t.Fatal(err)
-			}
-			if dg.Stats().Retries == 0 {
-				t.Fatalf("fault injected but no retries recorded: %+v", dg.Stats())
-			}
-			if dg.Stats().Failures != 0 {
-				t.Fatalf("retries did not recover: %+v", dg.Stats())
-			}
 		})
 	}
 }
@@ -253,72 +263,76 @@ func TestFaultExhaustsRetries(t *testing.T) {
 // return its logical channel on last release (sequential jobs) — never
 // strand one per transfer.
 func TestManyTransfersReuseCircuits(t *testing.T) {
-	g := grid.Cluster(2)
-	dg := g.NewDataGrid(datagrid.Config{Replicas: 1})
-	ring := datagrid.NewRing(0)
-	ring.Add(1, "rennes")
-	dg.SetRing(ring)
-	if err := g.K.Run(func(p *vtime.Proc) {
-		for i := 0; i < 64; i++ {
-			name := fmt.Sprintf("many-%d", i)
-			if err := dg.Put(p, 0, name, payload(int64(i), 8<<10)); err != nil {
-				t.Fatal(err)
+	withEngines(t, func(t *testing.T, engine store.Factory) {
+		g := grid.Cluster(2)
+		dg := g.NewDataGrid(datagrid.Config{Replicas: 1, Engine: engine})
+		ring := datagrid.NewRing(0)
+		ring.Add(1, "rennes")
+		dg.SetRing(ring)
+		if err := g.K.Run(func(p *vtime.Proc) {
+			for i := 0; i < 64; i++ {
+				name := fmt.Sprintf("many-%d", i)
+				if err := dg.Put(p, 0, name, payload(int64(i), 8<<10)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := dg.Get(p, 0, name); err != nil {
+					t.Fatal(err)
+				}
 			}
-			if _, err := dg.Get(p, 0, name); err != nil {
-				t.Fatal(err)
-			}
+		}); err != nil {
+			t.Fatal(err)
 		}
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if dg.Stats().CircuitTransfers != 128 {
-		t.Fatalf("circuit transfers = %d", dg.Stats().CircuitTransfers)
-	}
+		if dg.Stats().CircuitTransfers != 128 {
+			t.Fatalf("circuit transfers = %d", dg.Stats().CircuitTransfers)
+		}
+	})
 }
 
 // TestRebalanceAfterMembershipChange grows the ring by one node and
 // checks the catalog converges to the new placement with old copies
 // trimmed.
 func TestRebalanceAfterMembershipChange(t *testing.T) {
-	g := grid.Cluster(4)
-	dg := g.NewDataGrid(datagrid.Config{Replicas: 2})
-	ring := datagrid.NewRing(0)
-	for i := 0; i < 3; i++ { // node 3 joins later
-		ring.Add(topology.NodeID(i), "rennes")
-	}
-	dg.SetRing(ring)
-	const objects = 16
-	if err := g.K.Run(func(p *vtime.Proc) {
-		for i := 0; i < objects; i++ {
-			if err := dg.Put(p, 0, fmt.Sprintf("o%d", i), payload(int64(i), 64<<10)); err != nil {
-				t.Fatal(err)
+	withEngines(t, func(t *testing.T, engine store.Factory) {
+		g := grid.Cluster(4)
+		dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Engine: engine})
+		ring := datagrid.NewRing(0)
+		for i := 0; i < 3; i++ { // node 3 joins later
+			ring.Add(topology.NodeID(i), "rennes")
+		}
+		dg.SetRing(ring)
+		const objects = 16
+		if err := g.K.Run(func(p *vtime.Proc) {
+			for i := 0; i < objects; i++ {
+				if err := dg.Put(p, 0, fmt.Sprintf("o%d", i), payload(int64(i), 64<<10)); err != nil {
+					t.Fatal(err)
+				}
 			}
-		}
-		dg.WaitSettled(p)
-		moved := dg.AddMember(3, "rennes")
-		if moved == 0 {
-			t.Fatal("no placements moved when a member joined")
-		}
-		if moved > objects {
-			t.Fatalf("rebalance moved %d placements for %d objects", moved, objects)
-		}
-		dg.WaitSettled(p)
-		if n := dg.TrimExcess(); n == 0 {
-			t.Fatal("nothing trimmed after rebalance")
-		}
-		for i := 0; i < objects; i++ {
-			name := fmt.Sprintf("o%d", i)
-			if err := dg.VerifyReplicas(name); err != nil {
-				t.Fatal(err)
+			dg.WaitSettled(p)
+			moved := dg.AddMember(3, "rennes")
+			if moved == 0 {
+				t.Fatal("no placements moved when a member joined")
 			}
-			meta, _ := dg.Meta(name)
-			if got := dg.Holders(name); len(got) != len(meta.Targets) {
-				t.Fatalf("%s: holders %v vs targets %v", name, got, meta.Targets)
+			if moved > objects {
+				t.Fatalf("rebalance moved %d placements for %d objects", moved, objects)
 			}
+			dg.WaitSettled(p)
+			if n := dg.TrimExcess(p); n == 0 {
+				t.Fatal("nothing trimmed after rebalance")
+			}
+			for i := 0; i < objects; i++ {
+				name := fmt.Sprintf("o%d", i)
+				if err := dg.VerifyReplicas(name); err != nil {
+					t.Fatal(err)
+				}
+				meta, _ := dg.Meta(name)
+				if got := dg.Holders(name); len(got) != len(meta.Targets) {
+					t.Fatalf("%s: holders %v vs targets %v", name, got, meta.Targets)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
 		}
-	}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
 // TestGetPrefersNearReplica: with one replica in each site, a client

@@ -12,29 +12,54 @@ import (
 
 // job is one replication task: copy name from src's store to dst
 // (point-to-point), or — when dsts is set — to every listed target at
-// once through one hierarchical multicast.
+// once through one hierarchical multicast. Repair jobs (submitted by
+// the anti-entropy loop) are the same transfers with extra
+// bookkeeping: Stats.Repairs and the store.repair_latency histogram,
+// measured from t0 (detection) to the copy landing.
 type job struct {
 	name     string
 	src, dst topology.NodeID
 	dsts     []topology.NodeID
+	repair   bool
+	t0       vtime.Time
+}
+
+// finishRepair books one restored copy.
+func (s *scheduler) finishRepair(j *job, dst topology.NodeID) {
+	if !j.repair {
+		return
+	}
+	dg := s.dg
+	atomic.AddInt64(&dg.stats.Repairs, 1)
+	dg.hRepair.Observe(dg.k.Now().Sub(j.t0))
+	dg.tel.Note("datagrid", "repair complete: "+j.name, int(dst), int64(j.src), 0)
 }
 
 // scheduler runs replication jobs on a fixed pool of worker Procs, so
 // many PUT/GET/replication transfers proceed concurrently while the
 // per-transfer windows keep each one flow-controlled.
+// flightKey identifies one queued-or-running copy: this object toward
+// this destination.
+type flightKey struct {
+	name string
+	dst  topology.NodeID
+}
+
 type scheduler struct {
-	dg      *DataGrid
-	queue   *vtime.Queue[*job]
-	pending int
-	idle    *vtime.Cond
-	errs    []error
+	dg       *DataGrid
+	queue    *vtime.Queue[*job]
+	pending  int
+	inflight map[flightKey]int
+	idle     *vtime.Cond
+	errs     []error
 }
 
 func newScheduler(dg *DataGrid, workers int) *scheduler {
 	s := &scheduler{
-		dg:    dg,
-		queue: vtime.NewQueue[*job]("datagrid:jobs"),
-		idle:  vtime.NewCond("datagrid:idle"),
+		dg:       dg,
+		queue:    vtime.NewQueue[*job]("datagrid:jobs"),
+		inflight: make(map[flightKey]int),
+		idle:     vtime.NewCond("datagrid:idle"),
 	}
 	for i := 0; i < workers; i++ {
 		dg.k.GoDaemon(fmt.Sprintf("dg-worker%d", i), s.work)
@@ -44,13 +69,41 @@ func newScheduler(dg *DataGrid, workers int) *scheduler {
 
 func (s *scheduler) submit(j *job) {
 	s.pending++
+	for _, k := range j.keys() {
+		s.inflight[k]++
+	}
 	s.queue.Push(j)
+}
+
+// keys lists the (object, destination) pairs the job will deliver.
+func (j *job) keys() []flightKey {
+	if len(j.dsts) == 0 {
+		return []flightKey{{j.name, j.dst}}
+	}
+	out := make([]flightKey, len(j.dsts))
+	for i, d := range j.dsts {
+		out[i] = flightKey{j.name, d}
+	}
+	return out
+}
+
+// inflightTo reports whether a queued or running job is already
+// carrying the object to dst. The anti-entropy scan skips such
+// targets: re-submitting would transfer the same bytes twice and
+// double-count the repair.
+func (s *scheduler) inflightTo(name string, dst topology.NodeID) bool {
+	return s.inflight[flightKey{name, dst}] > 0
 }
 
 func (s *scheduler) work(p *vtime.Proc) {
 	for {
 		j := s.queue.Pop(p)
 		s.run(p, j)
+		for _, k := range j.keys() {
+			if s.inflight[k]--; s.inflight[k] == 0 {
+				delete(s.inflight, k)
+			}
+		}
 		s.pending--
 		if s.pending == 0 {
 			s.idle.Broadcast()
@@ -89,12 +142,14 @@ func (s *scheduler) run(p *vtime.Proc, j *job) {
 		j.src = src
 		data, _ = dg.freshCopy(meta, src)
 	}
+	dg.EngineOn(j.src).Read(p, j.name) // charge the source engine's read
 	got, err := dg.runTransfer(p, j.src, j.dst, j.name, data)
 	if err != nil {
 		s.fail(fmt.Errorf("%s -> node %d: %w", j.name, j.dst, err))
 		return
 	}
-	dg.storePut(j.dst, j.name, got)
+	dg.storePut(p, j.dst, j.name, got, meta.Sum)
+	s.finishRepair(j, j.dst)
 }
 
 // runGroup serves one multi-target replication job with hierarchical
@@ -148,6 +203,7 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		return
 	}
 	atomic.AddInt64(&dg.stats.Jobs, 1)
+	dg.EngineOn(j.src).Read(p, j.name)             // charge the source engine's read
 	p.Consume(model.MemcpyPerByte.Cost(len(data))) // checksum pass over the payload
 	var lastErr error
 	for attempt := 1; attempt <= dg.cfg.MaxRetries; attempt++ {
@@ -155,8 +211,9 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 		dg.syncGroupWAN(grp)
 		for _, t := range remaining {
 			if copyBytes, ok := got[t]; ok {
-				dg.storePut(t, j.name, copyBytes)
+				dg.storePut(p, t, j.name, copyBytes, meta.Sum)
 				atomic.AddInt64(&dg.stats.BytesMoved, int64(len(copyBytes)))
+				s.finishRepair(j, t)
 			}
 		}
 		if err == nil {

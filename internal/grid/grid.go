@@ -30,6 +30,7 @@ import (
 	"padico/internal/pstreams"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/store"
 	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vlink"
@@ -432,6 +433,15 @@ func (g *Grid) NewDataGrid(cfg datagrid.Config) *datagrid.DataGrid {
 		cfg.Weather = g.wsvc
 	}
 	return datagrid.New(g.K, g.Topo, g.Session(), cfg)
+}
+
+// NewPackDataGrid is NewDataGrid with the durable pack store: every
+// node persists its replicas as needles in bundle files under
+// dir/node-<id>. A later testbed over the same directory resumes from
+// the bundles (Close the datagrid first so appends are flushed).
+func (g *Grid) NewPackDataGrid(dir string, pcfg store.PackConfig, cfg datagrid.Config) *datagrid.DataGrid {
+	cfg.Engine = store.PackFactory(dir, pcfg)
+	return g.NewDataGrid(cfg)
 }
 
 // NewGroup forms a hierarchical communication group over this

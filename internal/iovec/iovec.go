@@ -33,6 +33,7 @@ package iovec
 
 import (
 	"fmt"
+	"io"
 	"sync"
 )
 
@@ -232,6 +233,23 @@ func (v Vec) Clone() Vec {
 		out.Segs = append(out.Segs, Seg{B: b.Bytes(), Owner: b})
 	}
 	return out
+}
+
+// WriteTo writes the vector's bytes to w segment by segment — the
+// file-backed analogue of the driver writev path: a store engine
+// persisting [header | key | payload] hands the writer each view in
+// place instead of flattening them into a staging buffer first.
+// Implements io.WriterTo.
+func (v Vec) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, s := range v.Segs {
+		n, err := w.Write(s.B)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // CopyTo copies the vector's bytes into dst and returns the count

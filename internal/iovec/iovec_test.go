@@ -2,6 +2,7 @@ package iovec
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"padico/internal/vtime"
@@ -233,4 +234,48 @@ func TestFifoReusesBackingOnceDrained(t *testing.T) {
 		}
 	}()
 	f.Consume(4)
+}
+
+// failAfter errors once n bytes have been written — exercises WriteTo's
+// short-write path.
+type failAfter struct {
+	buf bytes.Buffer
+	n   int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.buf.Len()+len(p) > f.n {
+		take := f.n - f.buf.Len()
+		f.buf.Write(p[:take])
+		return take, errFull
+	}
+	return f.buf.Write(p)
+}
+
+var errFull = errors.New("full")
+
+func TestWriteToGathersSegments(t *testing.T) {
+	hdr := []byte("HDR|")
+	b := Get(6)
+	copy(b.Bytes(), "owned!")
+	v := Make(hdr)
+	v.Append(b, b.Bytes())
+	v.Append(nil, []byte("|tail"))
+
+	var sink bytes.Buffer
+	n, err := v.WriteTo(&sink)
+	if err != nil || n != int64(v.Len()) {
+		t.Fatalf("WriteTo = (%d, %v), want (%d, nil)", n, err, v.Len())
+	}
+	if sink.String() != "HDR|owned!|tail" {
+		t.Fatalf("gathered bytes = %q", sink.String())
+	}
+
+	// A failing writer stops mid-vector and reports the partial count.
+	fw := &failAfter{n: 7}
+	n, err = v.WriteTo(fw)
+	if err == nil || n != 7 {
+		t.Fatalf("short WriteTo = (%d, %v), want (7, errFull)", n, err)
+	}
+	b.Release()
 }

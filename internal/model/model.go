@@ -159,6 +159,22 @@ const (
 	SerializeRMIPerByte PerByte = 11.0
 )
 
+// ---------------------------------------------------------------------
+// Local disk (the durable object store under datagrid). Commodity
+// IDE/early-SATA disks of the paper's era stream ~40 MB/s on writes and
+// ~55 MB/s on reads once the head is settled; an fsync costs a platter
+// rotation plus cache flush, ~8 ms. The pack engine appends needles
+// sequentially, so per-needle cost is per-byte streaming plus a small
+// per-record overhead (header parse, inode-less index update); seeks
+// only happen on cold needle loads.
+const (
+	DiskWritePerByte PerByte = 25.0                  // 40 MB/s sequential write
+	DiskReadPerByte  PerByte = 18.2                  // 55 MB/s sequential read
+	DiskNeedleCost           = 60 * time.Microsecond // per-needle record overhead
+	DiskSeekCost             = 6 * time.Millisecond  // cold random needle load
+	FsyncCost                = 8 * time.Millisecond  // rotation + cache flush
+)
+
 // Cost converts a byte count at a per-byte rate into a duration.
 func (pb PerByte) Cost(n int) time.Duration {
 	return time.Duration(float64(n) * float64(pb))

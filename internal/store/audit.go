@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"padico/internal/telemetry"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// The auditor is the scrub half of anti-entropy (auklet's
+// device_audit): a background daemon that walks a node's needles at a
+// bounded byte rate, re-reads each one from its resting place and
+// checks the recorded sha256. A mismatch is quarantined on the spot —
+// the key vanishes from the engine so the grid stops serving bad bytes
+// — and announced loudly: a telemetry instant, a flight-recorder note,
+// an automatic flight dump, and the OnCorrupt callback that lets the
+// datagrid's repair loop re-replicate the lost copy.
+//
+// The rate bound matters more than the interval: scrubbing competes
+// with serving for the same virtual platter, so a pass consumes disk
+// time as if it streamed at RateBytes/s regardless of how fast
+// Verify's own charges add up.
+
+// AuditConfig tunes one node's auditor. Zero values select defaults.
+type AuditConfig struct {
+	// Interval is the virtual-time gap between scrub passes
+	// (default 5 s).
+	Interval vtime.Duration
+	// RateBytes caps the scrub rate in bytes of needle payload per
+	// second of virtual time (default 50 MB/s — slightly under the
+	// platter's sequential read rate, leaving headroom for serving).
+	RateBytes float64
+	// OnCorrupt runs after a corrupt needle was quarantined. The
+	// datagrid hooks its repair loop here.
+	OnCorrupt func(p *vtime.Proc, key string)
+}
+
+func (c AuditConfig) withDefaults() AuditConfig {
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.RateBytes == 0 {
+		c.RateBytes = 50e6
+	}
+	return c
+}
+
+// Auditor scrubs one engine.
+type Auditor struct {
+	k    *vtime.Kernel
+	node topology.NodeID
+	eng  Engine
+	cfg  AuditConfig
+	hub  *telemetry.Hub
+	hLat *telemetry.Histogram
+
+	// Passes and Quarantined count completed scrub passes and needles
+	// taken out of service, for tests and stats readers.
+	Passes      int
+	Quarantined int
+}
+
+// NewAuditor builds an auditor for one node's engine. Call Start to
+// run it as a background daemon, or Pass for a synchronous scrub.
+func NewAuditor(k *vtime.Kernel, node topology.NodeID, eng Engine, cfg AuditConfig) *Auditor {
+	h := telemetry.For(k)
+	return &Auditor{
+		k:    k,
+		node: node,
+		eng:  eng,
+		cfg:  cfg.withDefaults(),
+		hub:  h,
+		hLat: h.Registry().Histogram("store.audit_latency"),
+	}
+}
+
+// Start spawns the scrub daemon: sleep Interval, run a pass, repeat.
+func (a *Auditor) Start() {
+	a.k.GoDaemon("store-audit", func(p *vtime.Proc) {
+		for {
+			p.Sleep(a.cfg.Interval)
+			a.Pass(p)
+		}
+	})
+}
+
+// Pass scrubs every live needle once, returning how many were
+// quarantined. The pass is paced to RateBytes: if the engine's own
+// Verify charges come in under the budgeted disk time, the difference
+// is slept so the scrub never looks faster than the platter allows.
+func (a *Auditor) Pass(p *vtime.Proc) int {
+	t0 := p.Now()
+	span := a.hub.Begin("store", "audit-pass", int(a.node))
+	quarantined := 0
+	var scanned int64
+	for _, key := range a.eng.Keys() {
+		size, _ := a.eng.Size(key)
+		scanned += int64(size)
+		err := a.eng.Verify(p, key)
+		if err == ErrCorrupt {
+			a.eng.Quarantine(p, key)
+			quarantined++
+			a.Quarantined++
+			a.hub.Instant("store", "quarantine", int(a.node))
+			a.hub.Note("store", "corrupt needle quarantined: "+key, int(a.node), int64(size), 0)
+			a.hub.DumpFlight(fmt.Sprintf("store: corrupt needle quarantined on node %d", a.node))
+			if a.cfg.OnCorrupt != nil {
+				a.cfg.OnCorrupt(p, key)
+			}
+		}
+		// Pace to the scrub budget: total elapsed disk time for the
+		// bytes scanned so far must be at least scanned/RateBytes.
+		budget := vtime.Duration(float64(scanned) / a.cfg.RateBytes * float64(time.Second))
+		if elapsed := p.Now().Sub(t0); elapsed < budget {
+			p.Sleep(budget - elapsed)
+		}
+	}
+	a.Passes++
+	span.End()
+	a.hLat.Observe(p.Now().Sub(t0))
+	return quarantined
+}
