@@ -22,7 +22,11 @@ import (
 	"testing"
 
 	"padico/internal/bench"
+	"padico/internal/datagrid"
+	"padico/internal/grid"
 	"padico/internal/telemetry"
+	"padico/internal/topology"
+	"padico/internal/vtime"
 )
 
 // fmtRow renders one datagrid/group table row with full float precision
@@ -251,5 +255,178 @@ func TestDeterminismWeatherTrace(t *testing.T) {
 	}
 	if !bytes.Equal(bench.WeatherTrace(), bench.WeatherTrace()) {
 		t.Fatal("weather trace JSON drifted across reruns")
+	}
+}
+
+// TestDeterminismCritPathTable double-runs the observed workload's
+// critical-path analysis and asserts a byte-identical attribution
+// table. It also checks the analysis is non-trivial: the slowest
+// request's path crosses more than one layer.
+func TestDeterminismCritPathTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced run")
+	}
+	render := func() string {
+		h := bench.TraceRun()
+		return telemetry.FormatCriticalPaths(h.CriticalPaths(), 5)
+	}
+	first := render()
+	if second := render(); first != second {
+		t.Fatalf("critical-path table drifted across reruns:\n run1:\n%s\n run2:\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("critical-path table is empty")
+	}
+	h := bench.TraceRun()
+	paths := h.CriticalPaths()
+	if len(paths) == 0 {
+		t.Fatal("no request roots in the trace")
+	}
+	multi := false
+	for _, cp := range paths {
+		layers := make(map[string]bool)
+		for _, row := range cp.Rows {
+			layers[row.Cat] = true
+		}
+		if len(layers) > 1 {
+			multi = true
+		}
+		var covered vtime.Duration
+		for _, sg := range cp.Segs {
+			covered += sg.Dur
+		}
+		if covered != cp.Makespan {
+			t.Errorf("path of span %d covers %v of a %v makespan", cp.RootID, covered, cp.Makespan)
+		}
+	}
+	if !multi {
+		t.Error("no critical path crosses a layer boundary")
+	}
+}
+
+// TestDeterminismSLOTable double-runs the SLO-monitored degrading-WAN
+// workload and asserts a byte-identical alert table, plus the alert
+// lifecycle the acceptance criteria demand: the transfer-latency
+// objective must both breach (degrade era) and clear (quiet tail).
+func TestDeterminismSLOTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SLO-monitored run")
+	}
+	first := bench.SLOBench()
+	second := bench.SLOBench()
+	a, b := first.FormatSLO(), second.FormatSLO()
+	if a != b {
+		t.Fatalf("SLO table drifted across reruns:\n run1:\n%s\n run2:\n%s", a, b)
+	}
+	byName := make(map[string]telemetry.SLOStatus)
+	for _, s := range first.Status() {
+		byName[s.Name] = s
+	}
+	tr, ok := byName["datagrid-transfer-p99"]
+	if !ok {
+		t.Fatal("transfer-latency objective missing")
+	}
+	if tr.Breaches == 0 {
+		t.Error("transfer-latency objective never breached across the degrade")
+	}
+	if tr.Clears == 0 {
+		t.Error("transfer-latency alert never cleared in the quiet tail")
+	}
+	if tr.Breached {
+		t.Error("transfer-latency alert still raised after the quiet tail")
+	}
+	for _, name := range []string{"repair-time-to-heal", "probe-availability"} {
+		if s := byName[name]; s.Breached || s.Breaches != 0 {
+			t.Errorf("objective %s breached (%+v) — the workload should hold it", name, s)
+		}
+	}
+}
+
+// TestTracePropagationConnectedTree is the tentpole acceptance test:
+// one traced datagrid put over the degrading WAN must yield a single
+// connected span tree — every span carrying the put's trace id is
+// reachable from the put root through parent links, across node
+// boundaries — and the tree must reach all the way down to TCP payload
+// segments on every participating node (client, entry replica, fan-out
+// replica).
+func TestTracePropagationConnectedTree(t *testing.T) {
+	g := grid.DegradingWAN(1) // node 0 = site0, 1 = site1, 2 = site2
+	h := g.Telemetry()
+	h.EnableTracing()
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Streams: 4})
+	ring := datagrid.NewRing(0)
+	ring.Add(topology.NodeID(1), "site1")
+	ring.Add(topology.NodeID(2), "site2")
+	dg.SetRing(ring)
+	payload := bytes.Repeat([]byte("causal"), 256<<10/6)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		if err := dg.Put(p, 0, "traced", payload); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		dg.WaitSettled(p)
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	spans := h.Spans()
+	var root *telemetry.SpanInfo
+	for i := range spans {
+		if spans[i].Cat == "datagrid" && spans[i].Name == "put" {
+			if root != nil {
+				t.Fatal("more than one put root")
+			}
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no put root span")
+	}
+	if root.Trace != root.ID {
+		t.Fatalf("put span is not a trace root: trace %d, id %d", root.Trace, root.ID)
+	}
+
+	// Collect the request's spans and check the tree is connected: every
+	// member's parent is another member (the root's parent is 0).
+	members := make(map[int64]telemetry.SpanInfo)
+	for _, sp := range spans {
+		if sp.Trace == root.Trace {
+			members[sp.ID] = sp
+		}
+	}
+	if len(members) < 10 {
+		t.Fatalf("suspiciously small request tree: %d spans", len(members))
+	}
+	nodes := make(map[int]bool)
+	segNodes := make(map[int]bool)
+	for _, sp := range members {
+		nodes[sp.Tid] = true
+		if sp.Cat == "ipstack" && sp.Name == "tcp.seg" {
+			segNodes[sp.Tid] = true
+		}
+		if sp.ID == root.ID {
+			if sp.Parent != 0 {
+				t.Errorf("root has a parent: %d", sp.Parent)
+			}
+			continue
+		}
+		if sp.Parent == 0 {
+			t.Errorf("span %d (%s/%s on node %d) is disconnected from the put root",
+				sp.ID, sp.Cat, sp.Name, sp.Tid)
+		} else if _, ok := members[sp.Parent]; !ok {
+			t.Errorf("span %d (%s/%s on node %d) has parent %d outside the trace",
+				sp.ID, sp.Cat, sp.Name, sp.Tid, sp.Parent)
+		}
+	}
+	// The tree must span all three participants and carry TCP payload
+	// segments on each: the client pushes chunks, the entry relays the
+	// fan-out, and the far replica's credit/status frames ride TCP back.
+	for _, n := range []int{0, 1, 2} {
+		if !nodes[n] {
+			t.Errorf("no spans from node %d in the request tree", n)
+		}
+		if !segNodes[n] {
+			t.Errorf("no tcp.seg events from node %d in the request tree", n)
+		}
 	}
 }

@@ -1139,6 +1139,92 @@ func TraceRun() *telemetry.Hub {
 }
 
 // ---------------------------------------------------------------------
+// SLO monitoring: the degrading-WAN ingest workload with a virtual-time
+// SLO monitor attached.
+
+// SLOWindows are the burn-rate look-backs of every bench objective:
+// short enough that the degrade-era transfers heat both windows within
+// the run, long enough that one slow transfer alone does not page.
+var SLOWindows = []vtime.Duration{vtime.Duration(2 * time.Second), vtime.Duration(8 * time.Second)}
+
+// SLOObjectives are the stack's standing objectives as exercised by
+// SLOBench: transfer latency on the data grid, repair time-to-heal on
+// the anti-entropy loop, and probe availability on the weather service.
+func SLOObjectives() []telemetry.Objective {
+	return []telemetry.Objective{
+		{
+			Name: "datagrid-transfer-p99", Target: 0.99,
+			Hist: "datagrid.transfer_latency", Threshold: vtime.Duration(500 * time.Millisecond),
+			Windows: SLOWindows,
+		},
+		{
+			Name: "repair-time-to-heal", Target: 0.90,
+			Hist: "store.repair_latency", Threshold: vtime.Duration(5 * time.Second),
+			Windows: SLOWindows,
+		},
+		{
+			Name: "probe-availability", Target: 0.95,
+			Bad: "weather.probe_failures",
+			Total: []string{
+				"weather.pings", "weather.bandwidth_probes",
+			},
+			Windows: SLOWindows,
+		},
+	}
+}
+
+// SLOBench runs an ingest workload across the DegradingWAN degrade
+// instant with an SLO monitor evaluating in virtual time: the healthy
+// era's transfers stay inside the latency budget, the degraded era's
+// crawl through the collapsed core and burn it (breach), and a quiet
+// tail lets the short window cool (clear). It returns the monitor;
+// render its history with FormatSLO. Deterministic: two runs yield a
+// byte-identical table.
+func SLOBench() *telemetry.SLOMonitor {
+	g := grid.DegradingWAN(2) // site0 {0,1}, site1 {2,3}, site2 {4,5}
+	h := g.Telemetry()
+	g.EnableWeather(weather.Config{})
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Streams: 4})
+	// Replicas land in site1 only: every transfer crosses the core that
+	// collapses at DegradeAt.
+	ring := datagrid.NewRing(0)
+	for _, n := range []topology.NodeID{2, 3} {
+		ring.Add(n, "site1")
+	}
+	dg.SetRing(ring)
+	mon := telemetry.NewSLOMonitor(h, 0, SLOObjectives()...)
+	mon.Start()
+	data := weatherPayload(1 << 20)
+	err := g.K.Run(func(p *vtime.Proc) {
+		// Healthy era: ingest within the budget.
+		for i := 0; i < 4; i++ {
+			if err := dg.Put(p, 0, fmt.Sprintf("slo-a-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+		// Degraded era: the same traffic after the core collapsed.
+		deg := vtime.Time(0).Add(grid.DegradeAt + 250*time.Millisecond)
+		if p.Now() < deg {
+			p.Sleep(deg.Sub(p.Now()))
+		}
+		for i := 0; i < 4; i++ {
+			if err := dg.Put(p, 0, fmt.Sprintf("slo-b-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+		// Quiet tail: no new transfers; the short window cools and the
+		// alert clears.
+		p.Sleep(4 * time.Second)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: slo: %v", err))
+	}
+	return mon
+}
+
+// ---------------------------------------------------------------------
 // Store: the durable pack engine vs the in-memory map, plus the
 // corrupt-and-repair anti-entropy drill.
 

@@ -400,6 +400,10 @@ func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data
 		sp.Str("obj", name).I64("bytes", int64(len(data))).I64("entry", int64(entry))
 	}
 	defer sp.End()
+	// The put is a request root: everything downstream — the ingest
+	// transfer, the scheduler fan-out, TCP segments on the replicas —
+	// attaches to this span through the ambient trace context.
+	defer sp.Exit(sp.Enter())
 	// Ingest: client -> entry, synchronously in the caller's proc.
 	got, err := dg.runTransfer(p, client, entry, name, data)
 	if err != nil {
@@ -541,6 +545,7 @@ func (dg *DataGrid) Get(p *vtime.Proc, client topology.NodeID, name string) ([]b
 		sp.Str("obj", name).I64("bytes", int64(meta.Size))
 	}
 	defer sp.End()
+	defer sp.Exit(sp.Enter())
 	for _, h := range dg.rankForGet(client, holders) {
 		data, ok := dg.EngineOn(h).Read(p, name)
 		if !ok {

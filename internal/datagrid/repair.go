@@ -39,6 +39,7 @@ func (dg *DataGrid) Delete(p *vtime.Proc, name string) error {
 	}
 	sp := dg.tel.Begin("datagrid", "delete", 0).Str("obj", name)
 	defer sp.End()
+	defer sp.Exit(sp.Enter())
 	for _, h := range dg.Holders(name) {
 		dg.engines[h].Delete(p, name)
 	}
@@ -148,7 +149,9 @@ func (dg *DataGrid) repairLoop(p *vtime.Proc) {
 	for {
 		dg.repairKick.WaitTimeout(p, dg.cfg.RepairInterval)
 		sp := dg.tel.Begin("datagrid", "repair-pass", 0)
+		prev := sp.Enter()
 		n := dg.RepairNow(p)
+		sp.Exit(prev)
 		sp.I64("jobs", int64(n)).End()
 	}
 }

@@ -22,6 +22,7 @@ type job struct {
 	dsts     []topology.NodeID
 	repair   bool
 	t0       vtime.Time
+	ctx      vtime.TraceCtx // submitter's trace context, installed by the worker
 }
 
 // finishRepair books one restored copy.
@@ -68,6 +69,10 @@ func newScheduler(dg *DataGrid, workers int) *scheduler {
 }
 
 func (s *scheduler) submit(j *job) {
+	// The worker pool is long-lived: a job crossing the queue would lose
+	// its causal ancestry, so the submitter's context rides on the job
+	// and the worker reinstates it for the transfer's duration.
+	j.ctx = s.dg.k.TraceCtx()
 	s.pending++
 	for _, k := range j.keys() {
 		s.inflight[k]++
@@ -98,7 +103,9 @@ func (s *scheduler) inflightTo(name string, dst topology.NodeID) bool {
 func (s *scheduler) work(p *vtime.Proc) {
 	for {
 		j := s.queue.Pop(p)
+		prev := s.dg.k.SetTraceCtx(j.ctx)
 		s.run(p, j)
+		s.dg.k.SetTraceCtx(prev)
 		for _, k := range j.keys() {
 			if s.inflight[k]--; s.inflight[k] == 0 {
 				delete(s.inflight, k)

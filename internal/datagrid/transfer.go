@@ -10,6 +10,7 @@ import (
 	"padico/internal/model"
 	"padico/internal/selector"
 	"padico/internal/session"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -89,6 +90,9 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 			I64("bytes", int64(len(data))).I64("attempt", int64(attempt))
 	}
 	defer sp.End()
+	// Chunks, credits and the TCP segments they generate attach under
+	// the transfer, which itself hangs off the request root.
+	defer sp.Exit(sp.Enter())
 	dg.stats.countTransfer(ch.Info().Class)
 	if ch.Info().Class >= selector.PathWAN {
 		// Count what this attempt moved across the wide area, both
@@ -142,7 +146,14 @@ func (dg *DataGrid) transferOnce(p *vtime.Proc, src, dst topology.NodeID,
 	// the bytes are packed exactly once (into the TCP send queue), on a
 	// Circuit they ride incremental packing — no datagrid-level copy in
 	// either paradigm.
-	if err := ch.Send(p, encodeHeader(name, len(data), sum), []byte(name)); err != nil {
+	// When tracing, the header carries the transfer's trace context so
+	// the destination adopts the request's identity from the wire — the
+	// cross-node link is in the bytes, not just in spawn ancestry.
+	hdrSegs := [][]byte{encodeHeader(name, len(data), sum), []byte(name)}
+	if dg.tel.Tracing() {
+		hdrSegs = append(hdrSegs, telemetry.EncodeCtx(dg.tel.Cur()))
+	}
+	if err := ch.Send(p, hdrSegs...); err != nil {
 		ch.Close()
 		return nil, &errTransfer{src, dst, attempt, "header: " + err.Error()}
 	}
@@ -207,6 +218,15 @@ func (dg *DataGrid) recvTransfer(q *vtime.Proc, ch session.Channel, attempt int,
 		return
 	}
 	name := string(nameSeg[0])
+	if dg.tel.Tracing() {
+		ctxSeg, err := ch.Recv(q, telemetry.CtxWireLen)
+		if err != nil {
+			return
+		}
+		// Adopt the wire-carried request context: credit frames and the
+		// status this side sends attribute to the originating request.
+		dg.tel.SetCur(telemetry.DecodeCtx(ctxSeg[0]))
+	}
 	buf := make([]byte, size)
 	received := 0
 	for received < size {

@@ -518,6 +518,9 @@ func (g *Group) Multicast(p *vtime.Proc, root topology.NodeID, tag string, data 
 	}
 	t0 := g.k.Now()
 	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
+	// Relays, waves and their TCP segments on every member node attach
+	// under this operation (which itself joins any enclosing request).
+	defer sp.Exit(sp.Enter())
 	t, err := g.Tree(root)
 	if err != nil {
 		return nil, err
@@ -546,9 +549,15 @@ func (g *Group) Multicast(p *vtime.Proc, root topology.NodeID, tag string, data 
 	kids := downChannels(t, chans, root)
 	sum := sha256.Sum256(data)
 	hdr := encodeMcastHeader(tag, len(data), sum, attempt)
+	hdrSegs := [][]byte{hdr, []byte(tag)}
+	if g.tel.Tracing() {
+		// The operation's trace context rides the header so every relay
+		// adopts the request identity from the wire.
+		hdrSegs = append(hdrSegs, telemetry.EncodeCtx(g.tel.Cur()))
+	}
 	var sendErr error
 	for _, ch := range kids {
-		if err := ch.Send(p, hdr, []byte(tag)); err != nil {
+		if err := ch.Send(p, hdrSegs...); err != nil {
 			sendErr = err
 			break
 		}
@@ -637,8 +646,19 @@ func (g *Group) relayMulticast(q *vtime.Proc, self topology.NodeID,
 	if err != nil {
 		return
 	}
+	fwd := [][]byte{fixed, tagSeg[0]}
+	if g.tel.Tracing() {
+		ctxSeg, err := up.Recv(q, telemetry.CtxWireLen)
+		if err != nil {
+			return
+		}
+		// Adopt the wire-carried request context before relaying: chunk
+		// forwards, verification and the status fold attribute to it.
+		g.tel.SetCur(telemetry.DecodeCtx(ctxSeg[0]))
+		fwd = append(fwd, ctxSeg[0])
+	}
 	for _, ch := range down {
-		if err := ch.Send(q, fixed, tagSeg[0]); err != nil {
+		if err := ch.Send(q, fwd...); err != nil {
 			return
 		}
 	}
@@ -699,6 +719,9 @@ func (g *Group) Reduce(p *vtime.Proc, root topology.NodeID, contrib func(topolog
 	sp := g.tel.Begin("group", "reduce", int(root)).I64("members", int64(len(g.members)))
 	t0 := g.k.Now()
 	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
+	// Relays, waves and their TCP segments on every member node attach
+	// under this operation (which itself joins any enclosing request).
+	defer sp.Exit(sp.Enter())
 	t, err := g.Tree(root)
 	if err != nil {
 		return nil, err
@@ -766,6 +789,7 @@ func (g *Group) Barrier(p *vtime.Proc) error {
 	sp := g.tel.Begin("group", "barrier", int(root)).I64("members", int64(len(g.members)))
 	t0 := g.k.Now()
 	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
+	defer sp.Exit(sp.Enter())
 	t, err := g.Tree(root)
 	if err != nil {
 		return err
@@ -855,6 +879,9 @@ func (g *Group) Gather(p *vtime.Proc, root topology.NodeID, contrib func(topolog
 	sp := g.tel.Begin("group", "gather", int(root)).I64("members", int64(len(g.members)))
 	t0 := g.k.Now()
 	defer func() { g.hOp.Observe(g.k.Now().Sub(t0)); sp.End() }()
+	// Relays, waves and their TCP segments on every member node attach
+	// under this operation (which itself joins any enclosing request).
+	defer sp.Exit(sp.Enter())
 	t, err := g.Tree(root)
 	if err != nil {
 		return nil, err

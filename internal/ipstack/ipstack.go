@@ -581,6 +581,12 @@ func (c *TCPConn) rcvWnd() int {
 func (c *TCPConn) sendSeg(sg tcpSeg, off, n int64) {
 	c.SegsSent++
 	c.host.stack.mSegsSent.Inc()
+	if n > 0 && c.host.stack.tel.Tracing() {
+		// Payload segments inherit the ambient request context, so the
+		// lowest wire events still hang off the originating request root.
+		c.host.stack.tel.Instant("ipstack", "tcp.seg", int(c.host.id)).
+			I64("dst", int64(c.remote)).I64("bytes", n).End()
+	}
 	tp := c.host.stack.getTP()
 	if n > 0 {
 		c.sndq.view(int(off), int(n), &tp.pl)

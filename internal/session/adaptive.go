@@ -37,6 +37,7 @@ import (
 
 	"padico/internal/iovec"
 	"padico/internal/selector"
+	"padico/internal/telemetry"
 	"padico/internal/topology"
 	"padico/internal/vtime"
 )
@@ -82,6 +83,13 @@ type record struct {
 	kind byte
 	seq  uint64
 	segs [][]byte
+	// ctx is the sender's trace context at framing time. The live send
+	// path inherits it ambiently (the tx helper proc is spawned by the
+	// caller), but a replay runs in whichever proc re-opened the epoch —
+	// the stored context keeps replayed records attributed to their
+	// originating requests. When tracing, it also rides the wire so the
+	// receive pump adopts the request identity across the node boundary.
+	ctx vtime.TraceCtx
 }
 
 // dirState is one direction's sequencing: seq numbers assigned by the
@@ -255,9 +263,15 @@ func (st *adaptiveState) pump(q *vtime.Proc, ep int, end *adaptiveEnd) {
 			return
 		}
 		inner := end.innerEnd()
-		rec, err := readRecord(q, inner)
+		rec, err := readRecord(q, inner, st.mgr.tel.Tracing())
 		if err != nil {
 			return
+		}
+		if !rec.ctx.Zero() {
+			// Adopt the wire-carried request context: delivery and the
+			// substrate reads for the next record attribute to the request
+			// whose bytes they move.
+			st.mgr.k.SetTraceCtx(rec.ctx)
 		}
 		if st.done || st.epoch != ep {
 			return // stale epoch: the resume handshake governs now
@@ -301,22 +315,28 @@ func recPayloadLen(rec record) int {
 // ---------------------------------------------------------------------
 // Record wire helpers.
 
-func writeRecord(q *vtime.Proc, ch Channel, rec record) error {
+// traced appends one fixed trace-context segment to every record (and
+// expects one back): both ends share the manager's hub, so the flag is
+// consistent by construction and the untraced wire stays byte-identical.
+func writeRecord(q *vtime.Proc, ch Channel, rec record, traced bool) error {
 	hdr := make([]byte, recHdrLen)
 	hdr[0] = rec.kind
 	binary.BigEndian.PutUint64(hdr[1:], rec.seq)
 	binary.BigEndian.PutUint16(hdr[9:], uint16(len(rec.segs)))
 	sizes := make([]byte, 4*len(rec.segs))
-	segs := make([][]byte, 0, 2+len(rec.segs))
+	segs := make([][]byte, 0, 3+len(rec.segs))
 	segs = append(segs, hdr, sizes)
 	for i, s := range rec.segs {
 		binary.BigEndian.PutUint32(sizes[4*i:], uint32(len(s)))
 		segs = append(segs, s)
 	}
+	if traced {
+		segs = append(segs, telemetry.EncodeCtx(rec.ctx))
+	}
 	return ch.Send(q, segs...)
 }
 
-func readRecord(q *vtime.Proc, ch Channel) (record, error) {
+func readRecord(q *vtime.Proc, ch Channel, traced bool) (record, error) {
 	hdrSeg, err := ch.Recv(q, recHdrLen)
 	if err != nil {
 		return record{}, err
@@ -336,6 +356,13 @@ func readRecord(q *vtime.Proc, ch Channel) (record, error) {
 	if err != nil {
 		return record{}, err
 	}
+	if traced {
+		ctxSeg, err := ch.Recv(q, telemetry.CtxWireLen)
+		if err != nil {
+			return record{}, err
+		}
+		rec.ctx = telemetry.DecodeCtx(ctxSeg[0])
+	}
 	return rec, nil
 }
 
@@ -347,7 +374,7 @@ func readRecord(q *vtime.Proc, ch Channel) (record, error) {
 func (st *adaptiveState) sendAttempt(p *vtime.Proc, ch Channel, rec record) bool {
 	done := vtime.NewQueue[error]("adaptive:send")
 	st.mgr.k.GoDaemon("adaptive:tx", func(q *vtime.Proc) {
-		done.Push(writeRecord(q, ch, rec))
+		done.Push(writeRecord(q, ch, rec, st.mgr.tel.Tracing()))
 	})
 	err, ok := done.PopTimeout(p, adaptiveStall)
 	return ok && err == nil
@@ -552,7 +579,12 @@ func (st *adaptiveState) replay(p *vtime.Proc, res resumePoint) bool {
 			if rec.seq < pair.start || rec.seq < pair.d.recvNext {
 				continue // the receiver already has it
 			}
-			if !st.sendAttempt(p, pair.ch, rec) {
+			// Replay under the record's own context, not the re-opening
+			// proc's: the resent bytes belong to the original request.
+			prev := st.mgr.k.SetTraceCtx(rec.ctx)
+			ok := st.sendAttempt(p, pair.ch, rec)
+			st.mgr.k.SetTraceCtx(prev)
+			if !ok {
 				return false
 			}
 		}
@@ -580,7 +612,8 @@ func (e *adaptiveEnd) sendRecord(p *vtime.Proc, kind byte, segs [][]byte) error 
 	if e.closed || st.done {
 		return ErrClosed
 	}
-	rec := record{kind: kind, seq: e.tx.sendNext, segs: copySegs(segs)}
+	rec := record{kind: kind, seq: e.tx.sendNext, segs: copySegs(segs),
+		ctx: st.mgr.k.TraceCtx()}
 	recBytes := 0
 	for _, s := range rec.segs {
 		recBytes += len(s)

@@ -93,6 +93,9 @@ func (a *Auditor) Start() {
 func (a *Auditor) Pass(p *vtime.Proc) int {
 	t0 := p.Now()
 	span := a.hub.Begin("store", "audit-pass", int(a.node))
+	// Each pass is a request root: verify work and any repair traffic it
+	// triggers attach here rather than to the auditor daemon's history.
+	defer span.Exit(span.Enter())
 	quarantined := 0
 	var scanned int64
 	for _, key := range a.eng.Keys() {

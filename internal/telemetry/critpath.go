@@ -1,0 +1,223 @@
+// Critical-path analysis over a finished trace: for each request (a
+// root span and the tree hanging off it) extract the blocking chain
+// that determined its virtual-time makespan, and attribute that time
+// per layer/span-kind/node.
+//
+// The algorithm is a backward decomposition. Starting from the root's
+// completion, repeatedly ask "what was the last piece of work to
+// finish before this point?": the child span with the latest end not
+// after the current frontier. The gap between that child's end and the
+// frontier is the enclosing span's own time (it was the one running);
+// the child's extent is decomposed recursively; then the frontier jumps
+// to the child's start and the scan continues with earlier-finishing
+// children. What remains below the earliest child is the enclosing
+// span's ramp-up. The result is a disjoint cover of [start, end) of
+// the root by the spans that were causally last — the critical path.
+// Siblings that finished earlier than the frontier ever reaches were
+// hidden behind the blocking chain and contribute nothing, which is
+// exactly the point.
+//
+// Everything here is integer math over virtual times in a fixed span
+// order, so the output is bit-identical across runs — the determinism
+// tests pin it like any bench table.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"padico/internal/vtime"
+)
+
+// CritSeg is one stretch of the critical path, attributed to the span
+// that was the blocking work during [Start, Start+Dur).
+type CritSeg struct {
+	Cat, Name string
+	Tid       int
+	SpanID    int64
+	Start     vtime.Time
+	Dur       vtime.Duration
+}
+
+// CritRow is the aggregate of the path's segments for one
+// (layer, span-kind, node) triple.
+type CritRow struct {
+	Cat, Name string
+	Tid       int
+	Total     vtime.Duration
+	Count     int
+}
+
+// CriticalPath is the analysis of one request tree.
+type CriticalPath struct {
+	RootID            int64
+	RootCat, RootName string
+	RootTid           int
+	Start             vtime.Time
+	Makespan          vtime.Duration
+	Segs              []CritSeg // chronological, disjoint, covering the makespan
+	Rows              []CritRow // aggregated, largest share first
+}
+
+func (r spanRec) end() vtime.Time { return r.start.Add(r.dur) }
+
+// CriticalPath analyzes the trace rooted at span id root. It returns
+// nil when the root is unknown or still open at export time.
+func (h *Hub) CriticalPath(root int64) *CriticalPath {
+	if h == nil {
+		return nil
+	}
+	var rootRec *spanRec
+	children := make(map[int64][]spanRec)
+	for i := range h.spans {
+		r := &h.spans[i]
+		if r.id == root {
+			rootRec = r
+		}
+		// Instants carry no duration: they cannot block, so they are
+		// annotations on the path, not parts of it.
+		if r.parent != 0 && r.trace != 0 && !r.inst {
+			children[r.parent] = append(children[r.parent], *r)
+		}
+	}
+	if rootRec == nil {
+		return nil
+	}
+	// Blocking-chain scan order: latest end first; ties broken by span
+	// id descending (the later-begun span was causally last).
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].end() != cs[j].end() {
+				return cs[i].end() > cs[j].end()
+			}
+			return cs[i].id > cs[j].id
+		})
+	}
+
+	cp := &CriticalPath{
+		RootID: rootRec.id, RootCat: rootRec.cat, RootName: rootRec.name,
+		RootTid: rootRec.tid, Start: rootRec.start, Makespan: rootRec.dur,
+	}
+	var walk func(s spanRec, until vtime.Time)
+	walk = func(s spanRec, until vtime.Time) {
+		t := until
+		for _, c := range children[s.id] {
+			if t <= s.start {
+				break
+			}
+			if c.end() > t {
+				continue // hidden behind a later-finishing sibling
+			}
+			if c.end() < t {
+				cp.Segs = append(cp.Segs, CritSeg{Cat: s.cat, Name: s.name,
+					Tid: s.tid, SpanID: s.id, Start: c.end(), Dur: t.Sub(c.end())})
+			}
+			walk(c, c.end())
+			t = c.start
+			if t < s.start {
+				t = s.start
+			}
+		}
+		if t > s.start {
+			cp.Segs = append(cp.Segs, CritSeg{Cat: s.cat, Name: s.name,
+				Tid: s.tid, SpanID: s.id, Start: s.start, Dur: t.Sub(s.start)})
+		}
+	}
+	walk(*rootRec, rootRec.end())
+	// The walk emits backward in time; present chronological.
+	for i, j := 0, len(cp.Segs)-1; i < j; i, j = i+1, j-1 {
+		cp.Segs[i], cp.Segs[j] = cp.Segs[j], cp.Segs[i]
+	}
+
+	agg := make(map[CritRow]*CritRow)
+	for _, sg := range cp.Segs {
+		key := CritRow{Cat: sg.Cat, Name: sg.Name, Tid: sg.Tid}
+		row := agg[key]
+		if row == nil {
+			row = &CritRow{Cat: sg.Cat, Name: sg.Name, Tid: sg.Tid}
+			agg[key] = row
+		}
+		row.Total += sg.Dur
+		row.Count++
+	}
+	for _, row := range agg {
+		cp.Rows = append(cp.Rows, *row)
+	}
+	sort.Slice(cp.Rows, func(i, j int) bool {
+		a, b := cp.Rows[i], cp.Rows[j]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Tid < b.Tid
+	})
+	return cp
+}
+
+// CriticalPaths analyzes every request in the trace: spans that are
+// roots of their own trace (nothing above them) and actually span time.
+// Ordered by makespan descending, root id ascending on ties.
+func (h *Hub) CriticalPaths() []*CriticalPath {
+	if h == nil {
+		return nil
+	}
+	var out []*CriticalPath
+	for i := range h.spans {
+		r := &h.spans[i]
+		if r.inst || r.trace != r.id || r.dur == 0 {
+			continue
+		}
+		if cp := h.CriticalPath(r.id); cp != nil {
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Makespan != out[j].Makespan {
+			return out[i].Makespan > out[j].Makespan
+		}
+		return out[i].RootID < out[j].RootID
+	})
+	return out
+}
+
+// FormatCriticalPath renders one request's attribution table.
+func FormatCriticalPath(cp *CriticalPath) string {
+	if cp == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path of %s/%s (span %d, node %d): start %v, makespan %v, %d segments\n",
+		cp.RootCat, cp.RootName, cp.RootID, cp.RootTid, cp.Start, cp.Makespan, len(cp.Segs))
+	fmt.Fprintf(&b, "  %-10s %-14s %5s %6s %14s %6s\n", "layer", "span", "node", "segs", "time", "share")
+	for _, row := range cp.Rows {
+		share := int64(0)
+		if cp.Makespan > 0 {
+			share = int64(row.Total) * 100 / int64(cp.Makespan)
+		}
+		fmt.Fprintf(&b, "  %-10s %-14s %5d %6d %14v %5d%%\n",
+			row.Cat, row.Name, row.Tid, row.Count, row.Total, share)
+	}
+	return b.String()
+}
+
+// FormatCriticalPaths renders the top slowest requests of the trace,
+// one attribution table each.
+func FormatCriticalPaths(paths []*CriticalPath, top int) string {
+	if top > 0 && len(paths) > top {
+		paths = paths[:top]
+	}
+	var b strings.Builder
+	for i, cp := range paths {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(FormatCriticalPath(cp))
+	}
+	return b.String()
+}

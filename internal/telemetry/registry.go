@@ -172,6 +172,25 @@ func (h *Histogram) Quantile(q float64) vtime.Duration {
 	return vtime.Duration(atomic.LoadInt64(&h.max))
 }
 
+// CountAtMost returns how many observations fell in buckets whose upper
+// bound is <= d — the "good events" count for a latency SLO with
+// threshold d. The threshold is effectively rounded down to a bucket
+// boundary of the 1-2-5 ladder; declare objectives on ladder values
+// (1ms, 2ms, 5ms, ...) for exact semantics.
+func (h *Histogram) CountAtMost(d vtime.Duration) int64 {
+	if h == nil {
+		return 0
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		if b > d {
+			break
+		}
+		cum += atomic.LoadInt64(&h.counts[i])
+	}
+	return cum
+}
+
 // Kind discriminates snapshot entries.
 type Kind int
 
@@ -318,6 +337,49 @@ func snakeCase(s string) string {
 		b.WriteRune(c)
 	}
 	return b.String()
+}
+
+// Value returns the summed value of the named counter across direct
+// counters, counter funcs and bound-struct fields — the same total the
+// snapshot would report, read for one name (the SLO monitor's tick
+// path). Unknown names read 0.
+func (r *Registry) Value(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum int64
+	if c := r.counters[name]; c != nil {
+		sum += c.Value()
+	}
+	for _, fn := range r.funcs[name] {
+		sum += fn()
+	}
+	for _, bs := range r.bound {
+		if !strings.HasPrefix(name, bs.prefix) || len(name) <= len(bs.prefix) || name[len(bs.prefix)] != '.' {
+			continue
+		}
+		want := name[len(bs.prefix)+1:]
+		t := bs.v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.Type.Kind() != reflect.Int64 || !f.IsExported() {
+				continue
+			}
+			fname := snakeCase(f.Name)
+			if tag, ok := f.Tag.Lookup("metric"); ok {
+				if tag == "-" {
+					continue
+				}
+				fname = tag
+			}
+			if fname == want {
+				sum += atomic.LoadInt64(bs.v.Field(i).Addr().Interface().(*int64))
+			}
+		}
+	}
+	return sum
 }
 
 // Snapshot returns every registered metric sorted by name. Histogram

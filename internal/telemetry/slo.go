@@ -1,0 +1,265 @@
+// SLO monitoring in virtual time: declarative objectives over the
+// metrics the layers already publish, evaluated by a kernel daemon with
+// multi-window burn rates (the Google-SRE alerting shape: a breach
+// needs every window hot, so a brief spike does not page; recovery
+// follows the short window, so alerts clear promptly).
+//
+// Two objective shapes cover the stack:
+//
+//   - Latency: of the observations in a histogram, the fraction
+//     completing within Threshold must stay >= Target ("p99 of
+//     datagrid transfers <= 500ms" is Target 0.99, Threshold 500ms).
+//     Good events are counted with Histogram.CountAtMost, so the
+//     threshold is effectively a bucket boundary of the 1-2-5 ladder.
+//   - Availability: of the events counted by Total (counter names,
+//     summed), the fraction NOT counted by Bad must stay >= Target
+//     ("probe availability" is Bad = probe_failures over Total =
+//     pings + bandwidth_probes).
+//
+// The burn rate of a window is badFraction/errorBudget where the
+// error budget is 1-Target: burn 1 consumes the budget exactly at the
+// allowed pace, burn >= MaxBurn on every window raises the alert.
+// Breaches and clears emit telemetry instants (visible in the trace),
+// flight-recorder notes, and — on breach — a flight dump, so the
+// control-plane history leading into the violation is the post-mortem.
+//
+// Evaluation runs on the virtual clock and reads deterministic
+// counters, so the monitor's full history — burns, breach and clear
+// instants — is bit-identical across runs and pinned by the
+// determinism tests.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"padico/internal/vtime"
+)
+
+// Objective is one declarative SLO.
+type Objective struct {
+	Name   string
+	Target float64 // required fraction of good events, e.g. 0.99
+
+	// Latency mode: set Hist + Threshold.
+	Hist      string
+	Threshold vtime.Duration
+
+	// Availability mode: set Bad + Total (counter names; Total summed).
+	Bad   string
+	Total []string
+
+	// Windows are the burn-rate look-backs, shortest first. The alert
+	// fires when every window burns at >= MaxBurn and clears when the
+	// shortest drops below. Defaults: 2s and 10s, MaxBurn 2.
+	Windows []vtime.Duration
+	MaxBurn float64
+}
+
+func (o *Objective) windows() []vtime.Duration {
+	if len(o.Windows) == 0 {
+		return []vtime.Duration{2e9, 10e9}
+	}
+	return o.Windows
+}
+
+func (o *Objective) maxBurn() float64 {
+	if o.MaxBurn <= 0 {
+		return 2
+	}
+	return o.MaxBurn
+}
+
+// sloSample is one cumulative (good, total) reading.
+type sloSample struct {
+	at          vtime.Time
+	good, total int64
+}
+
+// sloState is one objective's evaluation state.
+type sloState struct {
+	obj      Objective
+	samples  []sloSample
+	burns    []float64 // last tick's burn per window
+	breached bool
+	breaches int64
+	clears   int64
+}
+
+// SLOStatus is one objective's externally visible state.
+type SLOStatus struct {
+	Name             string
+	Breached         bool
+	Breaches, Clears int64
+	Burns            []float64
+}
+
+// SLOMonitor evaluates a set of objectives on a fixed virtual-time
+// cadence. Create with NewSLOMonitor, start with Start.
+type SLOMonitor struct {
+	h        *Hub
+	interval vtime.Duration
+	states   []*sloState
+}
+
+// NewSLOMonitor builds a monitor over the hub's registry. interval <= 0
+// defaults to 250ms of virtual time. Returns nil on a nil hub.
+func NewSLOMonitor(h *Hub, interval vtime.Duration, objs ...Objective) *SLOMonitor {
+	if h == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 250e6
+	}
+	m := &SLOMonitor{h: h, interval: interval}
+	for _, o := range objs {
+		m.states = append(m.states, &sloState{obj: o, burns: make([]float64, len(o.windows()))})
+	}
+	return m
+}
+
+// Start spawns the evaluation daemon. Safe on a nil monitor.
+func (m *SLOMonitor) Start() {
+	if m == nil {
+		return
+	}
+	m.h.k.GoDaemon("slo-monitor", func(p *vtime.Proc) {
+		for {
+			p.Sleep(m.interval)
+			m.tick()
+		}
+	})
+}
+
+// read returns the objective's cumulative good and total event counts.
+func (st *sloState) read(reg *Registry) (good, total int64) {
+	o := &st.obj
+	if o.Hist != "" {
+		h := reg.Histogram(o.Hist)
+		return h.CountAtMost(o.Threshold), h.Count()
+	}
+	for _, name := range o.Total {
+		total += reg.Value(name)
+	}
+	bad := reg.Value(o.Bad)
+	if bad > total {
+		bad = total
+	}
+	return total - bad, total
+}
+
+// tick takes one reading per objective and re-evaluates the windows.
+func (m *SLOMonitor) tick() {
+	now := m.h.k.Now()
+	for _, st := range m.states {
+		good, total := st.read(m.h.reg)
+		st.samples = append(st.samples, sloSample{at: now, good: good, total: total})
+		windows := st.obj.windows()
+		longest := windows[len(windows)-1]
+		// Prune anything older than the longest look-back (keep one
+		// sample beyond the horizon as the baseline).
+		cutoff := now.Add(-longest)
+		keep := 0
+		for keep+1 < len(st.samples) && st.samples[keep+1].at <= cutoff {
+			keep++
+		}
+		if keep > 0 {
+			st.samples = append(st.samples[:0], st.samples[keep:]...)
+		}
+		budget := 1 - st.obj.Target
+		if budget <= 0 {
+			budget = 1e-9 // a 100% target burns instantly on any bad event
+		}
+		hot := true
+		for i, w := range windows {
+			base := st.samples[0]
+			for _, s := range st.samples {
+				if s.at <= now.Add(-w) {
+					base = s
+				} else {
+					break
+				}
+			}
+			cur := st.samples[len(st.samples)-1]
+			dTotal := cur.total - base.total
+			dBad := dTotal - (cur.good - base.good)
+			burn := 0.0
+			if dTotal > 0 {
+				burn = (float64(dBad) / float64(dTotal)) / budget
+			}
+			st.burns[i] = burn
+			if burn < st.obj.maxBurn() {
+				hot = false
+			}
+		}
+		switch {
+		case hot && !st.breached:
+			st.breached = true
+			st.breaches++
+			m.h.Note("slo", "breach", -1, st.breaches, int64(st.burns[0]*100))
+			if m.h.Tracing() {
+				m.h.Instant("slo", "breach", -1).
+					Str("objective", st.obj.Name).
+					I64("burn_pct", int64(st.burns[0]*100)).End()
+			}
+			m.h.DumpFlight("slo breach: " + st.obj.Name)
+		case !hot && st.breached && st.burns[0] < st.obj.maxBurn():
+			st.breached = false
+			st.clears++
+			m.h.Note("slo", "clear", -1, st.clears, int64(st.burns[0]*100))
+			if m.h.Tracing() {
+				m.h.Instant("slo", "clear", -1).
+					Str("objective", st.obj.Name).
+					I64("burn_pct", int64(st.burns[0]*100)).End()
+			}
+		}
+	}
+}
+
+// Status returns the objectives' current state, in declaration order.
+func (m *SLOMonitor) Status() []SLOStatus {
+	if m == nil {
+		return nil
+	}
+	out := make([]SLOStatus, len(m.states))
+	for i, st := range m.states {
+		out[i] = SLOStatus{
+			Name: st.obj.Name, Breached: st.breached,
+			Breaches: st.breaches, Clears: st.clears,
+			Burns: append([]float64(nil), st.burns...),
+		}
+	}
+	return out
+}
+
+// FormatSLO renders the monitor's state as an aligned table, sorted by
+// objective name — deterministic, pinned by the determinism tests.
+func (m *SLOMonitor) FormatSLO() string {
+	if m == nil {
+		return ""
+	}
+	sts := m.Status()
+	sort.Slice(sts, func(i, j int) bool { return sts[i].Name < sts[j].Name })
+	width := len("objective")
+	for _, s := range sts {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %8s  %8s  %6s  %s\n", width, "objective", "breaches", "clears", "state", "burn")
+	for _, s := range sts {
+		state := "ok"
+		if s.Breached {
+			state = "BREACH"
+		}
+		burns := make([]string, len(s.Burns))
+		for i, x := range s.Burns {
+			burns[i] = fmt.Sprintf("%.2f", x)
+		}
+		fmt.Fprintf(&b, "%-*s  %8d  %8d  %6s  %s\n",
+			width, s.Name, s.Breaches, s.Clears, state, strings.Join(burns, "/"))
+	}
+	return b.String()
+}

@@ -26,6 +26,7 @@ package telemetry
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -33,6 +34,34 @@ import (
 
 	"padico/internal/vtime"
 )
+
+// Ctx is the propagated trace context: the request (root span) identity
+// and the causally current span. It is the kernel's ambient TraceCtx —
+// the scheduler carries it across proc switches and event fires, so a
+// span begun anywhere in the simulation attaches to the request that
+// caused it. See Span.Enter for installing a root.
+type Ctx = vtime.TraceCtx
+
+// CtxWireLen is the encoded size of a Ctx on the wire.
+const CtxWireLen = 8 + 8
+
+// EncodeCtx renders a trace context as 16 big-endian bytes, for layers
+// that carry it in tracing-gated wire headers (datagrid transfer
+// headers, group multicast headers, adaptive session records).
+func EncodeCtx(c Ctx) []byte {
+	b := make([]byte, CtxWireLen)
+	binary.BigEndian.PutUint64(b, uint64(c.Trace))
+	binary.BigEndian.PutUint64(b[8:], uint64(c.Span))
+	return b
+}
+
+// DecodeCtx parses a context encoded by EncodeCtx.
+func DecodeCtx(b []byte) Ctx {
+	if len(b) < CtxWireLen {
+		return Ctx{}
+	}
+	return Ctx{Trace: int64(binary.BigEndian.Uint64(b)), Span: int64(binary.BigEndian.Uint64(b[8:]))}
+}
 
 // Hub is the per-kernel telemetry instance: tracer + registry + flight
 // recorder. The zero value is unusable; create with Attach.
@@ -50,6 +79,7 @@ type Hub struct {
 	flightLen  int
 	flightSink io.Writer
 	dumps      int
+	dumpLimit  int // 0 = default, <0 = unlimited (SetDumpLimit)
 }
 
 // Attach returns the kernel's hub, creating and attaching one on first
@@ -126,6 +156,7 @@ type Span struct {
 	next   *Span // free list
 	id     int64
 	parent int64
+	trace  int64
 	cat    string
 	name   string
 	tid    int
@@ -139,6 +170,7 @@ type Span struct {
 type spanRec struct {
 	id     int64
 	parent int64
+	trace  int64
 	cat    string
 	name   string
 	tid    int
@@ -151,7 +183,9 @@ type spanRec struct {
 
 // Begin opens a span in category cat (the layer) named name, on trace
 // lane tid (the node). Returns nil when tracing is off — all Span
-// methods tolerate that.
+// methods tolerate that. The span auto-parents under the ambient trace
+// context: when a request is in flight, the new span joins its tree;
+// otherwise it becomes a root of its own trace.
 func (h *Hub) Begin(cat, name string, tid int) *Span {
 	if h == nil || !h.tracing {
 		return nil
@@ -164,7 +198,30 @@ func (h *Hub) Begin(cat, name string, tid int) *Span {
 	}
 	h.nextID++
 	*s = Span{h: h, id: h.nextID, cat: cat, name: name, tid: tid, start: h.k.Now()}
+	if cur := h.k.TraceCtx(); !cur.Zero() {
+		s.trace = cur.Trace
+		s.parent = cur.Span
+	} else {
+		s.trace = s.id
+	}
 	return s
+}
+
+// Cur returns the ambient trace context (zero on a nil hub).
+func (h *Hub) Cur() Ctx {
+	if h == nil {
+		return Ctx{}
+	}
+	return h.k.TraceCtx()
+}
+
+// SetCur installs c as the ambient trace context — the adoption point
+// for a context that arrived over the wire (a chunk header, a multicast
+// header, a replayed record).
+func (h *Hub) SetCur(c Ctx) {
+	if h != nil {
+		h.k.SetTraceCtx(c)
+	}
 }
 
 // Instant opens a zero-duration instant event (retransmit fired,
@@ -185,10 +242,43 @@ func (s *Span) ID() int64 {
 	return s.id
 }
 
-// Parent links s under p (both may be nil).
+// Ctx returns the span's trace context (zero on nil): its trace id and
+// its own id as the causally current span — what a child would inherit.
+func (s *Span) Ctx() Ctx {
+	if s == nil {
+		return Ctx{}
+	}
+	return Ctx{Trace: s.trace, Span: s.id}
+}
+
+// Enter installs s as the ambient trace context, making everything that
+// executes downstream — spawned procs, scheduled events, spans on other
+// nodes — attach to s's tree. It returns the previous context; restore
+// it with Exit when the operation completes:
+//
+//	sp := tel.Begin("datagrid", "put", node)
+//	defer sp.End()
+//	prev := sp.Enter()
+//	defer sp.Exit(prev)
+func (s *Span) Enter() Ctx {
+	if s == nil {
+		return Ctx{}
+	}
+	return s.h.k.SetTraceCtx(Ctx{Trace: s.trace, Span: s.id})
+}
+
+// Exit restores the context saved by Enter (no-op on nil).
+func (s *Span) Exit(prev Ctx) {
+	if s != nil {
+		s.h.k.SetTraceCtx(prev)
+	}
+}
+
+// Parent links s under p (both may be nil), adopting p's trace.
 func (s *Span) Parent(p *Span) *Span {
 	if s != nil && p != nil {
 		s.parent = p.id
+		s.trace = p.trace
 	}
 	return s
 }
@@ -228,8 +318,8 @@ func (s *Span) End() {
 	}
 	h := s.h
 	h.spans = append(h.spans, spanRec{
-		id: s.id, parent: s.parent, cat: s.cat, name: s.name, tid: s.tid,
-		start: s.start, dur: h.k.Now().Sub(s.start), inst: s.inst,
+		id: s.id, parent: s.parent, trace: s.trace, cat: s.cat, name: s.name,
+		tid: s.tid, start: s.start, dur: h.k.Now().Sub(s.start), inst: s.inst,
 		nargs: s.nargs, args: s.args,
 	})
 	s.next = h.free
@@ -238,13 +328,13 @@ func (s *Span) End() {
 
 // SpanInfo is one finished span, exposed for tests and examples.
 type SpanInfo struct {
-	ID, Parent int64
-	Cat, Name  string
-	Tid        int
-	Start      vtime.Time
-	Dur        vtime.Duration
-	Instant    bool
-	Args       string // "k=v k=v" rendering
+	ID, Parent, Trace int64
+	Cat, Name         string
+	Tid               int
+	Start             vtime.Time
+	Dur               vtime.Duration
+	Instant           bool
+	Args              string // "k=v k=v" rendering
 }
 
 // Spans returns the finished spans in completion order.
@@ -267,8 +357,8 @@ func (h *Hub) Spans() []SpanInfo {
 			}
 		}
 		out[i] = SpanInfo{
-			ID: r.id, Parent: r.parent, Cat: r.cat, Name: r.name, Tid: r.tid,
-			Start: r.start, Dur: r.dur, Instant: r.inst, Args: b.String(),
+			ID: r.id, Parent: r.parent, Trace: r.trace, Cat: r.cat, Name: r.name,
+			Tid: r.tid, Start: r.start, Dur: r.dur, Instant: r.inst, Args: b.String(),
 		}
 	}
 	return out
@@ -283,9 +373,13 @@ func usec(ns int64) string {
 
 // WriteTrace emits the span log as Chrome trace_event JSON: one
 // process, one lane (tid) per node, spans as "X" complete events and
-// instants as "i" events. Span ids and parents ride in args. Events
-// appear in completion order; under the sequential kernel that order —
-// like everything else here — is deterministic.
+// instants as "i" events. Span ids, trace ids and parents ride in args.
+// Wherever a span's parent lives on a *different* node, a flow arrow
+// ("s" at the parent, "f" at the child) is synthesized so Perfetto
+// draws the causal hop between lanes. Events appear in completion
+// order; under the sequential kernel that order — like everything else
+// here — is deterministic. Spans still open at export time are simply
+// absent: only finished spans are in the log.
 func (h *Hub) WriteTrace(w io.Writer) error {
 	if h == nil {
 		return nil
@@ -314,6 +408,9 @@ func (h *Hub) WriteTrace(w io.Writer) error {
 				r.tid, usec(int64(r.start)), usec(int64(r.dur)), r.cat, r.name)
 		}
 		fmt.Fprintf(bw, "\"span\":%d", r.id)
+		if r.trace != 0 {
+			fmt.Fprintf(bw, ",\"trace\":%d", r.trace)
+		}
 		if r.parent != 0 {
 			fmt.Fprintf(bw, ",\"parent\":%d", r.parent)
 		}
@@ -326,6 +423,35 @@ func (h *Hub) WriteTrace(w io.Writer) error {
 			}
 		}
 		bw.WriteString("}}")
+	}
+	// Cross-node flow arrows: one s/f pair per span whose parent sits on
+	// another lane. The binding point "e" attaches each end to the slice
+	// enclosing its timestamp; the s end is clamped into the parent's
+	// extent so a child that outlives its parent still binds to it.
+	type extent struct {
+		tid        int
+		start, end vtime.Time
+	}
+	byID := make(map[int64]extent, len(h.spans))
+	for _, r := range h.spans {
+		byID[r.id] = extent{tid: r.tid, start: r.start, end: r.start.Add(r.dur)}
+	}
+	for _, r := range h.spans {
+		p, ok := byID[r.parent]
+		if r.parent == 0 || !ok || p.tid == r.tid {
+			continue
+		}
+		at := r.start
+		if at > p.end {
+			at = p.end
+		}
+		if at < p.start {
+			at = p.start
+		}
+		fmt.Fprintf(bw, ",\n{\"ph\":\"s\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"cat\":%q,\"name\":\"flow\",\"id\":%d,\"bp\":\"e\"}",
+			p.tid, usec(int64(at)), r.cat, r.id)
+		fmt.Fprintf(bw, ",\n{\"ph\":\"f\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"cat\":%q,\"name\":\"flow\",\"id\":%d,\"bp\":\"e\"}",
+			r.tid, usec(int64(r.start)), r.cat, r.id)
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()

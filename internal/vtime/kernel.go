@@ -73,6 +73,25 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("vtime: panic in %q: %v\n%s", e.ProcName, e.Value, e.Stack)
 }
 
+// TraceCtx is a compact trace context: the identity of the request
+// (Trace) and of the span that is causally current (Span). The kernel
+// carries one ambient TraceCtx alongside the virtual clock: a spawned
+// Proc inherits the spawner's context, a parked Proc saves and restores
+// its own across the block, and every scheduled event captures the
+// context of its scheduler and reinstates it when it fires. Because
+// execution is strictly sequential, the ambient context follows the
+// causal chain through the entire simulation — packet hops, ACK
+// processing, I/O readiness callbacks — with no per-layer plumbing.
+// It is pure data: it never influences scheduling, so determinism is
+// unaffected whether or not anyone reads it.
+type TraceCtx struct {
+	Trace int64 // request (root span) identity; 0 = none
+	Span  int64 // causally current span; 0 = none
+}
+
+// Zero reports whether the context is empty (no trace in progress).
+func (c TraceCtx) Zero() bool { return c == TraceCtx{} }
+
 type procState int
 
 const (
@@ -96,6 +115,7 @@ type Proc struct {
 	resume   chan struct{} // kernel -> proc: run
 	daemon   bool
 	unparkFn func() // cached unpark closure for Sleep/Yield scheduling
+	ctx      TraceCtx
 }
 
 // Name returns the name given at spawn time.
@@ -116,6 +136,7 @@ type event struct {
 	// must not be recycled — a stale Timer.Stop would tombstone an
 	// unrelated reuse.
 	pooled bool
+	ctx    TraceCtx // scheduler's ambient context, reinstated at fire time
 }
 
 type eventHeap []*event
@@ -154,6 +175,7 @@ type Kernel struct {
 	dead       bool
 	failure    error
 	nprocs     int64
+	cur        TraceCtx // ambient trace context of the running Proc/event
 
 	// Stats, exposed for tests and the bench harness.
 	EventsFired   int64
@@ -193,6 +215,19 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
+// TraceCtx returns the ambient trace context of whatever is currently
+// executing (Proc or event handler).
+func (k *Kernel) TraceCtx() TraceCtx { return k.cur }
+
+// SetTraceCtx replaces the ambient trace context and returns the
+// previous one, for save/restore around an explicit context handoff
+// (entering a root span, adopting a wire-carried context).
+func (k *Kernel) SetTraceCtx(c TraceCtx) TraceCtx {
+	prev := k.cur
+	k.cur = c
+	return prev
+}
+
 // Go spawns a new Proc named name running fn. It may be called before
 // Run or from inside a running Proc or event handler. The new Proc is
 // appended to the runnable queue; it starts when the scheduler reaches
@@ -209,12 +244,14 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		id:     k.nprocs,
 		state:  stateNew,
 		resume: make(chan struct{}),
+		ctx:    k.cur, // inherit the spawner's trace context
 	}
 	p.unparkFn = p.unpark
 	k.procs[p.id] = p
 	k.ProcsSpawned++
 	go func() {
 		<-p.resume // wait for first schedule
+		k.cur = p.ctx
 		defer func() {
 			if r := recover(); r != nil {
 				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
@@ -279,7 +316,7 @@ func (k *Kernel) After(d Duration, fn func()) *Timer {
 		d = 0
 	}
 	k.seq++
-	ev := &event{at: k.now.Add(d), seq: k.seq, fn: fn}
+	ev := &event{at: k.now.Add(d), seq: k.seq, fn: fn, ctx: k.cur}
 	heap.Push(&k.events, ev)
 	return &Timer{k: k, ev: ev}
 }
@@ -312,6 +349,7 @@ func (k *Kernel) Schedule(d Duration, fn func()) {
 	ev.seq = k.seq
 	ev.fn = fn
 	ev.pooled = true
+	ev.ctx = k.cur
 	heap.Push(&k.events, ev)
 }
 
@@ -409,6 +447,7 @@ func (k *Kernel) fireNextEvent() bool {
 		fn := ev.fn
 		ev.fn = nil
 		pooled := ev.pooled
+		k.cur = ev.ctx
 		k.EventsFired++
 		if pooled {
 			// Safe to recycle before running: no Timer references this
@@ -466,6 +505,7 @@ func (p *Proc) park(reason string) {
 	}
 	p.state = stateBlocked
 	p.reason = reason
+	p.ctx = k.cur // save ambient context across the block
 	k.running = nil
 	k.parked <- struct{}{}
 	<-p.resume
@@ -474,6 +514,7 @@ func (p *Proc) park(reason string) {
 	}
 	p.state = stateRunning
 	k.running = p
+	k.cur = p.ctx
 }
 
 // unpark moves p from blocked to the back of the runnable queue. It is

@@ -188,6 +188,9 @@ func (s *Service) probePing(p *vtime.Proc, e *entry) {
 	sp := s.tel.Begin("weather", "probe.ping", int(e.a)).
 		I64("peer", int64(e.b)).I64("seq", int64(seq))
 	defer sp.End()
+	// Each probe is a request root: the echo's send and its TCP
+	// segments attach here, not to whatever ran the daemon last.
+	defer sp.Exit(sp.Enter())
 	start := p.Now()
 	segs := probeFrame(probePing, seq, 0)
 	if e.ch.Send(p, segs...) != nil {
@@ -222,6 +225,7 @@ func (s *Service) probeBandwidth(p *vtime.Proc, e *entry) {
 	sp := s.tel.Begin("weather", "probe.bw", int(e.a)).
 		I64("peer", int64(e.b)).I64("bytes", int64(size))
 	defer sp.End()
+	defer sp.Exit(sp.Enter())
 	start := p.Now()
 	segs := probeFrame(probeBW, seq, uint64(size))
 	if e.ch.Send(p, segs...) != nil {
