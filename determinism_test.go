@@ -307,7 +307,10 @@ func TestDeterminismCritPathTable(t *testing.T) {
 // TestDeterminismSLOTable double-runs the SLO-monitored degrading-WAN
 // workload and asserts a byte-identical alert table, plus the alert
 // lifecycle the acceptance criteria demand: the transfer-latency
-// objective must both breach (degrade era) and clear (quiet tail).
+// objective must both breach (degrade era) and clear (quiet tail),
+// and the recovery-availability objective must breach while the site
+// partition starves the repair loop of sources, then clear after the
+// heal.
 func TestDeterminismSLOTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full SLO-monitored run")
@@ -335,10 +338,76 @@ func TestDeterminismSLOTable(t *testing.T) {
 	if tr.Breached {
 		t.Error("transfer-latency alert still raised after the quiet tail")
 	}
+	rec, ok := byName["recovery-availability"]
+	if !ok {
+		t.Fatal("recovery-availability objective missing")
+	}
+	if rec.Breaches == 0 {
+		t.Error("recovery-availability objective never breached across the site partition")
+	}
+	if rec.Clears == 0 {
+		t.Error("recovery-availability alert never cleared after the heal")
+	}
+	if rec.Breached {
+		t.Error("recovery-availability alert still raised after the heal tail")
+	}
 	for _, name := range []string{"repair-time-to-heal", "probe-availability"} {
 		if s := byName[name]; s.Breached || s.Breaches != 0 {
 			t.Errorf("objective %s breached (%+v) — the workload should hold it", name, s)
 		}
+	}
+}
+
+// fmtPartitionRow renders one failure-scenario row with full float
+// precision.
+func fmtPartitionRow(r bench.PartitionResult) string {
+	return fmt.Sprintf("scenario=%s testbed=%s detect=%v recover=%v movedMB=%v repairs=%d lost=%d",
+		r.Scenario, r.Testbed, r.DetectS, r.RecoverS, r.MovedMB, r.Repairs, r.Lost)
+}
+
+// TestDeterminismPartitionTable pins the crash-partition-and-heal
+// table: two complete PartitionBench runs must be bit-identical, every
+// scenario must reconverge in finite virtual time with zero lost
+// objects, the crash scenarios must actually move repair traffic, and
+// the WAN partition must push bytes over the backup wire.
+func TestDeterminismPartitionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full failure-scenario run")
+	}
+	first := bench.PartitionBench()
+	second := bench.PartitionBench()
+	if len(first) != 3 || len(second) != 3 {
+		t.Fatalf("table has %d/%d rows, want 3", len(first), len(second))
+	}
+	for i := range first {
+		a, b := fmtPartitionRow(first[i]), fmtPartitionRow(second[i])
+		if a != b {
+			t.Errorf("row %d drifted across reruns:\n run1 %s\n run2 %s", i, a, b)
+		}
+	}
+	for _, r := range first {
+		if r.Lost != 0 {
+			t.Errorf("%s: %d objects lost after recovery", r.Scenario, r.Lost)
+		}
+		if r.DetectS <= 0 {
+			t.Errorf("%s: non-positive detection time %v", r.Scenario, r.DetectS)
+		}
+		if r.RecoverS <= r.DetectS {
+			t.Errorf("%s: reconvergence %v not after detection %v", r.Scenario, r.RecoverS, r.DetectS)
+		}
+		if r.MovedMB <= 0 {
+			t.Errorf("%s: no bytes moved while healing", r.Scenario)
+		}
+	}
+	if first[0].Scenario != "node-crash" || first[1].Scenario != "site-blackout" || first[2].Scenario != "wan-partition" {
+		t.Fatalf("row order changed: %+v", first)
+	}
+	if first[0].Repairs == 0 || first[1].Repairs == 0 {
+		t.Errorf("crash scenarios completed no repair transfers: %+v", first[:2])
+	}
+	if first[1].Repairs <= first[0].Repairs {
+		t.Errorf("site blackout repaired %d objects, single crash %d — blackout should lose more replicas",
+			first[1].Repairs, first[0].Repairs)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"padico/internal/datagrid"
+	"padico/internal/faults"
 	"padico/internal/grid"
 	"padico/internal/group"
 	"padico/internal/madapi"
@@ -1170,6 +1171,19 @@ func SLOObjectives() []telemetry.Objective {
 			},
 			Windows: SLOWindows,
 		},
+		{
+			// Recovery availability: every repair pass that finds an
+			// object with no reachable fresh replica books one bad event
+			// (datagrid.lost_objects), every completed repair a good one
+			// — so the objective burns for exactly as long as data is
+			// unreachable and clears once the heal restores sources.
+			Name: "recovery-availability", Target: 0.95,
+			Bad: "datagrid.lost_objects",
+			Total: []string{
+				"datagrid.repairs", "datagrid.lost_objects",
+			},
+			Windows: SLOWindows,
+		},
 	}
 }
 
@@ -1177,14 +1191,17 @@ func SLOObjectives() []telemetry.Objective {
 // instant with an SLO monitor evaluating in virtual time: the healthy
 // era's transfers stay inside the latency budget, the degraded era's
 // crawl through the collapsed core and burn it (breach), and a quiet
-// tail lets the short window cool (clear). It returns the monitor;
-// render its history with FormatSLO. Deterministic: two runs yield a
-// byte-identical table.
+// tail lets the short window cool (clear). A final recovery era then
+// partitions the replica site entirely — the repair loop screams
+// lost-object events until the heal restores reachability, so the
+// recovery-availability objective breaches during the outage and
+// clears after it. It returns the monitor; render its history with
+// FormatSLO. Deterministic: two runs yield a byte-identical table.
 func SLOBench() *telemetry.SLOMonitor {
 	g := grid.DegradingWAN(2) // site0 {0,1}, site1 {2,3}, site2 {4,5}
 	h := g.Telemetry()
 	g.EnableWeather(weather.Config{})
-	dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Streams: 4})
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Streams: 4, RepairInterval: time.Second})
 	// Replicas land in site1 only: every transfer crosses the core that
 	// collapses at DegradeAt.
 	ring := datagrid.NewRing(0)
@@ -1192,6 +1209,8 @@ func SLOBench() *telemetry.SLOMonitor {
 		ring.Add(n, "site1")
 	}
 	dg.SetRing(ring)
+	inj := faults.NewInjector(g)
+	wireDetector(g, inj, dg)
 	mon := telemetry.NewSLOMonitor(h, 0, SLOObjectives()...)
 	mon.Start()
 	data := weatherPayload(1 << 20)
@@ -1217,11 +1236,248 @@ func SLOBench() *telemetry.SLOMonitor {
 		// Quiet tail: no new transfers; the short window cools and the
 		// alert clears.
 		p.Sleep(4 * time.Second)
+		// Recovery era: partition the replica site. Every repair pass
+		// finds the objects unreachable and books lost-object events;
+		// recovery-availability burns all-bad and breaches.
+		inj.PartitionSite("site1",
+			"core:vthd:site0+site1", "core:vthd:site1+site2")
+		p.Sleep(6 * time.Second)
+		// Heal: the detector re-adds the site, the still-fresh replicas
+		// count again, the screaming stops and the windows drain.
+		inj.HealSite("site1",
+			"core:vthd:site0+site1", "core:vthd:site1+site2")
+		p.Sleep(6 * time.Second)
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: slo: %v", err))
 	}
 	return mon
+}
+
+// ---------------------------------------------------------------------
+// Failure scenarios: crash-partition-and-heal, the headline robustness
+// bench. Three rows, three failure modes: one node crash, one whole
+// site blackout, one WAN partition routed around on the backup wire.
+
+// PartitionResult is one failure-scenario row of the -partition table.
+type PartitionResult struct {
+	Scenario string // what failed
+	Testbed  string
+	// DetectS is the fault instant to the first detected transition
+	// (failure-detector sweep, or the weather forecast going Down).
+	DetectS float64
+	// RecoverS is the fault instant to full reconvergence: every object
+	// verified at its replication factor again, or — for the WAN
+	// partition — a full client read round completing on the rerouted
+	// wire.
+	RecoverS float64
+	// MovedMB counts payload bytes moved while healing (re-replication
+	// traffic), or wire bytes the backup WAN carried after the reroute.
+	MovedMB float64
+	// Repairs counts repair transfers completed while healing.
+	Repairs int64
+	// Lost is the number of objects with no reachable fresh replica
+	// once recovery settled — the headline number, asserted zero.
+	Lost int
+}
+
+const (
+	partitionObjects     = 8
+	partitionObjectSize  = 1 << 20
+	partitionDetectEvery = 500 * time.Millisecond
+)
+
+// PartitionBench runs the three failure scenarios end to end and
+// reports time-to-detect, time-to-reconverge, bytes moved while
+// healing, and lost objects (always zero). Deterministic: two runs
+// yield a byte-identical table.
+func PartitionBench() []PartitionResult {
+	return []PartitionResult{
+		crashRecoveryRun("node-crash", false),
+		crashRecoveryRun("site-blackout", true),
+		wanPartitionRun(),
+	}
+}
+
+// replicasHealed reports whether every catalogued object verifies at
+// its (current) placement.
+func replicasHealed(dg *datagrid.DataGrid) bool {
+	for _, name := range dg.Objects() {
+		if dg.VerifyReplicas(name) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// wireDetector connects a failure detector to the datagrid's
+// membership: a detected crash marks the node down and shrinks the
+// ring (rebalance through the repair path re-replicates everything it
+// held); a detected heal marks it up and re-adds it. The returned
+// pointer holds the virtual time of the first detected failure.
+func wireDetector(g *grid.Grid, inj *faults.Injector, dg *datagrid.DataGrid) *vtime.Time {
+	detectAt := new(vtime.Time)
+	det := faults.NewDetector(inj, partitionDetectEvery, func(n topology.NodeID, down bool) {
+		if down {
+			if *detectAt == 0 {
+				*detectAt = g.K.Now()
+			}
+			dg.MarkDown(n)
+			dg.RemoveMember(n)
+			return
+		}
+		dg.MarkUp(n)
+		dg.AddMember(n, g.Topo.Node(n).Site)
+	})
+	det.Start()
+	return detectAt
+}
+
+// crashRecoveryRun ingests a replicated working set on the three-site
+// testbed, then kills the primary holder of the first object — alone,
+// or with its whole site — and measures the self-heal: the detector
+// shrinks the ring, the repair loop re-replicates every object that
+// lost a copy from weather-ranked surviving sources, and the run ends
+// when every object verifies at full replication again.
+func crashRecoveryRun(scenario string, wholeSite bool) PartitionResult {
+	g := grid.MultiSiteLoss(3, 2, DataGridWANLoss)
+	g.Telemetry()
+	dg := g.NewDataGrid(datagrid.Config{Replicas: 2, Streams: 4, RepairInterval: time.Second})
+	inj := faults.NewInjector(g)
+	detectAt := wireDetector(g, inj, dg)
+	res := PartitionResult{Scenario: scenario, Testbed: "MultiSiteLoss(3x2)"}
+	err := g.K.Run(func(p *vtime.Proc) {
+		data := weatherPayload(partitionObjectSize)
+		for i := 0; i < partitionObjects; i++ {
+			if err := dg.Put(p, 0, fmt.Sprintf("part-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+		meta, _ := dg.Meta("part-0")
+		victim := meta.Targets[0]
+		before := dg.Stats()
+		tFault := p.Now()
+		if wholeSite {
+			inj.CrashSite(g.Topo.Node(victim).Site)
+		} else {
+			inj.CrashNode(victim)
+		}
+		deadline := tFault.Add(120 * time.Second)
+		// Wait out the detection latency first: until the detector's
+		// sweep shrinks the ring, the stale placement still "verifies".
+		for *detectAt == 0 {
+			p.Sleep(100 * time.Millisecond)
+			if p.Now() > deadline {
+				panic("bench: partition: crash never detected")
+			}
+		}
+		for {
+			p.Sleep(250 * time.Millisecond)
+			dg.WaitSettled(p)
+			if replicasHealed(dg) {
+				break
+			}
+			if p.Now() > deadline {
+				panic("bench: partition: no reconvergence within 120s of virtual time")
+			}
+		}
+		after := dg.Stats()
+		res.DetectS = detectAt.Sub(tFault).Seconds()
+		res.RecoverS = p.Now().Sub(tFault).Seconds()
+		res.MovedMB = float64(after.BytesMoved-before.BytesMoved) / 1e6
+		res.Repairs = after.Repairs - before.Repairs
+		res.Lost = len(dg.LostObjects())
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: partition %s: %v", scenario, err))
+	}
+	return res
+}
+
+// wanPartitionRun stores the working set in the remote site of the
+// dual-homed testbed, cuts the primary WAN core, and measures how long
+// client reads take to move onto the backup wire: the weather service
+// marks the dead network down after consecutive probe failures, the
+// selector's next decisions carry Decision.Network = backup, and sysio
+// dials the alternate wire. The core is healed at the end and the
+// catalog verified intact.
+func wanPartitionRun() PartitionResult {
+	g := grid.DualWAN(2) // site0 {0,1}, site1 {2,3}; cores "core:vthd" + "core:backup"
+	g.Telemetry()
+	wsvc := g.EnableWeather(weather.Config{})
+	dg := g.NewDataGrid(datagrid.Config{
+		Replicas: 2, Streams: 4, Adaptive: true,
+		RetryTimeout: 5 * time.Second, RepairInterval: time.Second,
+	})
+	// Both replicas in site1: every client read from site0 crosses a WAN.
+	ring := datagrid.NewRing(0)
+	for _, n := range []topology.NodeID{2, 3} {
+		ring.Add(n, "site1")
+	}
+	dg.SetRing(ring)
+	inj := faults.NewInjector(g)
+	var downAt vtime.Time
+	unsub := wsvc.Subscribe(func(a, b topology.NodeID, nw *topology.Network, f selector.Forecast) {
+		if f.Down && nw.Name == "vthd" && downAt == 0 {
+			downAt = g.K.Now()
+		}
+	})
+	defer unsub()
+	backup := g.CoreHop("core:backup")
+	res := PartitionResult{Scenario: "wan-partition", Testbed: "DualWAN(2x2)"}
+	getRound := func(p *vtime.Proc) bool {
+		clean := true
+		for i := 0; i < partitionObjects/2; i++ {
+			if _, err := dg.Get(p, 0, fmt.Sprintf("wan-%d", i)); err != nil {
+				clean = false
+			}
+		}
+		return clean
+	}
+	err := g.K.Run(func(p *vtime.Proc) {
+		data := weatherPayload(partitionObjectSize)
+		for i := 0; i < partitionObjects/2; i++ {
+			if err := dg.Put(p, 0, fmt.Sprintf("wan-%d", i), data); err != nil {
+				panic(err)
+			}
+		}
+		dg.WaitSettled(p)
+		if !getRound(p) { // healthy round across the primary
+			panic("bench: wan-partition: healthy read round failed")
+		}
+		backupBefore := backup.Bytes
+		tFault := p.Now()
+		deadline := tFault.Add(120 * time.Second)
+		inj.PartitionCores("core:vthd")
+		// Wait for the weather service to notice the dead wire, then
+		// read until a full round lands on the backup.
+		for downAt == 0 {
+			if p.Now() > deadline {
+				panic("bench: wan-partition: weather never marked the core down")
+			}
+			p.Sleep(250 * time.Millisecond)
+		}
+		for !getRound(p) {
+			if p.Now() > deadline {
+				panic("bench: wan-partition: reads never reconverged on the backup")
+			}
+			p.Sleep(250 * time.Millisecond)
+		}
+		res.DetectS = downAt.Sub(tFault).Seconds()
+		res.RecoverS = p.Now().Sub(tFault).Seconds()
+		res.MovedMB = float64(backup.Bytes-backupBefore) / 1e6
+		inj.HealCores("core:vthd")
+		p.Sleep(time.Second)
+		if !getRound(p) {
+			panic("bench: wan-partition: read round failed after the heal")
+		}
+		res.Lost = len(dg.LostObjects())
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: wan-partition: %v", err))
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------

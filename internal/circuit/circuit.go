@@ -242,6 +242,9 @@ func (m *inMessage) EndUnpacking() {
 	}
 }
 
+// Discard implements madapi.InMessage.
+func (m *inMessage) Discard() { m.next = len(m.msg.segs) }
+
 // ---------------------------------------------------------------------
 // Collectives (extension; see package comment).
 

@@ -166,6 +166,14 @@ type Stats struct {
 	// Repairs counts completed anti-entropy repair transfers — copies
 	// restored after a quarantine or injected fault.
 	Repairs int64
+	// NodesDown gauges ring nodes currently marked unreachable by the
+	// failure detector (MarkDown/MarkUp).
+	NodesDown int64
+	// LostObjects counts repair passes that found an object with no
+	// reachable fresh replica — one bump per pass per object, so
+	// availability SLOs burn for the whole duration of the outage, not
+	// just its first detection.
+	LostObjects int64
 }
 
 // countTransfer attributes one transfer to the paradigm the session
@@ -193,6 +201,14 @@ type DataGrid struct {
 
 	ring    *Ring
 	catalog map[string]*ObjectMeta
+	// downNodes is the failure detector's view (MarkDown/MarkUp): nodes
+	// here are skipped as sources, entry points and repair destinations.
+	// Empty in fault-free runs — every filter short-circuits.
+	downNodes map[topology.NodeID]bool
+	// lost dedups the object-lost flight dump per outage: set on the
+	// first repair pass that finds no reachable fresh replica, cleared
+	// when one reappears.
+	lost map[string]bool
 	// engines holds each node's storage backend, created lazily by the
 	// configured Factory on the first byte stored there; auditors
 	// shadow it one-to-one (scrub daemons only when AuditInterval > 0).
@@ -231,6 +247,8 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, cfg Config)
 		k: k, topo: topo, mgr: mgr, cfg: cfg,
 		ring:       RingFromTopology(topo, cfg.VNodes),
 		catalog:    make(map[string]*ObjectMeta),
+		downNodes:  make(map[topology.NodeID]bool),
+		lost:       make(map[string]bool),
 		engines:    make(map[topology.NodeID]store.Engine),
 		auditors:   make(map[topology.NodeID]*store.Auditor),
 		repairKick: vtime.NewCond("datagrid:repair"),
@@ -270,7 +288,57 @@ func (dg *DataGrid) Stats() Stats {
 		Deletes:          atomic.LoadInt64(&dg.stats.Deletes),
 		Quarantines:      atomic.LoadInt64(&dg.stats.Quarantines),
 		Repairs:          atomic.LoadInt64(&dg.stats.Repairs),
+		NodesDown:        atomic.LoadInt64(&dg.stats.NodesDown),
+		LostObjects:      atomic.LoadInt64(&dg.stats.LostObjects),
 	}
+}
+
+// MarkDown declares a node unreachable: it stops serving as a GET or
+// repair source, entry point, or replication destination. Called by the
+// failure detector (internal/faults) on a detected crash or partition;
+// the repair daemon is kicked so re-replication of copies the node held
+// starts on the next pass, not after a full RepairInterval.
+func (dg *DataGrid) MarkDown(n topology.NodeID) {
+	if dg.downNodes[n] {
+		return
+	}
+	dg.downNodes[n] = true
+	atomic.AddInt64(&dg.stats.NodesDown, 1)
+	dg.tel.Note("datagrid", "node marked down", int(n), 0, 0)
+	dg.repairKick.Broadcast()
+}
+
+// MarkUp reverses MarkDown after a partition heals. The node's stored
+// copies (still byte-fresh — a partition loses reachability, not data)
+// immediately count again; the kicked repair pass tops up whatever the
+// outage left under-replicated.
+func (dg *DataGrid) MarkUp(n topology.NodeID) {
+	if !dg.downNodes[n] {
+		return
+	}
+	delete(dg.downNodes, n)
+	atomic.AddInt64(&dg.stats.NodesDown, -1)
+	dg.tel.Note("datagrid", "node marked up", int(n), 0, 0)
+	dg.repairKick.Broadcast()
+}
+
+// NodeDown reports the failure detector's current view of a node.
+func (dg *DataGrid) NodeDown(n topology.NodeID) bool { return dg.downNodes[n] }
+
+// reachable filters down nodes out of a candidate list. With no
+// failures marked it returns the input slice unchanged — fault-free
+// runs pay nothing.
+func (dg *DataGrid) reachable(nodes []topology.NodeID) []topology.NodeID {
+	if len(dg.downNodes) == 0 {
+		return nodes
+	}
+	out := make([]topology.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		if !dg.downNodes[n] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Ring exposes the placement ring (membership changes go through
@@ -386,7 +454,14 @@ func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data
 	if len(targets) == 0 {
 		return ErrEmptyRing
 	}
-	entry := dg.nearest(client, targets)
+	live := dg.reachable(targets)
+	if len(live) == 0 {
+		return fmt.Errorf("%w: every placement target of %s is down", ErrNoReplica, name)
+	}
+	// Weather-aware placement of the entry copy: among the live targets,
+	// prefer the one behind the healthiest forecast link (static
+	// proximity order without a weather service — identical to nearest).
+	entry := dg.rankSources(client, live, false)[0]
 	meta := &ObjectMeta{
 		Name: name, Size: len(data), Sum: sha256.Sum256(data),
 		Targets: targets,
@@ -411,11 +486,12 @@ func (dg *DataGrid) Put(p *vtime.Proc, client topology.NodeID, name string, data
 	}
 	dg.storePut(p, entry, name, got, meta.Sum)
 	dg.catalog[name] = meta
-	// Fan out: entry -> remaining targets, via the scheduler — one
-	// point-to-point job per target, or a single hierarchical multicast
-	// job over all of them.
+	// Fan out: entry -> remaining reachable targets, via the scheduler —
+	// one point-to-point job per target, or a single hierarchical
+	// multicast job over all of them. Down targets are left to the
+	// repair loop, which restores them once they are marked up again.
 	var rest []topology.NodeID
-	for _, t := range targets {
+	for _, t := range live {
 		if t != entry {
 			rest = append(rest, t)
 		}
@@ -535,7 +611,7 @@ func (dg *DataGrid) Get(p *vtime.Proc, client topology.NodeID, name string) ([]b
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoObject, name)
 	}
-	holders := dg.Holders(name)
+	holders := dg.reachable(dg.Holders(name))
 	if len(holders) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoReplica, name)
 	}
@@ -570,7 +646,7 @@ func (dg *DataGrid) Replicate(name string) int {
 	if !ok {
 		return 0
 	}
-	holders := dg.Holders(name)
+	holders := dg.reachable(dg.Holders(name))
 	if len(holders) == 0 {
 		return 0
 	}
@@ -580,8 +656,8 @@ func (dg *DataGrid) Replicate(name string) int {
 	}
 	n := 0
 	for _, t := range meta.Targets {
-		if !has[t] {
-			src := dg.nearest(t, holders)
+		if !has[t] && !dg.NodeDown(t) {
+			src := dg.rankSources(t, holders, false)[0]
 			dg.sched.submit(&job{name: name, src: src, dst: t})
 			n++
 		}
@@ -605,12 +681,18 @@ func (dg *DataGrid) RemoveMember(n topology.NodeID) int {
 	return dg.rebalance()
 }
 
+// rebalance recomputes every object's placement against the current
+// ring and routes the resulting moves through the repair path — the
+// same weather-ranked source selection, in-flight dedup and
+// Stats.Repairs/store.repair_latency bookkeeping that heals quarantined
+// replicas, so a membership change is just another under-replication
+// event. It reports the number of transfer targets scheduled.
 func (dg *DataGrid) rebalance() int {
 	n := 0
 	for _, name := range dg.Objects() {
 		meta := dg.catalog[name]
 		meta.Targets = dg.ring.Place(name, dg.cfg.Replicas)
-		n += dg.Replicate(name)
+		n += dg.repairObject(meta)
 	}
 	return n
 }
@@ -628,7 +710,9 @@ func (dg *DataGrid) TrimExcess(p *vtime.Proc) int {
 			target[t] = true
 		}
 		for _, h := range dg.Holders(name) {
-			if !target[h] {
+			// An unreachable holder can't serve the delete; its stale
+			// copy is trimmed on a later pass, after it is marked up.
+			if !target[h] && !dg.NodeDown(h) {
 				dg.engines[h].Delete(p, name)
 				n++
 			}
@@ -662,7 +746,7 @@ func (dg *DataGrid) freshCopy(meta *ObjectMeta, n topology.NodeID) ([]byte, bool
 func (dg *DataGrid) freshHolder(meta *ObjectMeta, dst topology.NodeID) (topology.NodeID, bool) {
 	var fresh []topology.NodeID
 	for _, h := range dg.Holders(meta.Name) {
-		if h == dst {
+		if h == dst || dg.NodeDown(h) {
 			continue
 		}
 		if _, ok := dg.freshCopy(meta, h); ok {

@@ -82,28 +82,43 @@ func (dg *DataGrid) repairObject(meta *ObjectMeta) int {
 	var fresh []topology.NodeID
 	freshAt := make(map[topology.NodeID]bool)
 	for _, h := range dg.Holders(meta.Name) {
+		if dg.NodeDown(h) {
+			continue // an unreachable copy cannot serve as a source
+		}
 		if _, ok := dg.freshCopy(meta, h); ok {
 			fresh = append(fresh, h)
 			freshAt[h] = true
 		}
 	}
+	if len(fresh) == 0 {
+		// No reachable fresh copy anywhere: the object is lost — or cut
+		// off behind a partition. Scream — this is the condition the
+		// whole subsystem exists to prevent. The counter bumps on every
+		// pass so availability SLOs burn for the outage's duration; the
+		// flight dump fires once per outage (dg.lost dedup).
+		atomic.AddInt64(&dg.stats.LostObjects, 1)
+		dg.tel.Note("datagrid", "object lost: "+meta.Name, 0, int64(len(meta.Targets)), 0)
+		if !dg.lost[meta.Name] {
+			dg.lost[meta.Name] = true
+			dg.tel.DumpFlight("datagrid: object lost beyond repair: " + meta.Name)
+		}
+		return 0
+	}
+	delete(dg.lost, meta.Name)
 	var missing []topology.NodeID
 	for _, t := range meta.Targets {
-		// A target already being served — put replication still in
-		// flight, or a repair from an earlier pass — is not missing:
-		// re-submitting would move the same bytes twice.
+		// An unreachable target can't take a copy; a target already
+		// being served — put replication still in flight, or a repair
+		// from an earlier pass — is not missing: re-submitting would
+		// move the same bytes twice.
+		if dg.NodeDown(t) {
+			continue
+		}
 		if !freshAt[t] && !dg.sched.inflightTo(meta.Name, t) {
 			missing = append(missing, t)
 		}
 	}
 	if len(missing) == 0 {
-		return 0
-	}
-	if len(fresh) == 0 {
-		// Nothing left to copy from: the object is lost. Scream — this
-		// is the condition the whole subsystem exists to prevent.
-		dg.tel.Note("datagrid", "object lost: "+meta.Name, 0, int64(len(meta.Targets)), 0)
-		dg.tel.DumpFlight("datagrid: object lost beyond repair: " + meta.Name)
 		return 0
 	}
 	t0 := dg.k.Now()
@@ -121,15 +136,19 @@ func (dg *DataGrid) repairObject(meta *ObjectMeta) int {
 	return len(missing)
 }
 
-// LostObjects returns catalogued objects with no fresh replica
-// anywhere — damage repair cannot undo (the corrupt-and-repair bench
-// asserts this stays empty).
+// LostObjects returns catalogued objects with no reachable fresh
+// replica — damage repair cannot undo, or data cut off behind a live
+// partition (the recovery benches assert this drains back to empty
+// after the heal).
 func (dg *DataGrid) LostObjects() []string {
 	var out []string
 	for _, name := range dg.Objects() {
 		meta := dg.catalog[name]
 		lost := true
 		for _, h := range dg.Holders(name) {
+			if dg.NodeDown(h) {
+				continue
+			}
 			if _, ok := dg.freshCopy(meta, h); ok {
 				lost = false
 				break

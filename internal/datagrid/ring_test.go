@@ -120,6 +120,111 @@ func TestRemoveMember(t *testing.T) {
 	r.Remove(victim) // idempotent
 }
 
+// placementEqual reports whether two placements agree exactly,
+// including preference order.
+func placementEqual(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRemoveMinimalMovement is the membership-change property the
+// failure detector relies on: removing one member must leave every
+// placement that did not include it bit-identical, must never move a
+// surviving primary, and may only shuffle the tail replicas of
+// placements the victim was actually part of — so the repair loop
+// re-replicates a bounded slice of the catalogue, not the world.
+func TestRemoveMinimalMovement(t *testing.T) {
+	const objects = 500
+	r := twoZoneRing(6)
+	victim := topology.NodeID(2)
+	before := make(map[string][]topology.NodeID, objects)
+	for i := 0; i < objects; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		before[name] = r.Place(name, 3)
+	}
+	r.Remove(victim)
+	held, changedSlots := 0, 0
+	for name, prev := range before {
+		now := r.Place(name, 3)
+		had := false
+		for _, n := range prev {
+			if n == victim {
+				had = true
+			}
+		}
+		if !had {
+			if !placementEqual(prev, now) {
+				t.Fatalf("%s: placement without the victim moved: %v -> %v", name, prev, now)
+			}
+			continue
+		}
+		held++
+		if len(now) != len(prev) {
+			t.Fatalf("%s: replica count changed: %v -> %v", name, prev, now)
+		}
+		for i, n := range now {
+			if n == victim {
+				t.Fatalf("%s: removed member still placed: %v", name, now)
+			}
+			if n != prev[i] {
+				changedSlots++
+			}
+		}
+		// Removing a non-primary member never moves the primary: the walk
+		// accepts the first live member it meets, and deleting points that
+		// came later cannot change what comes first.
+		if prev[0] != victim && now[0] != prev[0] {
+			t.Fatalf("%s: surviving primary moved: %v -> %v", name, prev, now)
+		}
+	}
+	if held == 0 {
+		t.Fatal("no sampled object ever placed on the victim")
+	}
+	// The zone-balancing walk may reshuffle the tail of an affected
+	// placement, but movement must stay within the victim's share: no
+	// more than the affected placements' non-primary slots.
+	if max := 2 * held; changedSlots > max {
+		t.Fatalf("removal churned %d replica slots across %d affected objects (cap %d)",
+			changedSlots, held, max)
+	}
+}
+
+// TestAddRemoveRoundTrip checks that membership changes are exactly
+// reversible: removing a member and re-adding it with the same zone —
+// or adding a new member and removing it again — restores every
+// placement bit for bit. This is what lets a healed node rejoin the
+// ring and reclaim precisely its old placements.
+func TestAddRemoveRoundTrip(t *testing.T) {
+	const objects = 300
+	r := twoZoneRing(6)
+	before := make(map[string][]topology.NodeID, objects)
+	for i := 0; i < objects; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		before[name] = r.Place(name, 3)
+	}
+	check := func(stage string) {
+		t.Helper()
+		for name, prev := range before {
+			if now := r.Place(name, 3); !placementEqual(prev, now) {
+				t.Fatalf("%s: %s placement drifted: %v -> %v", stage, name, prev, now)
+			}
+		}
+	}
+	r.Remove(topology.NodeID(2))
+	r.Add(topology.NodeID(2), "A") // same zone it had in twoZoneRing(6)
+	check("remove+re-add")
+	r.Add(topology.NodeID(6), "B")
+	r.Remove(topology.NodeID(6))
+	check("add+remove")
+}
+
 func TestRingFromTopology(t *testing.T) {
 	g := topology.New()
 	g.AddNode("a", "rennes")

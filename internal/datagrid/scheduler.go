@@ -130,16 +130,23 @@ func (s *scheduler) run(p *vtime.Proc, j *job) {
 		s.runGroup(p, j, meta)
 		return
 	}
+	if dg.NodeDown(j.dst) {
+		// The destination died while the job sat in the queue. Not a
+		// failure: the repair loop restores the copy once the node is
+		// marked up again (or the placement moves off it).
+		dg.tel.Note("datagrid", "job dropped: destination down", int(j.dst), 0, 0)
+		return
+	}
 	if _, ok := dg.freshCopy(meta, j.dst); ok {
 		return // destination already converged (duplicate submission)
 	}
-	// The job may have queued behind a membership change or a newer
-	// version: replicate only from a source whose bytes match the
-	// catalogued checksum (a stale copy would transfer "successfully"
-	// — the wire verifies the sender's own checksum, not the
-	// catalog's).
+	// The job may have queued behind a membership change, a newer
+	// version, or a source crash: replicate only from a reachable
+	// source whose bytes match the catalogued checksum (a stale copy
+	// would transfer "successfully" — the wire verifies the sender's
+	// own checksum, not the catalog's).
 	data, ok := dg.freshCopy(meta, j.src)
-	if !ok {
+	if !ok || dg.NodeDown(j.src) {
 		src, found := dg.freshHolder(meta, j.dst)
 		if !found {
 			s.fail(fmt.Errorf("%w: %s has no up-to-date source", ErrNoReplica, j.name))
@@ -167,15 +174,18 @@ func (s *scheduler) runGroup(p *vtime.Proc, j *job, meta *ObjectMeta) {
 	dg := s.dg
 	remaining := make([]topology.NodeID, 0, len(j.dsts))
 	for _, t := range j.dsts {
+		if dg.NodeDown(t) {
+			continue // left to the repair loop, like any down destination
+		}
 		if _, ok := dg.freshCopy(meta, t); !ok {
 			remaining = append(remaining, t)
 		}
 	}
 	if len(remaining) == 0 {
-		return // every destination already converged
+		return // every destination already converged (or died in queue)
 	}
 	data, ok := dg.freshCopy(meta, j.src)
-	if !ok {
+	if !ok || dg.NodeDown(j.src) {
 		src, found := dg.freshHolder(meta, remaining[0])
 		if !found {
 			s.fail(fmt.Errorf("%w: %s has no up-to-date source", ErrNoReplica, j.name))

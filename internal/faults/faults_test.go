@@ -1,0 +1,88 @@
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/faults"
+	"padico/internal/grid"
+	"padico/internal/topology"
+	"padico/internal/vtime"
+)
+
+// TestDetectorBoundedLatency partitions a site and heals it, checking
+// that the detector reports every transition within one sweep interval
+// of the ground-truth event — the deterministic model of failure
+// detection latency.
+func TestDetectorBoundedLatency(t *testing.T) {
+	g := grid.MultiSiteLoss(2, 2, 0) // site0 {0,1}, site1 {2,3}
+	inj := faults.NewInjector(g)
+	type ev struct {
+		n    topology.NodeID
+		down bool
+		at   vtime.Time
+	}
+	var seen []ev
+	det := faults.NewDetector(inj, 500*time.Millisecond, func(n topology.NodeID, down bool) {
+		seen = append(seen, ev{n, down, g.K.Now()})
+	})
+	det.Start()
+	var cut, heal vtime.Time
+	if err := g.K.Run(func(p *vtime.Proc) {
+		p.Sleep(time.Second)
+		cut = g.K.Now()
+		inj.PartitionSite("site1", "core:vthd")
+		if got := inj.DownNodes(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Fatalf("DownNodes after partition = %v", got)
+		}
+		p.Sleep(2 * time.Second)
+		heal = g.K.Now()
+		inj.HealSite("site1", "core:vthd")
+		if got := inj.DownNodes(); len(got) != 0 {
+			t.Fatalf("DownNodes after heal = %v", got)
+		}
+		p.Sleep(time.Second)
+	}); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("detector saw %d transitions, want 4: %+v", len(seen), seen)
+	}
+	sweep := vtime.Time(0).Add(500 * time.Millisecond).Sub(vtime.Time(0))
+	for i, e := range seen {
+		ref, down := cut, true
+		if i >= 2 {
+			ref, down = heal, false
+		}
+		if e.down != down {
+			t.Fatalf("transition %d = %+v, want down=%v", i, e, down)
+		}
+		if lag := e.at.Sub(ref); lag < 0 || lag > sweep {
+			t.Fatalf("transition %d detected %v after the event, want [0, %v]", i, lag, sweep)
+		}
+	}
+	if seen[0].n != 2 || seen[1].n != 3 {
+		t.Fatalf("down transitions out of id order: %+v", seen[:2])
+	}
+}
+
+// TestCrashIsPermanent checks that HealSite does not resurrect a
+// crashed node, and that CrashNode is idempotent.
+func TestCrashIsPermanent(t *testing.T) {
+	g := grid.MultiSiteLoss(2, 2, 0)
+	inj := faults.NewInjector(g)
+	if err := g.K.Run(func(p *vtime.Proc) {
+		inj.CrashNode(2)
+		inj.CrashNode(2) // idempotent
+		inj.PartitionSite("site1", "core:vthd")
+		inj.HealSite("site1", "core:vthd")
+		if !inj.Down(2) {
+			t.Fatal("HealSite resurrected a crashed node")
+		}
+		if inj.Down(3) {
+			t.Fatal("partitioned (not crashed) node still down after heal")
+		}
+	}); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+}

@@ -300,7 +300,83 @@ func (g *Grid) wireWANPairCores(wan *topology.Network) {
 			ab := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", a, b), seed, up[a], core, down[b])
 			seed++
 			ba := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", b, a), seed, up[b], core, down[a])
-			g.Stack.ConnectPath(a, b, ab, ba, model.EthernetMTU)
+			g.Stack.ConnectPathVia(wan.Name, a, b, ab, ba, model.EthernetMTU)
+		}
+	}
+}
+
+// DualWAN builds the multi-homed failover testbed: two sites of
+// nodesPerSite nodes (own Myrinet + Ethernet each), whose cross-site
+// pairs ride *two* independent wide-area networks — the primary
+// VTHD-like WAN plus a slower commodity-Internet backup, each behind
+// its own core hop ("core:vthd", "core:backup"). Partitioning the
+// primary core leaves the backup wire alive, so weather-driven
+// re-selection has a different physical network to move traffic to.
+func DualWAN(nodesPerSite int) *Grid {
+	if nodesPerSite < 1 {
+		panic(fmt.Sprintf("grid: DualWAN needs at least one node per site, got %d", nodesPerSite))
+	}
+	g := newGrid()
+	sites := []string{"site0", "site1"}
+	var myris []*topology.Network
+	var eths []*topology.Network
+	for s, site := range sites {
+		myri := g.Topo.AddNetwork(fmt.Sprintf("myri%d", s), topology.Myrinet, true, model.MyrinetRate, model.MyrinetWireLat, 0, 0)
+		eth := g.Topo.AddNetwork(fmt.Sprintf("eth%d", s), topology.Ethernet, true, model.EthernetRate, model.EthernetWireLat, 0, model.EthernetMTU)
+		myris = append(myris, myri)
+		eths = append(eths, eth)
+		for i := 0; i < nodesPerSite; i++ {
+			node := g.Topo.AddNode(fmt.Sprintf("s%d-%d", s, i), site)
+			g.Topo.Attach(node, myri)
+			g.Topo.Attach(node, eth)
+		}
+	}
+	wan := g.Topo.AddNetwork("vthd", topology.WAN, false, 12.2e6, model.VTHDWireLat, 0, model.EthernetMTU)
+	backup := g.Topo.AddNetwork("backup", topology.Internet, false, 4e6, 12*time.Millisecond, 0, model.EthernetMTU)
+	for _, node := range g.Topo.Nodes() {
+		g.Topo.Attach(node, wan)
+		g.Topo.Attach(node, backup)
+	}
+	for s := range sites {
+		g.wireEthernet(eths[s], int64(s+1))
+	}
+	g.wireWAN(wan) // wired first: the primary claims the pair defaults
+	g.wireExtraWAN(backup, 40e6, 500)
+	g.buildRuntimes()
+	for _, myri := range myris {
+		g.wireMyrinetGM(myri)
+	}
+	return g
+}
+
+// wireExtraWAN wires an additional wide-area network between the
+// cross-site pairs of an already-wired testbed: its own per-node access
+// hops and a shared core hop registered as "core:<name>". Routes land
+// under the network's name only when a default already exists, so the
+// primary WAN (wired first) keeps carrying un-pinned traffic.
+func (g *Grid) wireExtraWAN(wan *topology.Network, coreRate float64, seed int64) {
+	up := make(map[topology.NodeID]*netsim.Hop)
+	down := make(map[topology.NodeID]*netsim.Hop)
+	for _, n := range wan.Members() {
+		up[n] = &netsim.Hop{Name: fmt.Sprintf("up:%s:%d", wan.Name, n), Rate: wan.RateBps,
+			Latency: 50 * time.Microsecond, QueueCap: 256}
+		down[n] = &netsim.Hop{Name: fmt.Sprintf("down:%s:%d", wan.Name, n), Rate: wan.RateBps,
+			Latency: 50 * time.Microsecond, QueueCap: 256}
+	}
+	core := &netsim.Hop{Name: wan.Name + "-core", Rate: coreRate,
+		Latency: wan.Latency, Loss: wan.Loss, QueueCap: 1024}
+	g.CoreHops["core:"+wan.Name] = core
+	members := wan.Members()
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			if g.Topo.SameSite(a, b) {
+				continue
+			}
+			seed++
+			ab := netsim.NewPath(g.K, fmt.Sprintf("%s:%d->%d", wan.Name, a, b), seed, up[a], core, down[b])
+			seed++
+			ba := netsim.NewPath(g.K, fmt.Sprintf("%s:%d->%d", wan.Name, b, a), seed, up[b], core, down[a])
+			g.Stack.ConnectPathVia(wan.Name, a, b, ab, ba, model.EthernetMTU)
 		}
 	}
 }
@@ -343,7 +419,7 @@ func (g *Grid) wireEthernet(eth *topology.Network, seed int64) {
 		for _, b := range members[i+1:] {
 			aAddr, _ := eth.Addr(a)
 			bAddr, _ := eth.Addr(b)
-			g.Stack.ConnectLAN(lan, a, aAddr, b, bAddr, model.EthernetMTU)
+			g.Stack.ConnectLANVia(eth.Name, lan, a, aAddr, b, bAddr, model.EthernetMTU)
 		}
 	}
 }
@@ -374,7 +450,7 @@ func (g *Grid) wireWAN(wan *topology.Network) {
 			ab := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", a, b), seed, up[a], core, down[b])
 			seed++
 			ba := netsim.NewPath(g.K, fmt.Sprintf("wan:%d->%d", b, a), seed, up[b], core, down[a])
-			g.Stack.ConnectPath(a, b, ab, ba, model.EthernetMTU)
+			g.Stack.ConnectPathVia(wan.Name, a, b, ab, ba, model.EthernetMTU)
 		}
 	}
 }
@@ -514,13 +590,14 @@ func (g *Grid) buildDriverStack(rt *core.Runtime, dec selector.Decision) (vlink.
 		d, err = rt.VLink.Driver("madio")
 	case "sysio", "vrp": // vrp has a message API; its stream adapter uses sysio for now
 		d, err = rt.VLink.Driver("sysio")
+		d = pinNetwork(d, dec)
 	case "loopback":
 		d, err = rt.VLink.Driver("loopback")
 	case "pstreams":
 		var inner vlink.Driver
 		inner, err = rt.VLink.Driver("sysio")
 		if err == nil {
-			d = pstreams.New(g.K, rt.Node().ID, inner, dec.Streams)
+			d = pstreams.New(g.K, rt.Node().ID, pinNetwork(inner, dec), dec.Streams)
 		}
 	default:
 		err = fmt.Errorf("grid: unknown method %q", dec.Method)
@@ -539,6 +616,20 @@ func (g *Grid) buildDriverStack(rt *core.Runtime, dec selector.Decision) (vlink.
 		d = adoc.New(g.K, d)
 	}
 	return d, nil
+}
+
+// pinNetwork threads the selector's Decision.Network down to the sysio
+// driver: a multi-homed pair dials on the decided wire, so a weather
+// re-selection after a partition actually moves traffic to a different
+// physical network instead of re-dialing the same dead one.
+func pinNetwork(d vlink.Driver, dec selector.Decision) vlink.Driver {
+	if dec.Network == nil {
+		return d
+	}
+	if sd, ok := d.(*vlink.SysIODriver); ok {
+		return sd.WithNetwork(dec.Network.Name)
+	}
+	return d
 }
 
 // ---------------------------------------------------------------------

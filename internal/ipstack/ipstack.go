@@ -51,6 +51,7 @@ var (
 	ErrClosed    = errors.New("ipstack: use of closed connection")
 	ErrNoRoute   = errors.New("ipstack: no route to host")
 	ErrPortInUse = errors.New("ipstack: port already in use")
+	ErrHostDown  = errors.New("ipstack: host is down")
 )
 
 // ipHeader is carried in netsim.Packet.Meta.
@@ -59,6 +60,7 @@ type ipHeader struct {
 	src, dst topology.NodeID
 	srcPort  int
 	dstPort  int
+	nw       string     // TCP only: named network the segment travels on ("" = default route)
 	seg      *tcpSeg    // TCP only
 	tp       *tcpPacket // TCP only: owning pooled packet (payload + recycling)
 }
@@ -147,32 +149,107 @@ func (s *Stack) Host(id topology.NodeID) *Host {
 // Kernel returns the stack's kernel.
 func (s *Stack) Kernel() *vtime.Kernel { return s.k }
 
+// KillHost crashes node n: the host answers no further traffic, every
+// listener and UDP socket closes, and every established TCP connection
+// fails promptly on both ends (no FIN, no timeout wait — exactly what a
+// power loss looks like from the peer's side is delivered explicitly so
+// callback layers error out instead of stalling on RTO silence).
+// Teardown walks ports and connection keys in sorted order so the event
+// sequence is deterministic. Idempotent.
+func (s *Stack) KillHost(n topology.NodeID) {
+	h, ok := s.hosts[n]
+	if !ok || h.dead {
+		return
+	}
+	h.dead = true
+	if s.tel != nil {
+		s.tel.Note("ipstack", "host crashed", int(n), int64(len(h.conns)), 0)
+	}
+	lports := make([]int, 0, len(h.listeners))
+	for p := range h.listeners {
+		lports = append(lports, p)
+	}
+	slices.Sort(lports)
+	for _, p := range lports {
+		h.listeners[p].Close()
+	}
+	uports := make([]int, 0, len(h.udp))
+	for p := range h.udp {
+		uports = append(uports, p)
+	}
+	slices.Sort(uports)
+	for _, p := range uports {
+		h.udp[p].Close()
+	}
+	keys := make([]connKey, 0, len(h.conns))
+	for k := range h.conns {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b connKey) int {
+		if a.remote != b.remote {
+			return int(a.remote) - int(b.remote)
+		}
+		if a.localPort != b.localPort {
+			return a.localPort - b.localPort
+		}
+		return a.remotePort - b.remotePort
+	})
+	for _, k := range keys {
+		c := h.conns[k]
+		if c == nil {
+			continue
+		}
+		c.Fail()
+		if ph, ok := s.hosts[k.remote]; ok {
+			peer := connKey{remote: n, remotePort: k.localPort, localPort: k.remotePort}
+			if pc, ok := ph.conns[peer]; ok {
+				pc.Fail()
+			}
+		}
+	}
+}
+
 // ConnectLAN attaches two hosts to a shared fabric and installs routes
 // between them. Call once per unordered pair; addresses are the nodes'
 // attachment addresses on the fabric.
 func (s *Stack) ConnectLAN(f netsim.Fabric, a topology.NodeID, addrA int,
 	b topology.NodeID, addrB int, mtu int) {
+	s.ConnectLANVia("", f, a, addrA, b, addrB, mtu)
+}
+
+// ConnectLANVia is ConnectLAN with the route registered under a network
+// name, so multi-homed hosts can be told which wire to dial on (DialVia).
+// The pair's default route is only claimed when none exists yet — the
+// first network wired between a pair is its default.
+func (s *Stack) ConnectLANVia(nw string, f netsim.Fabric, a topology.NodeID, addrA int,
+	b topology.NodeID, addrB int, mtu int) {
 	ha, hb := s.Host(a), s.Host(b)
 	ha.ensureAttached(f, addrA)
 	hb.ensureAttached(f, addrB)
-	ha.routes[b] = &route{mtu: mtu, send: func(pkt *netsim.Packet) {
+	ha.addRoute(b, nw, &route{mtu: mtu, send: func(pkt *netsim.Packet) {
 		pkt.Src, pkt.Dst = addrA, addrB
 		f.Send(pkt)
-	}}
-	hb.routes[a] = &route{mtu: mtu, send: func(pkt *netsim.Packet) {
+	}})
+	hb.addRoute(a, nw, &route{mtu: mtu, send: func(pkt *netsim.Packet) {
 		pkt.Src, pkt.Dst = addrB, addrA
 		f.Send(pkt)
-	}}
+	}})
 }
 
 // ConnectPath installs a WAN route between two hosts using a dedicated
 // netsim.Path per direction.
 func (s *Stack) ConnectPath(a, b topology.NodeID, ab, ba *netsim.Path, mtu int) {
+	s.ConnectPathVia("", a, b, ab, ba, mtu)
+}
+
+// ConnectPathVia is ConnectPath with the route registered under a
+// network name (see ConnectLANVia).
+func (s *Stack) ConnectPathVia(nw string, a, b topology.NodeID, ab, ba *netsim.Path, mtu int) {
 	ha, hb := s.Host(a), s.Host(b)
 	ab.SetDeliver(hb.input)
 	ba.SetDeliver(ha.input)
-	ha.routes[b] = &route{mtu: mtu, send: ab.Send}
-	hb.routes[a] = &route{mtu: mtu, send: ba.Send}
+	ha.addRoute(b, nw, &route{mtu: mtu, send: ab.Send})
+	hb.addRoute(a, nw, &route{mtu: mtu, send: ba.Send})
 }
 
 // connKey identifies an established TCP connection on a host.
@@ -180,6 +257,13 @@ type connKey struct {
 	remote     topology.NodeID
 	remotePort int
 	localPort  int
+}
+
+// viaKey identifies a named route: the destination host plus the
+// network the route rides on.
+type viaKey struct {
+	dst topology.NodeID
+	nw  string
 }
 
 // Host is one node's transport endpoint.
@@ -191,11 +275,42 @@ type Host struct {
 	udp       map[int]*UDPConn
 	conns     map[connKey]*TCPConn
 	routes    map[topology.NodeID]*route
+	vias      map[viaKey]*route // named routes for multi-homed pairs
 	nextPort  int
+	dead      bool // crashed: no traffic in or out
 }
 
 // ID returns the host's node id.
 func (h *Host) ID() topology.NodeID { return h.id }
+
+// Dead reports whether the host has been crashed by KillHost.
+func (h *Host) Dead() bool { return h.dead }
+
+// addRoute registers a route toward dst: under its network name when
+// one is given, and as the pair's default when no default exists yet.
+func (h *Host) addRoute(dst topology.NodeID, nw string, rt *route) {
+	if nw != "" {
+		if h.vias == nil {
+			h.vias = make(map[viaKey]*route)
+		}
+		h.vias[viaKey{dst: dst, nw: nw}] = rt
+	}
+	if _, ok := h.routes[dst]; !ok || nw == "" {
+		h.routes[dst] = rt
+	}
+}
+
+// routeTo resolves the route toward dst: the named one when nw is set
+// and registered, the pair's default otherwise.
+func (h *Host) routeTo(dst topology.NodeID, nw string) (*route, bool) {
+	if nw != "" {
+		if rt, ok := h.vias[viaKey{dst: dst, nw: nw}]; ok {
+			return rt, true
+		}
+	}
+	rt, ok := h.routes[dst]
+	return rt, ok
+}
 
 func (h *Host) ensureAttached(f netsim.Fabric, addr int) {
 	if h.attached == nil {
@@ -215,6 +330,15 @@ func (h *Host) ephemeralPort() int {
 // input demultiplexes an arriving packet. Runs in kernel context.
 func (h *Host) input(pkt *netsim.Packet) {
 	hdr := pkt.Meta.(*ipHeader)
+	if h.dead {
+		// A crashed host answers nothing: the packet vanishes exactly as
+		// on a powered-off machine, and the sender's own protocol (RTO,
+		// SYN timeout) discovers the silence.
+		if hdr.proto == protoTCP {
+			hdr.tp.release()
+		}
+		return
+	}
 	switch hdr.proto {
 	case protoUDP:
 		if u, ok := h.udp[hdr.dstPort]; ok {
@@ -250,6 +374,9 @@ type Listener struct {
 
 // Listen binds a TCP listener to port.
 func (h *Host) Listen(port int) (*Listener, error) {
+	if h.dead {
+		return nil, ErrHostDown
+	}
 	if _, dup := h.listeners[port]; dup {
 		return nil, ErrPortInUse
 	}
@@ -270,11 +397,13 @@ func (ln *Listener) handleSYN(hdr *ipHeader) {
 		return
 	}
 	h := ln.host
-	rt, ok := h.routes[hdr.src]
+	// Reply on the wire the SYN arrived on: a multi-homed dialer that
+	// picked a named network gets its return traffic on the same one.
+	rt, ok := h.routeTo(hdr.src, hdr.nw)
 	if !ok {
 		return
 	}
-	c := newTCPConn(h, hdr.src, ln.port, hdr.srcPort, rt)
+	c := newTCPConn(h, hdr.src, ln.port, hdr.srcPort, rt, hdr.nw)
 	c.established = true
 	h.conns[connKey{remote: hdr.src, remotePort: hdr.srcPort, localPort: ln.port}] = c
 	c.sendSeg(tcpSeg{syn: true, ack: true, wnd: c.rcvWnd(), ts: h.stack.k.Now(), ets: hdr.seg.ts}, 0, 0)
@@ -329,6 +458,9 @@ type UDPConn struct {
 
 // ListenUDP binds a UDP socket; port 0 picks an ephemeral port.
 func (h *Host) ListenUDP(port int) (*UDPConn, error) {
+	if h.dead {
+		return nil, ErrHostDown
+	}
 	if port == 0 {
 		port = h.ephemeralPort()
 	}
@@ -423,6 +555,7 @@ type TCPConn struct {
 	localPort  int
 	remotePort int
 	rt         *route
+	nw         string // named network the connection is pinned to ("" = default)
 	mss        int
 
 	established bool
@@ -475,6 +608,7 @@ type TCPConn struct {
 	readyCB  func()
 
 	closed bool
+	failed bool // torn down by peer death: reads surface the error promptly
 
 	// Stats for tests and the bench harness.
 	Retransmits int64
@@ -482,11 +616,11 @@ type TCPConn struct {
 	SegsRecvd   int64
 }
 
-func newTCPConn(h *Host, remote topology.NodeID, localPort, remotePort int, rt *route) *TCPConn {
+func newTCPConn(h *Host, remote topology.NodeID, localPort, remotePort int, rt *route, nw string) *TCPConn {
 	name := fmt.Sprintf("tcp:%d:%d->%d:%d", h.id, localPort, remote, remotePort)
 	c := &TCPConn{
 		host: h, remote: remote, localPort: localPort, remotePort: remotePort,
-		rt: rt, mss: rt.mtu - tcpHeader,
+		rt: rt, nw: nw, mss: rt.mtu - tcpHeader,
 		sndCap: DefaultSndBuf, rcvCap: DefaultRcvBuf,
 		ssthresh: 1 << 30, peerWnd: DefaultRcvBuf,
 		rto: time.Second, peerFin: -1,
@@ -503,11 +637,21 @@ func newTCPConn(h *Host, remote topology.NodeID, localPort, remotePort int, rt *
 // Dial opens a TCP connection to (dst, port), blocking p through the
 // handshake.
 func (h *Host) Dial(p *vtime.Proc, dst topology.NodeID, port int) (*TCPConn, error) {
-	rt, ok := h.routes[dst]
+	return h.DialVia(p, dst, port, "")
+}
+
+// DialVia is Dial pinned to a named network: the handshake and every
+// segment of the connection travel the named route when one is
+// registered (multi-homed pairs), the default route otherwise.
+func (h *Host) DialVia(p *vtime.Proc, dst topology.NodeID, port int, nw string) (*TCPConn, error) {
+	if h.dead {
+		return nil, ErrHostDown
+	}
+	rt, ok := h.routeTo(dst, nw)
 	if !ok {
 		return nil, ErrNoRoute
 	}
-	c := newTCPConn(h, dst, h.ephemeralPort(), port, rt)
+	c := newTCPConn(h, dst, h.ephemeralPort(), port, rt, nw)
 	key := connKey{remote: dst, remotePort: port, localPort: c.localPort}
 	h.conns[key] = c
 	deadline := p.Now().Add(synTimeout)
@@ -557,9 +701,11 @@ func (c *TCPConn) PokeReady() {
 	}
 }
 
-// Readable reports whether Read would return without blocking.
+// Readable reports whether Read would return without blocking. A
+// failed connection is always readable: the pending result is the
+// error, and callback layers must learn about it promptly.
 func (c *TCPConn) Readable() bool {
-	return c.rcvLen() > 0 || (c.peerFin >= 0 && c.rcvNxt >= c.peerFin)
+	return c.failed || c.rcvLen() > 0 || (c.peerFin >= 0 && c.rcvNxt >= c.peerFin)
 }
 
 // rcvLen returns the number of unconsumed received bytes.
@@ -593,7 +739,7 @@ func (c *TCPConn) sendSeg(sg tcpSeg, off, n int64) {
 	}
 	tp.seg = sg
 	tp.hdr = ipHeader{proto: protoTCP, src: c.host.id, dst: c.remote,
-		srcPort: c.localPort, dstPort: c.remotePort, seg: &tp.seg, tp: tp}
+		srcPort: c.localPort, dstPort: c.remotePort, nw: c.nw, seg: &tp.seg, tp: tp}
 	tp.pkt = netsim.Packet{Wire: int(n) + tcpHeader, Meta: &tp.hdr, Drop: tp.drop}
 	c.rt.send(&tp.pkt)
 }
@@ -712,6 +858,28 @@ func (c *TCPConn) Close() {
 	c.sndEnd++ // FIN occupies one sequence number
 	c.pump()
 }
+
+// Fail tears the connection down because the peer (or the host itself)
+// crashed: the abort is immediate, and callback-driven layers are woken
+// so a pending sysio read or queued write surfaces the error instead of
+// stalling until a timeout.
+func (c *TCPConn) Fail() {
+	if c.closed {
+		return
+	}
+	c.failed = true
+	c.Abort()
+	if c.readyCB != nil {
+		c.readyCB()
+	}
+	if c.writableCB != nil {
+		c.writableCB()
+	}
+}
+
+// Failed reports whether the connection was torn down by a crash
+// (rather than an orderly Close/Abort).
+func (c *TCPConn) Failed() bool { return c.failed }
 
 // Abort tears the connection down immediately (no FIN exchange).
 func (c *TCPConn) Abort() {

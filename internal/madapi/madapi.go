@@ -70,4 +70,9 @@ type InMessage interface {
 	// EndUnpacking finishes the message; every packed segment must have
 	// been unpacked.
 	EndUnpacking()
+	// Discard consumes whatever segments remain and finishes the
+	// message without inspecting them — for receivers that released the
+	// endpoint the message was addressed to (failure recovery drops
+	// late traffic instead of violating the unpack protocol).
+	Discard()
 }

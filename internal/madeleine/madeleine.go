@@ -227,3 +227,9 @@ func (m *inMessage) EndUnpacking() {
 	}
 	m.ended = true
 }
+
+// Discard implements madapi.InMessage.
+func (m *inMessage) Discard() {
+	m.next = len(m.msg.segs)
+	m.ended = true
+}

@@ -150,9 +150,14 @@ type MadIO struct {
 	handlers  map[uint16]Handler
 	pendingID map[int]uint16 // src -> logical id of separated header already seen
 	pendingOK map[int]bool
+	// released remembers ids whose binding was removed: late messages
+	// for them (a peer's sends in flight across a close — routine
+	// during failure recovery) are dropped, not a protocol violation.
+	released map[uint16]bool
 
-	MsgsSent int64
-	MsgsRecv int64
+	MsgsSent    int64
+	MsgsRecv    int64
+	MsgsDropped int64
 }
 
 // NewMadIO builds a MadIO over a Madeleine channel and registers it
@@ -164,6 +169,7 @@ func NewMadIO(na *NetAccess, ch madapi.Channel, name string, combining bool) *Ma
 		handlers:  make(map[uint16]Handler),
 		pendingID: make(map[int]uint16),
 		pendingOK: make(map[int]bool),
+		released:  make(map[uint16]bool),
 	}
 	type notifiable interface{ SetRxNotify(func()) }
 	if n, ok := ch.(notifiable); ok {
@@ -188,11 +194,16 @@ func (m *MadIO) Register(logical uint16, h Handler) {
 	if _, dup := m.handlers[logical]; dup {
 		panic(fmt.Sprintf("netaccess: logical channel %d registered twice on %s", logical, m.name))
 	}
+	delete(m.released, logical) // a recycled id is live again
 	m.handlers[logical] = h
 }
 
-// Unregister removes a logical channel binding.
-func (m *MadIO) Unregister(logical uint16) { delete(m.handlers, logical) }
+// Unregister removes a logical channel binding. Messages still in
+// flight toward the id are dropped on arrival (see dispatch).
+func (m *MadIO) Unregister(logical uint16) {
+	delete(m.handlers, logical)
+	m.released[logical] = true
+}
 
 // Send transmits segments on a logical channel to dst (a Madeleine
 // rank). With combining, the 2-byte demux header is one more segment of
@@ -263,6 +274,14 @@ func (m *MadIO) DispatchOne(p *vtime.Proc) bool {
 func (m *MadIO) dispatch(p *vtime.Proc, logical uint16, src int, in madapi.InMessage) {
 	h, ok := m.handlers[logical]
 	if !ok {
+		if m.released[logical] {
+			// The endpoint closed while this message was on the wire —
+			// a normal race when a node crash tears channels down. The
+			// bytes have nowhere to go; drop them.
+			m.MsgsDropped++
+			in.Discard()
+			return
+		}
 		panic(fmt.Sprintf("netaccess: message for unregistered logical channel %d on %s", logical, m.name))
 	}
 	m.MsgsRecv++

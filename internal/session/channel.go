@@ -36,6 +36,10 @@ type msgChannel struct {
 	sent      int // messages handed to the substrate by this end
 	delivered int // messages delivered into this end's inbox
 	closed    bool
+	regID     int64 // live-registry id (0 when unmanaged, e.g. in tests)
+	// failErr is set when the peer (or own) node crashed: blocked and
+	// future operations return it promptly instead of stalling.
+	failErr error
 	// peerClosed + eofAfter implement orderly shutdown without wire
 	// traffic: the peer's Close records how many messages it had sent;
 	// this end reads EOF only once that many were delivered and
@@ -56,6 +60,16 @@ func (c *msgChannel) deliver(segs [][]byte) {
 	c.rx.Broadcast()
 }
 
+// fail marks the end dead after a node crash (kernel context): blocked
+// waiters wake with err, in-flight messages are considered lost.
+func (c *msgChannel) fail(err error) {
+	if c.closed || c.failErr != nil {
+		return
+	}
+	c.failErr = err
+	c.rx.Broadcast()
+}
+
 // waitMessage blocks until a whole message is available, the peer
 // closed (io.EOF once everything it sent was drained) or this end
 // closed.
@@ -63,6 +77,9 @@ func (c *msgChannel) waitMessage(p *vtime.Proc) ([][]byte, error) {
 	for {
 		if c.closed {
 			return nil, ErrClosed
+		}
+		if c.failErr != nil {
+			return nil, c.failErr
 		}
 		if len(c.inbox) > 0 {
 			msg := c.inbox[0]
@@ -78,6 +95,9 @@ func (c *msgChannel) waitMessage(p *vtime.Proc) ([][]byte, error) {
 
 // Send implements Channel: one packed message (or pipe delivery).
 func (c *msgChannel) Send(p *vtime.Proc, segs ...[]byte) error {
+	if c.failErr != nil {
+		return c.failErr
+	}
 	if c.closed || c.peerClosed {
 		return ErrClosed
 	}
@@ -145,6 +165,9 @@ const streamLenSeg = 4
 
 // Write implements Channel: one self-describing message per call.
 func (c *msgChannel) Write(p *vtime.Proc, data []byte) (int, error) {
+	if c.failErr != nil {
+		return 0, c.failErr
+	}
 	if c.closed || c.peerClosed {
 		return 0, ErrClosed
 	}
@@ -218,8 +241,11 @@ func (c *msgChannel) Close() error {
 	if c.closef != nil {
 		c.closef()
 	}
-	if c.mgr != nil && c.observe {
-		c.mgr.observeClose(c.info, c.opened)
+	if c.mgr != nil {
+		c.mgr.deregister(c.regID)
+		if c.observe {
+			c.mgr.observeClose(c.info, c.opened)
+		}
 	}
 	return nil
 }
@@ -238,6 +264,7 @@ type vlinkChannel struct {
 	v       *vlink.VLink
 	remote  Channel
 	closed  bool
+	regID   int64 // live-registry id (0 when unmanaged)
 }
 
 // Send implements Channel: one gather-write, no added framing. The
@@ -347,8 +374,11 @@ func (c *vlinkChannel) Close() error {
 	}
 	c.closed = true
 	c.v.Close()
-	if c.mgr != nil && c.observe {
-		c.mgr.observeClose(c.info, c.opened)
+	if c.mgr != nil {
+		c.mgr.deregister(c.regID)
+		if c.observe {
+			c.mgr.observeClose(c.info, c.opened)
+		}
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 	"sync/atomic"
 
@@ -51,6 +52,9 @@ var (
 	// ErrProtocol reports a message whose shape does not match what the
 	// receiver asked for (segment sizes, stream framing).
 	ErrProtocol = errors.New("session: protocol violation")
+	// ErrPeerDown reports an operation on a channel whose peer (or own)
+	// node crashed: the fault injector killed it via Manager.KillNode.
+	ErrPeerDown = errors.New("session: peer node crashed")
 )
 
 // Channel is one end of an established session. Both ends expose the
@@ -241,6 +245,13 @@ type Manager struct {
 	pairs   map[[2]topology.NodeID]*pairCircuit
 	circSeq int
 
+	// Live channel-end registry, keyed by a monotonic id so KillNode can
+	// walk the ends in provisioning order (map iteration must never leak
+	// into event order). Pure bookkeeping: register/deregister cost no
+	// kernel events, so fault-free runs are byte-identical with it.
+	liveSeq int64
+	live    map[int64]Channel
+
 	stats Stats
 
 	// Telemetry handles, nil (free no-ops) until SetTelemetry.
@@ -265,7 +276,51 @@ func NewManager(k *vtime.Kernel, topo *topology.Grid, defaults func() selector.Q
 	return &Manager{
 		k: k, topo: topo, sub: sub, defaults: defaults,
 		pairs: make(map[[2]topology.NodeID]*pairCircuit),
+		live:  make(map[int64]Channel),
 	}
+}
+
+// register tracks a live channel end and returns its registry id.
+func (m *Manager) register(ch Channel) int64 {
+	m.liveSeq++
+	m.live[m.liveSeq] = ch
+	return m.liveSeq
+}
+
+// deregister forgets a closed channel end (idempotent).
+func (m *Manager) deregister(id int64) {
+	delete(m.live, id)
+}
+
+// KillNode fails every live channel end touching the crashed node: a
+// blocked Recv/Read on either side returns ErrPeerDown promptly instead
+// of stalling, and later operations fail fast. The ipstack teardown
+// (Stack.KillHost) covers TCP substrates on its own; this covers the
+// message substrates (local pipes, SAN circuits) and closes the books
+// on everything else. Ends are failed in provisioning order.
+func (m *Manager) KillNode(n topology.NodeID) {
+	ids := make([]int64, 0, len(m.live))
+	for id := range m.live {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		ch, ok := m.live[id]
+		if !ok {
+			continue // failed as the peer of an earlier end
+		}
+		info := ch.Info()
+		if info.Src != n && info.Dst != n {
+			continue
+		}
+		switch c := ch.(type) {
+		case *msgChannel:
+			c.fail(ErrPeerDown)
+		case *vlinkChannel:
+			c.v.Fail()
+		}
+	}
+	m.tel.Note("session", "node killed", int(n), 0, 0)
 }
 
 // Default returns the QoS an optionless Open would use.
@@ -439,7 +494,22 @@ func (m *Manager) provision(p *vtime.Proc, src, dst topology.NodeID, dec selecto
 	}
 	m.hOpen.Observe(m.k.Now().Sub(t0))
 	sp.End()
+	if err == nil {
+		m.track(ch)
+		m.track(ch.Remote())
+	}
 	return ch, err
+}
+
+// track enrols one provisioned end in the live registry (its Close
+// deregisters it).
+func (m *Manager) track(ch Channel) {
+	switch c := ch.(type) {
+	case *msgChannel:
+		c.regID = m.register(ch)
+	case *vlinkChannel:
+		c.regID = m.register(ch)
+	}
 }
 
 // classOf derives the path class from the decision the selector

@@ -23,11 +23,25 @@ type SysIODriver struct {
 	k    *vtime.Kernel
 	host *ipstack.Host
 	sys  *netaccess.SysIO
+	nw   string // named network outgoing dials ride ("" = default route)
 }
 
 // NewSysIODriver builds the sysio driver for one node.
 func NewSysIODriver(k *vtime.Kernel, host *ipstack.Host, sys *netaccess.SysIO) *SysIODriver {
 	return &SysIODriver{k: k, host: host, sys: sys}
+}
+
+// WithNetwork returns a view of the driver whose dials are pinned to
+// the named network (the selector's Decision.Network threaded down to
+// the wire). Listeners and accepted connections are unaffected: the
+// server side answers on whatever wire the SYN arrived on.
+func (d *SysIODriver) WithNetwork(name string) *SysIODriver {
+	if name == "" || name == d.nw {
+		return d
+	}
+	nd := *d
+	nd.nw = name
+	return &nd
 }
 
 // Name implements Driver.
@@ -68,7 +82,7 @@ func (l *sysListener) Close()                         { l.ln.Close() }
 // helper process; completion is posted back in kernel context.
 func (d *SysIODriver) Dial(addr Addr, cb func(Conn, error)) {
 	d.k.Go(fmt.Sprintf("vlink-dial:%d", addr.Node), func(p *vtime.Proc) {
-		c, err := d.host.Dial(p, addr.Node, addr.Port)
+		c, err := d.host.DialVia(p, addr.Node, addr.Port, d.nw)
 		if err != nil {
 			cb(nil, err)
 			return
@@ -122,6 +136,16 @@ func (sc *sysConn) onReadable(p *vtime.Proc) {
 }
 
 func (sc *sysConn) onWritable() {
+	if sc.c.Failed() {
+		// A crashed peer never opens window again: complete every queued
+		// write with the error so senders fail fast instead of stalling.
+		for len(sc.wq) > 0 {
+			w := sc.wq[0]
+			sc.wq = sc.wq[1:]
+			w.cb(w.done, ipstack.ErrClosed)
+		}
+		return
+	}
 	for len(sc.wq) > 0 {
 		w := &sc.wq[0]
 		w.done += sc.c.TryWriteVec(w.vec, w.done)
@@ -162,6 +186,11 @@ func (sc *sysConn) PostWritev(v iovec.Vec, cb func(int, error)) {
 
 // Close implements Conn.
 func (sc *sysConn) Close() { sc.c.Close() }
+
+// Fail implements Failer: the TCP teardown fires the readiness
+// callbacks, which complete the pending read and drain queued writes
+// with the error.
+func (sc *sysConn) Fail(error) { sc.c.Fail() }
 
 // ---------------------------------------------------------------------
 // MadIO driver: the cross-paradigm incarnation — a distributed
@@ -376,6 +405,20 @@ func (c *madConn) PostRead(buf []byte, cb func(int, error)) {
 	c.tryComplete()
 }
 
+// Fail implements Failer: a crashed peer's pending read completes with
+// the error at once (a dead SAN NIC never delivers the close message).
+func (c *madConn) Fail(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(c.d.conns, c.key)
+	if cb := c.rcb; cb != nil {
+		c.rcb, c.rbuf = nil, nil
+		cb(0, err)
+	}
+}
+
 // PostWritev implements VecConn. MadIO's Madeleine packing aliases the
 // message until the send-side cost event fires, after the caller's
 // borrow ended — so the vector is flattened here, once, into a fresh
@@ -504,6 +547,15 @@ func (c *loopConn) PostRead(buf []byte, cb func(int, error)) {
 	}
 	c.rbuf, c.rcb = buf, cb
 	c.tryComplete()
+}
+
+// Fail implements Failer: crash injection on an in-memory pipe simply
+// completes the pending read with the error.
+func (c *loopConn) Fail(err error) {
+	if cb := c.rcb; cb != nil {
+		c.rcb, c.rbuf = nil, nil
+		cb(0, err)
+	}
 }
 
 func (c *loopConn) tryComplete() {

@@ -95,6 +95,14 @@ type Conn interface {
 	Peer() topology.NodeID
 }
 
+// Failer is the optional crash extension of Conn: drivers that can
+// fail an established connection from outside (peer-death injection)
+// implement it so a pending read completes promptly with the error
+// instead of waiting for wire silence to time out.
+type Failer interface {
+	Fail(err error)
+}
+
 // VecConn is the vectored-write extension of Conn: drivers that can
 // move a segment vector without flattening it implement PostWritev.
 // The vector is borrowed until cb fires — the caller keeps every
@@ -375,6 +383,22 @@ func (v *VLink) Close() {
 		return
 	}
 	v.closed = true
+	v.c.Close()
+}
+
+// Fail tears the link down after a peer crash: future operations
+// complete with ErrClosed immediately, and a pending read completes
+// with the error when the driver supports crash injection (otherwise
+// the link falls back to an orderly close).
+func (v *VLink) Fail() {
+	if v.closed {
+		return
+	}
+	v.closed = true
+	if f, ok := v.c.(Failer); ok {
+		f.Fail(ErrClosed)
+		return
+	}
 	v.c.Close()
 }
 
