@@ -7,6 +7,7 @@
 //	padico-bench -trace out.json [-metrics] [-critpath]
 //	padico-bench -slo
 //	padico-bench -partition
+//	padico-bench -series out.json [-dash dash.html] [-prom metrics.prom]
 //	padico-bench -list
 //
 // With no flags, every table runs. -trace, -metrics and -critpath
@@ -17,14 +18,20 @@
 // critical-path attribution of the slowest requests. -slo runs the
 // SLO-monitored workload (bench.SLOBench) and writes BENCH_8.json.
 // -partition runs the crash-partition-and-heal failure scenarios
-// (bench.PartitionBench) and writes BENCH_9.json. -list enumerates
-// every bench with a one-line description and exits.
+// (bench.PartitionBench) and writes BENCH_9.json. -series, -dash and
+// -prom execute the sampled degrade→partition→heal workload
+// (bench.SeriesRun) once and export it three ways: deterministic
+// time-series JSON (plus the BENCH_10.json sidecar), a self-contained
+// HTML dashboard with inline-SVG timelines, and a Prometheus text
+// exposition of the final snapshot. -list enumerates every bench with
+// a one-line description and exits.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"padico/internal/bench"
@@ -47,6 +54,9 @@ func main() {
 	critpath := flag.Bool("critpath", false, "print the critical-path attribution of the observed workload's slowest requests")
 	slof := flag.Bool("slo", false, "run the SLO-monitored degrading-WAN workload and print the alert table (writes BENCH_8.json)")
 	partf := flag.Bool("partition", false, "run the crash-partition-and-heal failure scenarios (writes BENCH_9.json)")
+	seriesf := flag.String("series", "", "write deterministic time-series JSON of the sampled degrade→partition→heal workload to this file (writes BENCH_10.json)")
+	dashf := flag.String("dash", "", "write a self-contained HTML dashboard of the sampled workload to this file")
+	promf := flag.String("prom", "", "write the sampled workload's final registry snapshot in Prometheus text exposition format to this file")
 	listf := flag.Bool("list", false, "list every bench with a one-line description and exit")
 	flag.Parse()
 	if *listf {
@@ -62,7 +72,11 @@ func main() {
 	if *tracef != "" || *metrics || *critpath {
 		runObserved(*tracef, *metrics, *critpath)
 	}
-	if *slof || *partf || *tracef != "" || *metrics || *critpath {
+	if *seriesf != "" || *dashf != "" || *promf != "" {
+		runSeries(*seriesf, *dashf, *promf)
+	}
+	if *slof || *partf || *tracef != "" || *metrics || *critpath ||
+		*seriesf != "" || *dashf != "" || *promf != "" {
 		os.Exit(0)
 	}
 	all := !*fig3 && !*table1 && !*overhead && !*wan && !*vrpf && !*dgf && !*grp && !*wthr && !*storef
@@ -343,11 +357,101 @@ func printList() {
 		{"-critpath", "critical-path attribution of the observed workload's slowest requests"},
 		{"-slo", "burn-rate SLO alerts across a degrade plus a site partition (BENCH_8.json)"},
 		{"-partition", "failure scenarios: node crash, site blackout, WAN partition and heal (BENCH_9.json)"},
+		{"-series FILE", "deterministic time-series of the sampled degrade→partition→heal run (BENCH_10.json)"},
+		{"-dash FILE", "self-contained HTML dashboard (inline SVG) of the sampled run"},
+		{"-prom FILE", "Prometheus text exposition of the sampled run's final snapshot"},
 	}
 	fmt.Println("padico-bench tables (no flags = all paper tables):")
 	for _, r := range rows {
 		fmt.Printf("  %-12s %s\n", r.flagName, r.desc)
 	}
+}
+
+// runSeries executes the sampled workload once and serves all three
+// export surfaces from the same run.
+func runSeries(seriesPath, dashPath, promPath string) {
+	out := bench.SeriesRun()
+	set := out.Sampler.Series()
+	fmt.Printf("=== Time-series: sampled degrade→partition→heal workload (%d tracks, %d scrapes) ===\n",
+		set.Len(), out.Sampler.Scrapes())
+	if seriesPath != "" {
+		writeTo(seriesPath, set.WriteJSON)
+		fmt.Printf("wrote %d series to %s\n", set.Len(), seriesPath)
+		if err := writeBench10(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_10.json")
+	}
+	if dashPath != "" {
+		opts := bench.SeriesDashOptions(out)
+		writeTo(dashPath, func(w io.Writer) error { return set.WriteDash(w, opts) })
+		fmt.Printf("wrote dashboard to %s (self-contained, open in any browser)\n", dashPath)
+	}
+	if promPath != "" {
+		writeTo(promPath, out.Hub.WriteProm)
+		fmt.Printf("wrote Prometheus exposition to %s\n", promPath)
+	}
+}
+
+// writeTo creates path and runs emit on it, exiting on any error.
+func writeTo(path string, emit func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = emit(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// bench10Row summarizes one track in the BENCH_10.json sidecar.
+type bench10Row struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Unit   string  `json:"unit,omitempty"`
+	Points int     `json:"points"`
+	Peak   float64 `json:"peak"`
+	Last   float64 `json:"last"`
+}
+
+func writeBench10(out bench.SeriesOutcome) error {
+	set := out.Sampler.Series()
+	rows := make([]bench10Row, 0, set.Len())
+	for _, t := range set.Tracks() {
+		_, hi := t.MinMax()
+		rows = append(rows, bench10Row{Name: t.Name, Kind: t.Kind, Unit: t.Unit,
+			Points: len(t.Points()), Peak: hi, Last: t.Last()})
+	}
+	doc := struct {
+		PR      int          `json:"pr"`
+		Title   string       `json:"title"`
+		Command string       `json:"command"`
+		Note    string       `json:"note"`
+		Table   []bench10Row `json:"table"`
+	}{
+		PR:      10,
+		Title:   "time-series telemetry: deterministic metric sampler, utilization and backpressure gauges, exposition and self-contained dashboard",
+		Command: "go run ./cmd/padico-bench -series out.json -dash dash.html",
+		Note: "A virtual-time sampler (250ms cadence) scrapes every registry metric of one degrade→partition→heal " +
+			"run into bounded per-metric series: counter deltas as rates, gauges as levels, histograms as windowed " +
+			"rate/p50/p99 tracks. New utilization and backpressure instrumentation feeds it: per-WAN-core-hop " +
+			"busy-fraction and queued-bytes, iovec pool occupancy, session channel backlogs, datagrid scheduler " +
+			"depth and in-flight transfers, and store fsync backlog. This table summarizes each track (points, " +
+			"peak, final value); the full point data is the -series JSON, rendered by the -dash dashboard. " +
+			"Deterministic: the series JSON is bit-identical across reruns, pinned by TestDeterminismSeries " +
+			"(GC-coupled pool-miss counts are marked volatile and excluded).",
+		Table: rows,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_10.json", append(enc, '\n'), 0o644)
 }
 
 // runPartition executes the failure scenarios, prints the table and

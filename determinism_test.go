@@ -411,6 +411,74 @@ func TestDeterminismPartitionTable(t *testing.T) {
 	}
 }
 
+// TestDeterminismSeries pins the time-series sampler the same way the
+// traces are pinned: two complete SeriesRun executions must serialize
+// to byte-identical series JSON. Volatile metrics (iovec pool misses,
+// which depend on wall-clock GC timing) are excluded by the sampler,
+// so this holds even though the underlying sync.Pool is
+// nondeterministic. It also asserts the coverage the acceptance
+// criteria demand — tracks from at least six layers, including hop
+// utilization, queue depth and pool occupancy — and that the degrade
+// is visible in the data: the collapsed core's busy fraction after
+// DegradeAt must dwarf its healthy-era level.
+func TestDeterminismSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sampled run")
+	}
+	first := bench.SeriesRun()
+	j1 := first.Sampler.Series().JSON()
+	j2 := bench.SeriesRun().Sampler.Series().JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("series JSON drifted across reruns: %d vs %d bytes", len(j1), len(j2))
+	}
+	set := first.Sampler.Series()
+	layers := make(map[string]bool)
+	for _, tr := range set.Tracks() {
+		if i := bytes.IndexByte([]byte(tr.Name), '.'); i > 0 {
+			layers[tr.Name[:i]] = true
+		}
+	}
+	if len(layers) < 6 {
+		t.Errorf("series covers only %d layers: %v", len(layers), layers)
+	}
+	for _, want := range []string{
+		"netsim.hop.core:vthd:site0+site1.busy_frac",
+		"netsim.hop.core:vthd:site0+site1.queued_bytes",
+		"iovec.pool_outstanding",
+		"datagrid.sched_pending",
+		"session.recv_backlog_msgs",
+		"store.fsync_backlog_bytes",
+		"datagrid.transfer_latency.p99",
+	} {
+		if set.Get(want) == nil {
+			t.Errorf("track %q missing from the series", want)
+		}
+	}
+	if set.Get("iovec.pool_misses") != nil {
+		t.Error("volatile iovec.pool_misses leaked into the pinned series")
+	}
+	// The degrade must be visible: the collapsed core saturates right
+	// after DegradeAt while the healthy era barely grazes it.
+	busy := set.Get("netsim.hop.core:vthd:site0+site1.busy_frac")
+	degradeAt := vtime.Time(0).Add(grid.DegradeAt)
+	var before, after float64
+	for _, p := range busy.Points() {
+		if p.T <= degradeAt {
+			if p.V > before {
+				before = p.V
+			}
+		} else if p.V > after {
+			after = p.V
+		}
+	}
+	if after < 0.5 {
+		t.Errorf("degraded core never saturated: peak busy fraction %v after degrade", after)
+	}
+	if before >= after/10 {
+		t.Errorf("degrade not visible: healthy peak %v vs degraded peak %v", before, after)
+	}
+}
+
 // TestTracePropagationConnectedTree is the tentpole acceptance test:
 // one traced datagrid put over the degrading WAN must yield a single
 // connected span tree — every span carrying the put's trace id is

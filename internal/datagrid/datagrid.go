@@ -263,6 +263,17 @@ func New(k *vtime.Kernel, topo *topology.Grid, mgr *session.Manager, cfg Config)
 		dg.hRepair = h.Registry().Histogram("store.repair_latency")
 	}
 	dg.sched = newScheduler(dg, cfg.Workers)
+	if dg.tel != nil {
+		// Scheduler backpressure: jobs submitted but not finished
+		// (queued + running) and distinct in-flight object transfers.
+		reg := dg.tel.Registry()
+		reg.GaugeFunc("datagrid.sched_pending", func() int64 {
+			return int64(dg.sched.pending)
+		})
+		reg.GaugeFunc("datagrid.sched_inflight_transfers", func() int64 {
+			return int64(len(dg.sched.inflight))
+		})
+	}
 	if cfg.RepairInterval > 0 {
 		k.GoDaemon("dg-repair", dg.repairLoop)
 	}

@@ -13,6 +13,7 @@ package grid
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"padico/internal/adoc"
@@ -105,6 +106,16 @@ func (g *Grid) Telemetry() *telemetry.Hub {
 	h := telemetry.Attach(g.K)
 	g.Stack.SetTelemetry(h)
 	g.Session().SetTelemetry(h)
+	// Core hops exist before the hub does; bind their utilization and
+	// queue-depth instruments now (idempotent per hop).
+	names := make([]string, 0, len(g.CoreHops))
+	for name := range g.CoreHops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		netsim.RegisterHopMetrics(h.Registry(), g.CoreHops[name])
+	}
 	return h
 }
 

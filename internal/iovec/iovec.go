@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Size classes for the pools. Get rounds the request up to the next
@@ -42,6 +43,33 @@ import (
 var classSizes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 
 var pools [len(classSizes)]sync.Pool
+
+// Pool traffic accounting, package-wide (the pools are). Gets, frees
+// and unpooled allocations are driven purely by simulation logic, so
+// their deltas within one run are deterministic; misses depend on what
+// the GC kept alive in the sync.Pools, so telemetry marks the miss
+// series volatile. Atomics, because the pools are shared across
+// kernels and tests bump them from multiple goroutines under -race.
+var (
+	poolGets     int64
+	poolMisses   int64
+	poolFrees    int64
+	poolUnpooled int64
+)
+
+// PoolGets returns cumulative pooled-class Get calls.
+func PoolGets() int64 { return atomic.LoadInt64(&poolGets) }
+
+// PoolMisses returns Gets that allocated because the class pool was
+// empty — a wall-clock-coupled (GC-dependent) value.
+func PoolMisses() int64 { return atomic.LoadInt64(&poolMisses) }
+
+// PoolFrees returns buffers returned to their pools.
+func PoolFrees() int64 { return atomic.LoadInt64(&poolFrees) }
+
+// PoolUnpooled returns Gets beyond the largest class (dedicated
+// allocations).
+func PoolUnpooled() int64 { return atomic.LoadInt64(&poolUnpooled) }
 
 func classFor(n int) int {
 	for c, s := range classSizes {
@@ -65,14 +93,17 @@ type Buf struct {
 func Get(n int) *Buf {
 	c := classFor(n)
 	if c < 0 {
+		atomic.AddInt64(&poolUnpooled, 1)
 		return &Buf{p: make([]byte, n), n: n, refs: 1, class: -1}
 	}
+	atomic.AddInt64(&poolGets, 1)
 	if v := pools[c].Get(); v != nil {
 		b := v.(*Buf)
 		b.n = n
 		b.refs = 1
 		return b
 	}
+	atomic.AddInt64(&poolMisses, 1)
 	return &Buf{p: make([]byte, classSizes[c]), n: n, refs: 1, class: c}
 }
 
@@ -107,6 +138,7 @@ func (b *Buf) Release() {
 		return
 	}
 	if b.class >= 0 {
+		atomic.AddInt64(&poolFrees, 1)
 		pools[b.class].Put(b)
 	}
 }

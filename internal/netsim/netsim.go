@@ -318,11 +318,44 @@ type Hop struct {
 	free    vtime.Time
 	queued  int
 	down    bool
-	dequeue func() // pre-bound "queued--", scheduled once per packet
+	dequeue func() // pre-bound queue drain, scheduled once per packet
+
+	// Queue byte accounting: wire sizes of the packets currently
+	// waiting for the link, drained FIFO by dequeue. FIFO order is
+	// correct because free is monotonic — packets finish serializing
+	// in the order they were queued.
+	qbytes int64
+	qsizes []int
+	qhead  int
+
+	registered bool // hop metrics bound into a registry (once)
 
 	Packets int64
 	Drops   int64
 	Bytes   int64 // wire bytes that serialized onto this link
+	BusyNs  int64 // cumulative serialization time: utilization numerator
+}
+
+// QueuedBytes returns the wire bytes currently waiting for the link.
+func (h *Hop) QueuedBytes() int64 { return h.qbytes }
+
+// RegisterHopMetrics binds a hop's utilization and backpressure
+// instruments into reg under "netsim.hop.<name>": busy_ns (cumulative
+// serialization time — the sampler renders its rate as a busy-fraction
+// gauge), queued_bytes and queued_pkts (queue depth gauges), and
+// drops. Idempotent per hop; unnamed hops and nil registries are
+// skipped. Call sites that build hops before attaching telemetry
+// (grid.Telemetry) invoke this at attach time.
+func RegisterHopMetrics(reg *telemetry.Registry, h *Hop) {
+	if reg == nil || h == nil || h.Name == "" || h.registered {
+		return
+	}
+	h.registered = true
+	prefix := "netsim.hop." + h.Name
+	reg.CounterFunc(prefix+".busy_ns", func() int64 { return h.BusyNs })
+	reg.CounterFunc(prefix+".drops", func() int64 { return h.Drops })
+	reg.GaugeFunc(prefix+".queued_bytes", func() int64 { return h.qbytes })
+	reg.GaugeFunc(prefix+".queued_pkts", func() int64 { return int64(h.queued) })
 }
 
 // Conditions is a snapshot of one hop's time-varying parameters.
@@ -433,7 +466,17 @@ func NewPath(k *vtime.Kernel, name string, seed int64, hops ...*Hop) *Path {
 			h.QueueCap = 64
 		}
 		h := h
-		h.dequeue = func() { h.queued-- }
+		h.dequeue = func() {
+			h.queued--
+			if h.qhead < len(h.qsizes) {
+				h.qbytes -= int64(h.qsizes[h.qhead])
+				h.qhead++
+				if h.qhead == len(h.qsizes) {
+					h.qsizes = h.qsizes[:0]
+					h.qhead = 0
+				}
+			}
+		}
 	}
 	return &Path{k: k, name: name, hops: hops, rng: rand.New(rand.NewSource(seed))}
 }
@@ -482,9 +525,12 @@ func (p *Path) sendHop(i int, pkt *Packet) {
 	end := start.Add(txTime)
 	h.free = end
 	h.Bytes += int64(pkt.Wire)
+	h.BusyNs += int64(txTime)
 	// The queue drains when the packet finishes serializing; packets in
 	// propagation (latency) flight do not occupy buffer space.
 	h.queued++
+	h.qsizes = append(h.qsizes, pkt.Wire)
+	h.qbytes += int64(pkt.Wire)
 	p.k.ScheduleAt(end, h.dequeue)
 	var st *hopStep
 	if n := len(p.steps); n > 0 {

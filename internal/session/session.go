@@ -353,6 +353,34 @@ func (m *Manager) SetTelemetry(h *telemetry.Hub) {
 	m.tel = h
 	h.Registry().BindStruct("session", &m.stats)
 	m.hOpen = h.Registry().Histogram("session.open_latency")
+	// Backpressure gauges over the live-channel table: channel count,
+	// receive backlog (messages delivered but not yet consumed), and
+	// send backlog (messages handed to the substrate, not yet delivered
+	// at the peer). Read at scrape time in kernel context — the same
+	// sequential discipline as every other channel access.
+	h.Registry().GaugeFunc("session.live_channels", func() int64 {
+		return int64(len(m.live))
+	})
+	h.Registry().GaugeFunc("session.recv_backlog_msgs", func() int64 {
+		var n int64
+		for _, ch := range m.live {
+			if c, ok := ch.(*msgChannel); ok {
+				n += int64(len(c.inbox))
+			}
+		}
+		return n
+	})
+	h.Registry().GaugeFunc("session.send_inflight_msgs", func() int64 {
+		var n int64
+		for _, ch := range m.live {
+			if c, ok := ch.(*msgChannel); ok && c.peer != nil {
+				if d := c.sent - c.peer.delivered; d > 0 {
+					n += int64(d)
+				}
+			}
+		}
+		return n
+	})
 }
 
 // SetWeather attaches a network-weather service: from then on Open

@@ -115,6 +115,7 @@ type Pack struct {
 	wOff     int64 // next append offset in the active bundle
 	dirty    bool  // unflushed buffered writes
 	lastSync vtime.Time
+	unsynced int64 // bytes appended since the last durable point
 
 	hub   *telemetry.Hub
 	stats Stats
@@ -136,6 +137,12 @@ func OpenPack(k *vtime.Kernel, node topology.NodeID, dir string, cfg PackConfig)
 		hub:   telemetry.For(k),
 	}
 	bindStats(k, &e.stats)
+	// Fsync backpressure: bytes written but not yet durable. GaugeFunc
+	// registrations sum, so a multi-node grid reports the fleet-wide
+	// backlog under one name.
+	e.hub.Registry().GaugeFunc("store.fsync_backlog_bytes", func() int64 {
+		return atomic.LoadInt64(&e.unsynced)
+	})
 
 	names, err := e.bundleNames()
 	if err != nil {
@@ -314,6 +321,7 @@ func (e *Pack) appendNeedle(p *vtime.Proc, flags byte, key string, data []byte, 
 	}
 	e.dirty = true
 	needleLen := needleHdrLen + len(key) + len(data)
+	atomic.AddInt64(&e.unsynced, int64(needleLen))
 	atomic.AddInt64(&e.stats.NeedlesWritten, 1)
 	atomic.AddInt64(&e.stats.BundleBytes, int64(needleLen))
 	p.Consume(model.DiskNeedleCost + model.DiskWritePerByte.Cost(needleLen))
@@ -330,6 +338,7 @@ func (e *Pack) maybeSync(p *vtime.Proc) {
 	}
 	e.flush()
 	e.lastSync = p.Now()
+	atomic.StoreInt64(&e.unsynced, 0)
 	atomic.AddInt64(&e.stats.Fsyncs, 1)
 	p.Consume(model.FsyncCost)
 }

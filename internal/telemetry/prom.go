@@ -1,0 +1,70 @@
+// Prometheus-style text exposition of a registry snapshot — the
+// third export surface beside the deterministic series JSON and the
+// HTML dashboard. The format is the plain text scrape format
+// (`# TYPE` headers, snake_case sample lines, histogram rows as a
+// summary with quantile labels); durations are rendered in seconds,
+// per Prometheus base-unit convention. Output is deterministic: it
+// walks the sorted snapshot and formats floats in shortest exact
+// form.
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promName sanitizes a dotted metric name into the Prometheus
+// identifier charset: "netsim.hop.core:vthd:site0+site1.queued_bytes"
+// → "padico_netsim_hop_core_vthd_site0_site1_queued_bytes".
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+7)
+	b = append(b, "padico_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float in shortest exact form.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm writes the registry's current snapshot in the Prometheus
+// text exposition format. Counters and gauges are single samples;
+// histograms are summaries (quantile-labelled samples plus _sum and
+// _count) with durations in seconds. Volatile metrics are included —
+// exposition is a live view, not a pinned artifact. Nil-safe: a nil
+// registry writes nothing.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	var b bytes.Buffer
+	for _, m := range r.Snapshot() {
+		name := promName(m.Name)
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, m.Value)
+		case KindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, m.Value)
+		case KindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", name, promFloat(float64(m.P50)/1e9))
+			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", name, promFloat(float64(m.P99)/1e9))
+			fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(float64(m.Sum)/1e9))
+			fmt.Fprintf(&b, "%s_count %d\n", name, m.Count)
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// WriteProm exposes the hub's registry (no-op on a nil hub).
+func (h *Hub) WriteProm(w io.Writer) error { return WriteProm(w, h.Registry()) }

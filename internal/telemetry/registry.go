@@ -223,21 +223,25 @@ type boundStruct struct {
 // name; Snapshot returns every metric sorted by name. All methods are
 // nil-receiver-safe so layers can instrument unconditionally.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	funcs    map[string][]func() int64
-	bound    []boundStruct
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	funcs     map[string][]func() int64
+	gaugeFns  map[string][]func() int64
+	volatiles map[string]bool
+	bound     []boundStruct
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		funcs:    make(map[string][]func() int64),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		funcs:     make(map[string][]func() int64),
+		gaugeFns:  make(map[string][]func() int64),
+		volatiles: make(map[string]bool),
 	}
 }
 
@@ -298,6 +302,47 @@ func (r *Registry) CounterFunc(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.funcs[name] = append(r.funcs[name], fn)
+}
+
+// GaugeFunc registers an externally-stored gauge read through fn at
+// snapshot time — the instrumentation shape for state a layer already
+// maintains (queue depths, live-channel counts, dirty bytes) where
+// pushing a Gauge on every mutation would scatter Set calls through
+// hot paths. Multiple registrations under one name sum, so per-node
+// instances (store engines, sessions) aggregate naturally.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = append(r.gaugeFns[name], fn)
+}
+
+// MarkVolatile flags metric names whose values depend on wall-clock
+// effects outside the simulation (GC-driven sync.Pool hit rates, for
+// example). Volatile metrics stay visible in snapshots and Prometheus
+// exposition but are excluded from the deterministic series sampler,
+// which is pinned bit-identical across runs.
+func (r *Registry) MarkVolatile(names ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		r.volatiles[n] = true
+	}
+}
+
+// Volatile reports whether name was flagged by MarkVolatile.
+func (r *Registry) Volatile(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.volatiles[name]
 }
 
 // BindStruct registers every int64 field of the struct pointed to by s
@@ -419,12 +464,21 @@ func (r *Registry) Snapshot() []Metric {
 			sums[bs.prefix+"."+name] += atomic.LoadInt64(addr)
 		}
 	}
-	out := make([]Metric, 0, len(sums)+len(r.gauges)+len(r.hists))
+	gaugeSums := make(map[string]int64, len(r.gauges)+len(r.gaugeFns))
+	for name, g := range r.gauges {
+		gaugeSums[name] += g.Value()
+	}
+	for name, fns := range r.gaugeFns {
+		for _, fn := range fns {
+			gaugeSums[name] += fn()
+		}
+	}
+	out := make([]Metric, 0, len(sums)+len(gaugeSums)+len(r.hists))
 	for name, v := range sums {
 		out = append(out, Metric{Name: name, Kind: KindCounter, Value: v})
 	}
-	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	for name, v := range gaugeSums {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: v})
 	}
 	for name, h := range r.hists {
 		out = append(out, Metric{

@@ -1,0 +1,158 @@
+// The time-series sampler: a kernel daemon that scrapes the whole
+// registry on a fixed virtual-time cadence into bounded series.Set
+// tracks — counter deltas become per-second rates, gauges become level
+// samples, histograms become windowed rate + p50/p99 quantile tracks.
+// Scrapes consume zero virtual time (the daemon only sleeps), so
+// attaching a sampler never perturbs the simulation it observes; runs
+// that do not start one are byte-identical to runs before this file
+// existed.
+//
+// Cadence rules, enforced here and documented in DESIGN.md:
+//   - one scrape per interval, first scrape at t0+interval;
+//   - the window is primed at start, so the first interval measures
+//     only post-start activity (setup traffic is excluded);
+//   - metrics flagged MarkVolatile (wall-clock-coupled values like
+//     sync.Pool hit rates) are skipped — the series artifact stays
+//     bit-identical across runs and is pinned in determinism tests;
+//   - counters named *.busy_ns render as a *.busy_frac gauge in
+//     [0,1] — time-integrated utilization over the interval — instead
+//     of a raw ns/s rate.
+package telemetry
+
+import (
+	"io"
+	"strings"
+
+	"padico/internal/telemetry/series"
+	"padico/internal/vtime"
+)
+
+// Sampler scrapes the hub's registry on a fixed virtual-time cadence.
+// Create with Hub.StartSampler; all methods are nil-receiver-safe so
+// benches can thread an optional sampler without guards.
+type Sampler struct {
+	h        *Hub
+	interval vtime.Duration
+	set      *series.Set
+	win      *Window
+	scrapes  int64
+	stopped  bool
+}
+
+// StartSampler spawns the sampling daemon on the hub's kernel.
+// interval <= 0 defaults to 250ms of virtual time — the same cadence
+// as the SLO monitor, fine enough to resolve a WAN degrade, coarse
+// enough that a 30s run stays well inside one ring. Returns nil on a
+// nil hub (and a nil *Sampler no-ops everywhere).
+func (h *Hub) StartSampler(interval vtime.Duration) *Sampler {
+	if h == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 250e6
+	}
+	s := &Sampler{
+		h:        h,
+		interval: interval,
+		set:      series.New(interval, 0),
+		win:      NewWindow(),
+	}
+	s.prime()
+	h.k.GoDaemon("series-sampler", func(p *vtime.Proc) {
+		for {
+			p.Sleep(s.interval)
+			if s.stopped {
+				return
+			}
+			s.scrape(p.Now())
+		}
+	})
+	return s
+}
+
+// prime records the current cumulative values as baselines so the
+// first interval reports only activity after StartSampler.
+func (s *Sampler) prime() {
+	for _, m := range s.h.reg.Snapshot() {
+		switch m.Kind {
+		case KindCounter:
+			s.win.Prime(m.Name, m.Value)
+		case KindHistogram:
+			s.win.HistDelta(m.Name, s.h.reg.HistogramByName(m.Name))
+		}
+	}
+}
+
+// scrape takes one sample of every non-volatile metric.
+func (s *Sampler) scrape(now vtime.Time) {
+	ival := float64(s.interval)
+	for _, m := range s.h.reg.Snapshot() {
+		if s.h.reg.Volatile(m.Name) {
+			continue
+		}
+		switch m.Kind {
+		case KindCounter:
+			d := s.win.Delta(m.Name, m.Value)
+			if base, ok := strings.CutSuffix(m.Name, ".busy_ns"); ok {
+				s.set.Add(base+".busy_frac", series.KindGauge, "frac", now, float64(d)/ival)
+				continue
+			}
+			s.set.Add(m.Name, series.KindRate, "/s", now, float64(d)*1e9/ival)
+		case KindGauge:
+			s.set.Add(m.Name, series.KindGauge, gaugeUnit(m.Name), now, float64(m.Value))
+		case KindHistogram:
+			hs := s.win.HistDelta(m.Name, s.h.reg.HistogramByName(m.Name))
+			s.set.Add(m.Name+".rate", series.KindRate, "/s", now, float64(hs.Count)*1e9/ival)
+			s.set.Add(m.Name+".p50", series.KindQuantile, "ns", now, float64(hs.P50))
+			s.set.Add(m.Name+".p99", series.KindQuantile, "ns", now, float64(hs.P99))
+		}
+	}
+	s.scrapes++
+}
+
+// gaugeUnit derives a display unit from naming convention.
+func gaugeUnit(name string) string {
+	switch {
+	case strings.HasSuffix(name, "_bytes"):
+		return "bytes"
+	case strings.HasSuffix(name, "_frac"):
+		return "frac"
+	default:
+		return ""
+	}
+}
+
+// Stop halts sampling at the next tick; the set keeps what it has.
+func (s *Sampler) Stop() {
+	if s != nil {
+		s.stopped = true
+	}
+}
+
+// Scrapes returns how many scrapes have completed.
+func (s *Sampler) Scrapes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.scrapes
+}
+
+// Series returns the accumulated track set (nil on a nil sampler; a
+// nil *series.Set is itself safe to encode).
+func (s *Sampler) Series() *series.Set {
+	if s == nil {
+		return nil
+	}
+	return s.set
+}
+
+// WriteJSON emits the deterministic series JSON (see series.WriteJSON).
+func (s *Sampler) WriteJSON(w io.Writer) error { return s.Series().WriteJSON(w) }
+
+// WriteDash emits the self-contained HTML dashboard (see series.WriteDash).
+func (s *Sampler) WriteDash(w io.Writer, o series.DashOptions) error {
+	if s == nil {
+		return series.New(0, 0).WriteDash(w, o)
+	}
+	return s.set.WriteDash(w, o)
+}

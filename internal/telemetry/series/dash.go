@@ -1,0 +1,271 @@
+// Self-contained HTML dashboard: every track in a Set rendered as an
+// inline-SVG timeline, grouped by layer, with vertical markers for
+// run events (degrade, partition, heal). One file, no external
+// JavaScript or CSS, deterministic byte-for-byte output — it can be
+// opened from a CI artifact or an air-gapped machine and diffed like
+// any other pinned artifact.
+package series
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+	"io"
+	"strconv"
+	"strings"
+
+	"padico/internal/vtime"
+)
+
+// Mark is a vertical annotation line drawn on every chart — the
+// instants that explain the curves (WAN degrade, partition, heal).
+type Mark struct {
+	T     vtime.Time
+	Label string
+}
+
+// DashOptions configures WriteDash.
+type DashOptions struct {
+	Title    string
+	Subtitle string
+	Marks    []Mark
+}
+
+// Chart geometry: fixed so output is stable and charts align.
+const (
+	dashChartW = 860.0 // plot width, px
+	dashChartH = 96.0  // plot height, px
+	dashPadL   = 8.0
+	dashPadT   = 6.0
+)
+
+// layerPalette maps chart stroke colors to layers deterministically by
+// hashing the layer name onto a fixed palette.
+var dashPalette = []string{
+	"#4fc3f7", "#81c784", "#ffb74d", "#e57373", "#ba68c8",
+	"#f06292", "#4db6ac", "#fff176", "#a1887f", "#90a4ae",
+}
+
+func dashColor(layer string) string {
+	var h uint32
+	for i := 0; i < len(layer); i++ {
+		h = h*31 + uint32(layer[i])
+	}
+	return dashPalette[h%uint32(len(dashPalette))]
+}
+
+// layerOf splits "netsim.hop.core:vthd.busy_ns" → "netsim".
+func layerOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// fmtCoord renders an SVG coordinate with fixed precision so output
+// bytes never depend on float noise in the shortest-form algorithm.
+func fmtCoord(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// fmtVal renders an axis label compactly: SI-ish suffixes keep the
+// gutter narrow without losing the order of magnitude.
+func fmtVal(v float64) string {
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	switch {
+	case v >= 1e9:
+		return neg + trimZero(strconv.FormatFloat(v/1e9, 'f', 2, 64)) + "G"
+	case v >= 1e6:
+		return neg + trimZero(strconv.FormatFloat(v/1e6, 'f', 2, 64)) + "M"
+	case v >= 1e3:
+		return neg + trimZero(strconv.FormatFloat(v/1e3, 'f', 2, 64)) + "k"
+	case v >= 10 || v == 0:
+		return neg + trimZero(strconv.FormatFloat(v, 'f', 1, 64))
+	default:
+		return neg + trimZero(strconv.FormatFloat(v, 'f', 3, 64))
+	}
+}
+
+func trimZero(s string) string {
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// fmtSec renders a virtual-time axis label in seconds.
+func fmtSec(t vtime.Time) string {
+	return trimZero(strconv.FormatFloat(float64(t)/1e9, 'f', 2, 64)) + "s"
+}
+
+// WriteDash renders the whole set as one HTML file. Tracks are grouped
+// by layer (name prefix before the first dot), each rendered as an
+// area+line timeline over the full virtual-time span of the set, with
+// the option marks drawn as labelled vertical rules on every chart.
+func (s *Set) WriteDash(w io.Writer, o DashOptions) error {
+	var b bytes.Buffer
+	title := o.Title
+	if title == "" {
+		title = "padico time-series"
+	}
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(dashCSS)
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	if o.Subtitle != "" {
+		fmt.Fprintf(&b, "<p class=\"sub\">%s</p>\n", html.EscapeString(o.Subtitle))
+	}
+
+	tracks := s.Tracks()
+	// Global time span so every chart shares one x-axis.
+	var t0, t1 vtime.Time
+	first := true
+	for _, t := range tracks {
+		for _, p := range t.pts {
+			if first || p.T < t0 {
+				t0 = p.T
+			}
+			if first || p.T > t1 {
+				t1 = p.T
+			}
+			first = false
+		}
+	}
+	for _, m := range o.Marks {
+		if first || m.T < t0 {
+			t0 = m.T
+		}
+		if first || m.T > t1 {
+			t1 = m.T
+		}
+		first = false
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	span := float64(t1 - t0)
+
+	if len(o.Marks) > 0 {
+		b.WriteString("<p class=\"sub\">marks: ")
+		for i, m := range o.Marks {
+			if i > 0 {
+				b.WriteString(" · ")
+			}
+			fmt.Fprintf(&b, "%s @ %s", html.EscapeString(m.Label), fmtSec(m.T))
+		}
+		b.WriteString("</p>\n")
+	}
+
+	lastLayer := ""
+	for _, t := range tracks {
+		if layer := layerOf(t.Name); layer != lastLayer {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(layer))
+			lastLayer = layer
+		}
+		writeChart(&b, t, t0, span, o.Marks)
+	}
+	b.WriteString(dashFooter)
+	b.WriteString("</body>\n</html>\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func writeChart(b *bytes.Buffer, t *Track, t0 vtime.Time, span float64, marks []Mark) {
+	lo, hi := t.MinMax()
+	if lo > 0 { // anchor at zero so levels read absolutely
+		lo = 0
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	vspan := hi - lo
+
+	x := func(at vtime.Time) float64 {
+		return dashPadL + dashChartW*float64(at-t0)/span
+	}
+	y := func(v float64) float64 {
+		return dashPadT + dashChartH*(1-(v-lo)/vspan)
+	}
+
+	unit := t.Unit
+	if unit != "" {
+		unit = " " + unit
+	}
+	fmt.Fprintf(b, "<div class=\"chart\">\n<div class=\"name\">%s <span class=\"kind\">%s%s · peak %s · last %s</span></div>\n",
+		html.EscapeString(t.Name), html.EscapeString(t.Kind), html.EscapeString(unit),
+		fmtVal(hi), fmtVal(t.Last()))
+	totW := dashPadL*2 + dashChartW
+	totH := dashPadT*2 + dashChartH + 14
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %s %s\" width=\"%s\" height=\"%s\">\n",
+		fmtCoord(totW), fmtCoord(totH), fmtCoord(totW), fmtCoord(totH))
+	// Frame and zero line.
+	fmt.Fprintf(b, "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" class=\"frame\"/>\n",
+		fmtCoord(dashPadL), fmtCoord(dashPadT), fmtCoord(dashChartW), fmtCoord(dashChartH))
+	if lo < 0 && hi > 0 {
+		fmt.Fprintf(b, "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" class=\"zero\"/>\n",
+			fmtCoord(dashPadL), fmtCoord(y(0)), fmtCoord(dashPadL+dashChartW), fmtCoord(y(0)))
+	}
+	// Marks behind the data.
+	for _, m := range marks {
+		mx := x(m.T)
+		fmt.Fprintf(b, "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" class=\"mark\"/>\n",
+			fmtCoord(mx), fmtCoord(dashPadT), fmtCoord(mx), fmtCoord(dashPadT+dashChartH))
+	}
+	// Area fill + line.
+	color := dashColor(layerOf(t.Name))
+	if len(t.pts) > 0 {
+		var area, line strings.Builder
+		base := y(lo)
+		if lo < 0 && hi > 0 {
+			base = y(0)
+		}
+		fmt.Fprintf(&area, "M%s %s", fmtCoord(x(t.pts[0].T)), fmtCoord(base))
+		for i, p := range t.pts {
+			px, py := fmtCoord(x(p.T)), fmtCoord(y(p.V))
+			fmt.Fprintf(&area, " L%s %s", px, py)
+			if i == 0 {
+				fmt.Fprintf(&line, "M%s %s", px, py)
+			} else {
+				fmt.Fprintf(&line, " L%s %s", px, py)
+			}
+		}
+		fmt.Fprintf(&area, " L%s %s Z", fmtCoord(x(t.pts[len(t.pts)-1].T)), fmtCoord(base))
+		fmt.Fprintf(b, "<path d=\"%s\" fill=\"%s\" opacity=\"0.18\"/>\n", area.String(), color)
+		fmt.Fprintf(b, "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n", line.String(), color)
+	}
+	// Axis labels: y extremes on the left inside the frame, x extremes
+	// under the frame.
+	fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"lab\">%s</text>\n",
+		fmtCoord(dashPadL+4), fmtCoord(dashPadT+11), html.EscapeString(fmtVal(hi)))
+	fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"lab\">%s</text>\n",
+		fmtCoord(dashPadL+4), fmtCoord(dashPadT+dashChartH-4), html.EscapeString(fmtVal(lo)))
+	fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"lab\">%s</text>\n",
+		fmtCoord(dashPadL), fmtCoord(dashPadT+dashChartH+12), html.EscapeString(fmtSec(t0)))
+	fmt.Fprintf(b, "<text x=\"%s\" y=\"%s\" class=\"lab end\">%s</text>\n",
+		fmtCoord(dashPadL+dashChartW), fmtCoord(dashPadT+dashChartH+12),
+		html.EscapeString(fmtSec(t0+vtime.Time(span))))
+	b.WriteString("</svg>\n</div>\n")
+}
+
+const dashCSS = `<style>
+body { background: #14161a; color: #d7dae0; font: 13px/1.45 -apple-system, "Segoe UI", sans-serif; margin: 24px auto; max-width: 920px; }
+h1 { font-size: 18px; font-weight: 600; margin: 0 0 2px; }
+h2 { font-size: 14px; font-weight: 600; color: #8ab4f8; margin: 22px 0 6px; border-bottom: 1px solid #2a2e36; padding-bottom: 3px; }
+.sub { color: #9aa0a6; margin: 2px 0 10px; }
+.chart { margin: 8px 0 14px; }
+.name { font-family: ui-monospace, monospace; font-size: 12px; margin-bottom: 2px; }
+.kind { color: #9aa0a6; }
+.frame { fill: #1b1e24; stroke: #2a2e36; }
+.zero { stroke: #3a3f48; stroke-dasharray: 3 3; }
+.mark { stroke: #e8a13a; stroke-dasharray: 2 3; opacity: 0.8; }
+.lab { fill: #7d848d; font: 10px ui-monospace, monospace; }
+.lab.end { text-anchor: end; }
+footer { color: #5f6368; margin-top: 24px; font-size: 11px; }
+</style>
+`
+
+const dashFooter = `<footer>Self-contained dashboard: inline SVG, no external assets. Virtual-time axis; every chart shares the same span and event marks.</footer>
+`

@@ -1,0 +1,263 @@
+// Package series is the time-series data model behind the telemetry
+// sampler: compact per-metric tracks of (virtual time, value) points,
+// bounded by a ring with deterministic downsampling, and deterministic
+// encoders (series JSON for pinning, a self-contained SVG dashboard
+// for humans — see dash.go).
+//
+// The package is pure data — it imports only vtime — so the sampler
+// (internal/telemetry), benches and tests can all build and consume
+// sets without import cycles. Everything is deterministic by
+// construction: insertion order is erased by sorted encoding, floats
+// are formatted with strconv's shortest round-trip form, and the
+// downsampling rule depends only on the sample sequence, never on
+// wall-clock or map order.
+package series
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"padico/internal/vtime"
+)
+
+// Track kinds: how samples merge when the ring downsamples.
+const (
+	// KindRate marks per-interval rates derived from counter deltas;
+	// adjacent samples merge by mean (equal-width intervals, so the
+	// mean of two rates is the rate over the doubled interval).
+	KindRate = "rate"
+	// KindGauge marks point-in-time levels; adjacent samples merge by
+	// mean.
+	KindGauge = "gauge"
+	// KindQuantile marks latency-quantile tracks; adjacent samples
+	// merge by max, so downsampling never hides a latency spike.
+	KindQuantile = "quantile"
+)
+
+// DefaultCap is the ring bound: a track holds at most this many
+// points. Even, so pair-merging halves it exactly.
+const DefaultCap = 480
+
+// Point is one sample.
+type Point struct {
+	T vtime.Time
+	V float64
+}
+
+// Track is one bounded series. Add samples in non-decreasing time
+// order; when the ring fills, adjacent pairs merge (per the kind's
+// rule) and the track's stride doubles — each stored point then covers
+// twice the virtual time, and resolution degrades gracefully instead
+// of the head of the run falling off.
+type Track struct {
+	Name string
+	Kind string
+	Unit string // display hint: "/s", "bytes", "ns", ...
+
+	cap    int
+	stride int // raw samples per stored point
+	nacc   int // raw samples accumulated toward the next stored point
+	acc    float64
+	pts    []Point
+}
+
+func newTrack(name, kind, unit string, cap int) *Track {
+	if cap < 2 {
+		cap = 2
+	}
+	cap &^= 1 // even, so downsampling halves exactly
+	return &Track{Name: name, Kind: kind, Unit: unit, cap: cap, stride: 1}
+}
+
+// merge folds sample v into the running accumulator per the kind rule.
+func (t *Track) merge(accum float64, n int, v float64) float64 {
+	if t.Kind == KindQuantile {
+		if n == 0 || v > accum {
+			return v
+		}
+		return accum
+	}
+	return accum + v
+}
+
+// finish converts the accumulator into the stored value.
+func (t *Track) finish(accum float64, n int) float64 {
+	if t.Kind == KindQuantile || n <= 1 {
+		return accum
+	}
+	return accum / float64(n)
+}
+
+// Add appends one raw sample taken at virtual time at.
+func (t *Track) Add(at vtime.Time, v float64) {
+	if t == nil {
+		return
+	}
+	t.acc = t.merge(t.acc, t.nacc, v)
+	t.nacc++
+	if t.nacc < t.stride {
+		return
+	}
+	t.pts = append(t.pts, Point{T: at, V: t.finish(t.acc, t.nacc)})
+	t.acc, t.nacc = 0, 0
+	if len(t.pts) >= t.cap {
+		t.downsample()
+	}
+}
+
+// downsample merges adjacent pairs in place and doubles the stride.
+func (t *Track) downsample() {
+	half := len(t.pts) / 2
+	for i := 0; i < half; i++ {
+		a, b := t.pts[2*i], t.pts[2*i+1]
+		v := t.merge(t.merge(0, 0, a.V), 1, b.V)
+		t.pts[i] = Point{T: b.T, V: t.finish(v, 2)}
+	}
+	// An odd leftover (possible only with an odd cap rounded down)
+	// cannot happen: cap is even and downsample fires exactly at cap.
+	t.pts = t.pts[:half]
+	t.stride *= 2
+}
+
+// Points returns the stored points (shared slice — do not mutate).
+func (t *Track) Points() []Point { return t.pts }
+
+// Stride returns how many raw samples each stored point covers.
+func (t *Track) Stride() int { return t.stride }
+
+// Last returns the most recent stored value (0 on an empty track).
+func (t *Track) Last() float64 {
+	if len(t.pts) == 0 {
+		return 0
+	}
+	return t.pts[len(t.pts)-1].V
+}
+
+// MinMax returns the stored value extremes (0,0 on an empty track).
+func (t *Track) MinMax() (lo, hi float64) {
+	for i, p := range t.pts {
+		if i == 0 || p.V < lo {
+			lo = p.V
+		}
+		if i == 0 || p.V > hi {
+			hi = p.V
+		}
+	}
+	return lo, hi
+}
+
+// Set is a collection of tracks sampled on one cadence.
+type Set struct {
+	Interval vtime.Duration
+	cap      int
+	tracks   map[string]*Track
+}
+
+// New builds an empty set; cap <= 0 selects DefaultCap.
+func New(interval vtime.Duration, cap int) *Set {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Set{Interval: interval, cap: cap, tracks: make(map[string]*Track)}
+}
+
+// Track returns the named track, creating it with the given kind and
+// unit on first use. Nil-safe: a nil set returns nil, and a nil track
+// ignores Add.
+func (s *Set) Track(name, kind, unit string) *Track {
+	if s == nil {
+		return nil
+	}
+	t := s.tracks[name]
+	if t == nil {
+		t = newTrack(name, kind, unit, s.cap)
+		s.tracks[name] = t
+	}
+	return t
+}
+
+// Get returns the named track or nil.
+func (s *Set) Get(name string) *Track {
+	if s == nil {
+		return nil
+	}
+	return s.tracks[name]
+}
+
+// Add is shorthand for Track(...).Add(...) on a possibly-nil set.
+func (s *Set) Add(name, kind, unit string, at vtime.Time, v float64) {
+	if s == nil {
+		return
+	}
+	s.Track(name, kind, unit).Add(at, v)
+}
+
+// Tracks returns every track sorted by name — the deterministic
+// iteration order of both encoders.
+func (s *Set) Tracks() []*Track {
+	if s == nil {
+		return nil
+	}
+	out := make([]*Track, 0, len(s.tracks))
+	for _, t := range s.tracks {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the track count.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.tracks)
+}
+
+// fmtF renders a float in its shortest exact form — the bit-identical
+// formatting every pinned artifact of this codebase uses.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSON emits the set as deterministic JSON: tracks sorted by
+// name, points as [t_ns, value] pairs, floats in shortest round-trip
+// form. Two identical runs serialize byte-identically, so the output
+// is pinned in determinism tests like any bench table.
+func (s *Set) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, "{\"interval_ns\":0,\"series\":[]}\n")
+		return err
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "{\"interval_ns\":%d,\"series\":[", int64(s.Interval))
+	for i, t := range s.Tracks() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n{\"name\":%q,\"kind\":%q,\"unit\":%q,\"stride\":%d,\"points\":[",
+			t.Name, t.Kind, t.Unit, t.stride)
+		for j, p := range t.pts {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('[')
+			b.WriteString(strconv.FormatInt(int64(p.T), 10))
+			b.WriteByte(',')
+			b.WriteString(fmtF(p.V))
+			b.WriteByte(']')
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("\n]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// JSON renders the set to a byte slice.
+func (s *Set) JSON() []byte {
+	var b bytes.Buffer
+	s.WriteJSON(&b) // (*bytes.Buffer).Write cannot fail
+	return b.Bytes()
+}

@@ -1,0 +1,147 @@
+package series
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"padico/internal/vtime"
+)
+
+func TestTrackRingDownsampling(t *testing.T) {
+	s := New(1e9, 4)
+	tr := s.Track("g", KindGauge, "")
+	for i := 0; i < 4; i++ {
+		tr.Add(vtime.Time(i)*1e9, float64(i)) // 0,1,2,3 → cap hit → halve
+	}
+	pts := tr.Points()
+	if len(pts) != 2 || tr.Stride() != 2 {
+		t.Fatalf("after cap: %d points stride %d, want 2 points stride 2", len(pts), tr.Stride())
+	}
+	// Gauge pairs merge by mean; the merged point keeps the later time.
+	if pts[0].V != 0.5 || pts[1].V != 2.5 {
+		t.Fatalf("gauge pair means: got %v/%v, want 0.5/2.5", pts[0].V, pts[1].V)
+	}
+	if pts[0].T != 1e9 || pts[1].T != 3e9 {
+		t.Fatalf("merged times: got %v/%v, want 1e9/3e9", pts[0].T, pts[1].T)
+	}
+	// At stride 2, two raw samples make one stored point.
+	tr.Add(4e9, 10)
+	if len(tr.Points()) != 2 {
+		t.Fatalf("half-accumulated sample must not store a point")
+	}
+	tr.Add(5e9, 20)
+	pts = tr.Points()
+	if len(pts) != 3 || pts[2].V != 15 || pts[2].T != 5e9 {
+		t.Fatalf("stride-2 merge: got %+v", pts)
+	}
+}
+
+func TestTrackMergeRules(t *testing.T) {
+	s := New(1e9, 4)
+	q := s.Track("q", KindQuantile, "ns")
+	for i, v := range []float64{5, 1, 2, 8} {
+		q.Add(vtime.Time(i)*1e9, v)
+	}
+	pts := q.Points()
+	// Quantile pairs merge by max: downsampling never hides a spike.
+	if pts[0].V != 5 || pts[1].V != 8 {
+		t.Fatalf("quantile pair max: got %v/%v, want 5/8", pts[0].V, pts[1].V)
+	}
+	r := s.Track("r", KindRate, "/s")
+	for i, v := range []float64{2, 4, 10, 30} {
+		r.Add(vtime.Time(i)*1e9, v)
+	}
+	pts = r.Points()
+	// Rate pairs merge by mean (equal-width intervals).
+	if pts[0].V != 3 || pts[1].V != 20 {
+		t.Fatalf("rate pair mean: got %v/%v, want 3/20", pts[0].V, pts[1].V)
+	}
+}
+
+func TestTrackRepeatedDownsampling(t *testing.T) {
+	s := New(1e9, 8)
+	tr := s.Track("g", KindGauge, "")
+	for i := 0; i < 64; i++ {
+		tr.Add(vtime.Time(i)*1e9, 1)
+	}
+	if got := len(tr.Points()); got > 8 {
+		t.Fatalf("ring exceeded cap: %d points", got)
+	}
+	if tr.Stride() < 8 {
+		t.Fatalf("stride did not grow: %d", tr.Stride())
+	}
+	for _, p := range tr.Points() {
+		if p.V != 1 {
+			t.Fatalf("constant series must stay constant through downsampling, got %v", p.V)
+		}
+	}
+}
+
+func TestSetNilSafety(t *testing.T) {
+	var s *Set
+	if s.Track("a", KindGauge, "") != nil {
+		t.Fatal("nil set must return nil track")
+	}
+	s.Add("a", KindGauge, "", 0, 1) // must not panic
+	if s.Len() != 0 || s.Tracks() != nil || s.Get("a") != nil {
+		t.Fatal("nil set accessors must be empty")
+	}
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "{\"interval_ns\":0,\"series\":[]}\n" {
+		t.Fatalf("nil set JSON: %q", b.String())
+	}
+	var nilTrack *Track
+	nilTrack.Add(0, 1) // must not panic
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	build := func() *Set {
+		s := New(250e6, 0)
+		// Insertion order differs; output must not.
+		names := []string{"b.two", "a.one", "c.three"}
+		for i, n := range names {
+			s.Add(n, KindGauge, "", vtime.Time(i)*1e9, float64(i)+0.5)
+		}
+		return s
+	}
+	j1, j2 := build().JSON(), build().JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("series JSON differs between identical builds")
+	}
+	out := string(j1)
+	if !strings.Contains(out, `"name":"a.one"`) ||
+		strings.Index(out, "a.one") > strings.Index(out, "b.two") {
+		t.Fatalf("tracks not sorted by name: %s", out)
+	}
+}
+
+func TestWriteDashSelfContained(t *testing.T) {
+	s := New(250e6, 0)
+	for i := 0; i < 8; i++ {
+		s.Add("netsim.hop.core.busy_frac", KindGauge, "frac", vtime.Time(i)*1e9, float64(i%3))
+		s.Add("datagrid.puts", KindRate, "/s", vtime.Time(i)*1e9, float64(i))
+	}
+	var b bytes.Buffer
+	err := s.WriteDash(&b, DashOptions{
+		Title: "t", Subtitle: "sub",
+		Marks: []Mark{{T: 3e9, Label: "degrade"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "degrade", "netsim.hop.core.busy_frac", "datagrid.puts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	for _, forbid := range []string{"<script", "src=", "href="} {
+		if strings.Contains(out, forbid) {
+			t.Fatalf("dashboard not self-contained: found %q", forbid)
+		}
+	}
+}

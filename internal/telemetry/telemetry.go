@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strconv"
 
+	"padico/internal/iovec"
 	"padico/internal/vtime"
 )
 
@@ -96,6 +97,22 @@ func Attach(k *vtime.Kernel) *Hub {
 	h.reg.CounterFunc("vtime.events_fired", func() int64 { return k.EventsFired })
 	h.reg.CounterFunc("vtime.proc_switches", func() int64 { return k.ProcSwitches })
 	h.reg.CounterFunc("vtime.procs_spawned", func() int64 { return k.ProcsSpawned })
+	// Buffer-pool traffic, read against attach-time baselines so each
+	// run's readings are independent of earlier runs in the process
+	// (the iovec pools are package-global). Gets/frees/occupancy are
+	// driven purely by simulation logic and stay deterministic; misses
+	// depend on what the GC kept alive in the sync.Pools, so that
+	// series is volatile — visible in snapshots and Prom exposition,
+	// excluded from the pinned series JSON.
+	gets0, misses0 := iovec.PoolGets(), iovec.PoolMisses()
+	frees0, unpooled0 := iovec.PoolFrees(), iovec.PoolUnpooled()
+	h.reg.CounterFunc("iovec.pool_gets", func() int64 { return iovec.PoolGets() - gets0 })
+	h.reg.CounterFunc("iovec.pool_misses", func() int64 { return iovec.PoolMisses() - misses0 })
+	h.reg.CounterFunc("iovec.pool_unpooled", func() int64 { return iovec.PoolUnpooled() - unpooled0 })
+	h.reg.GaugeFunc("iovec.pool_outstanding", func() int64 {
+		return (iovec.PoolGets() - gets0) - (iovec.PoolFrees() - frees0)
+	})
+	h.reg.MarkVolatile("iovec.pool_misses")
 	k.Telemetry = h
 	return h
 }

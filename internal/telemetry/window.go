@@ -1,0 +1,132 @@
+// Windowed sampling without Reset: the sampler (and any other
+// periodic consumer) needs "what happened since the last scrape", but
+// counters and histograms are cumulative and shared — resetting them
+// would corrupt every other reader (SLO monitor, end-of-run snapshot).
+// A Window keeps the previous scrape's cumulative values per name and
+// returns exact deltas, so per-interval rates are computed from the
+// same monotonic state everyone else reads.
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"padico/internal/vtime"
+)
+
+// Window tracks per-name cumulative baselines for delta-since-last
+// sampling. Not safe for concurrent use — one Window per consumer.
+type Window struct {
+	last  map[string]int64
+	hists map[string][]int64 // per-bucket cumulative counts, incl. overflow
+}
+
+// NewWindow returns an empty window: the first Delta for every name
+// reports the full cumulative value (delta from zero), unless the name
+// was Primed first.
+func NewWindow() *Window {
+	return &Window{last: make(map[string]int64), hists: make(map[string][]int64)}
+}
+
+// Delta returns cum minus the value recorded at the previous call for
+// name, and records cum as the new baseline. First-sample semantics:
+// an unseen name reports the full cumulative value. Wraparound
+// semantics: a cumulative value below the baseline means the source
+// was recreated (a fresh Registry, a restarted layer), so the delta is
+// the full new value, never negative.
+func (w *Window) Delta(name string, cum int64) int64 {
+	prev, seen := w.last[name]
+	w.last[name] = cum
+	if !seen || cum < prev {
+		return cum
+	}
+	return cum - prev
+}
+
+// Prime records cum as the baseline for name without reporting a
+// delta, so the next Delta measures only activity after this instant —
+// how a sampler excludes setup-phase traffic from its first interval.
+func (w *Window) Prime(name string, cum int64) { w.last[name] = cum }
+
+// HistSample is one windowed histogram reading: observations, summed
+// virtual time, and quantiles computed over the window only.
+type HistSample struct {
+	Count    int64
+	Sum      vtime.Duration
+	P50, P99 vtime.Duration
+}
+
+// HistDelta returns the histogram activity since the previous call for
+// name and advances the baseline. Quantiles are exact over the window
+// (per-bucket deltas, not cumulative ranks); observations that landed
+// in the overflow bucket report the histogram's lifetime max, the same
+// honesty rule as Histogram.Quantile. A nil histogram reports zeros.
+func (w *Window) HistDelta(name string, h *Histogram) HistSample {
+	if h == nil {
+		return HistSample{}
+	}
+	cur := make([]int64, len(h.counts))
+	for i := range h.counts {
+		cur[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	prev := w.hists[name]
+	w.hists[name] = cur
+	deltas := make([]int64, len(cur))
+	reset := prev == nil
+	if !reset {
+		for i := range cur {
+			if cur[i] < prev[i] {
+				reset = true
+				break
+			}
+		}
+	}
+	var s HistSample
+	for i := range cur {
+		d := cur[i]
+		if !reset {
+			d -= prev[i]
+		}
+		deltas[i] = d
+		s.Count += d
+	}
+	s.Sum = vtime.Duration(w.Delta(name+"\x00sum", atomic.LoadInt64(&h.sum)))
+	if s.Count == 0 {
+		return s
+	}
+	s.P50 = windowQuantile(h, deltas, s.Count, 0.50)
+	s.P99 = windowQuantile(h, deltas, s.Count, 0.99)
+	return s
+}
+
+// windowQuantile ranks q within the windowed bucket deltas.
+func windowQuantile(h *Histogram, deltas []int64, n int64, q float64) vtime.Duration {
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i, d := range deltas {
+		cum += d
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return vtime.Duration(atomic.LoadInt64(&h.max))
+		}
+	}
+	return vtime.Duration(atomic.LoadInt64(&h.max))
+}
+
+// HistogramByName returns the named histogram without creating it
+// (nil when absent) — the sampler's read-only lookup.
+func (r *Registry) HistogramByName(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[name]
+}

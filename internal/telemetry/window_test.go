@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/vtime"
+)
+
+func TestWindowFirstSampleAndDelta(t *testing.T) {
+	w := NewWindow()
+	if got := w.Delta("x", 5); got != 5 {
+		t.Fatalf("first sample: got %d, want full cumulative 5", got)
+	}
+	if got := w.Delta("x", 9); got != 4 {
+		t.Fatalf("second sample: got %d, want 4", got)
+	}
+	if got := w.Delta("x", 9); got != 0 {
+		t.Fatalf("idle interval: got %d, want 0", got)
+	}
+}
+
+func TestWindowWraparound(t *testing.T) {
+	w := NewWindow()
+	w.Delta("x", 100)
+	// A cumulative value below the baseline means the source was
+	// recreated: the delta is the full new value, never negative.
+	if got := w.Delta("x", 3); got != 3 {
+		t.Fatalf("wraparound: got %d, want 3", got)
+	}
+	if got := w.Delta("x", 10); got != 7 {
+		t.Fatalf("post-wraparound: got %d, want 7", got)
+	}
+}
+
+func TestWindowPrime(t *testing.T) {
+	w := NewWindow()
+	w.Prime("y", 10)
+	if got := w.Delta("y", 12); got != 2 {
+		t.Fatalf("primed delta: got %d, want 2 (setup excluded)", got)
+	}
+}
+
+func TestWindowHistDelta(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	w := NewWindow()
+
+	for i := 0; i < 10; i++ {
+		h.Observe(vtime.Duration(time.Millisecond))
+	}
+	s := w.HistDelta("lat", h)
+	if s.Count != 10 {
+		t.Fatalf("first window count: got %d, want 10", s.Count)
+	}
+	if s.P50 != vtime.Duration(time.Millisecond) {
+		t.Fatalf("first window p50: got %v, want 1ms", s.P50)
+	}
+	if s.Sum != 10*vtime.Duration(time.Millisecond) {
+		t.Fatalf("first window sum: got %v, want 10ms", s.Sum)
+	}
+
+	// The second window sees only the new observations: quantiles are
+	// windowed, not polluted by the 10 cumulative 1ms samples.
+	for i := 0; i < 4; i++ {
+		h.Observe(vtime.Duration(100 * time.Millisecond))
+	}
+	s = w.HistDelta("lat", h)
+	if s.Count != 4 {
+		t.Fatalf("second window count: got %d, want 4", s.Count)
+	}
+	if s.P50 != vtime.Duration(100*time.Millisecond) {
+		t.Fatalf("second window p50: got %v, want 100ms (windowed, not cumulative)", s.P50)
+	}
+
+	// Idle window: zero everything.
+	s = w.HistDelta("lat", h)
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("idle window: got %+v, want zeros", s)
+	}
+}
+
+func TestWindowHistDeltaReset(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	w := NewWindow()
+	h.Observe(vtime.Duration(time.Millisecond))
+	h.Observe(vtime.Duration(time.Millisecond))
+	w.HistDelta("lat", h)
+
+	// A fresh histogram under the same name (a recreated registry):
+	// bucket counts shrink, which reads as a reset — the full new
+	// contents are the window.
+	reg2 := NewRegistry()
+	h2 := reg2.Histogram("lat")
+	h2.Observe(vtime.Duration(2 * time.Millisecond))
+	s := w.HistDelta("lat", h2)
+	if s.Count != 1 {
+		t.Fatalf("reset window count: got %d, want 1", s.Count)
+	}
+	if s.P50 != vtime.Duration(2*time.Millisecond) {
+		t.Fatalf("reset window p50: got %v, want 2ms", s.P50)
+	}
+}
+
+func TestWindowHistDeltaNil(t *testing.T) {
+	w := NewWindow()
+	if s := w.HistDelta("absent", nil); s != (HistSample{}) {
+		t.Fatalf("nil histogram: got %+v, want zero sample", s)
+	}
+}
